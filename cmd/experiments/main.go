@@ -1,0 +1,101 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments [-exp table1,fig5,...] [-quick] [-seed N] [-benches a,b] [-out report.txt] [-list]
+//
+// Without -exp it runs the full evaluation (every table and figure in the
+// paper, §3/§5/§6). -quick shrinks trial counts so the whole suite runs in
+// seconds; the default configuration takes minutes.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		expList = flag.String("exp", "", "comma-separated experiment IDs (default: all)")
+		quick   = flag.Bool("quick", false, "use the reduced quick configuration")
+		seed    = flag.Uint64("seed", 0, "override the RNG seed (0 = config default)")
+		benches = flag.String("benches", "", "comma-separated benchmark subset (default: all seven)")
+		out     = flag.String("out", "", "also write the report to this file")
+		jsonOut = flag.String("json", "", "also write typed results as JSON to this file")
+		list    = flag.Bool("list", false, "list experiment IDs and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.Registry {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	cfg := experiments.DefaultConfig()
+	if *quick {
+		cfg = experiments.QuickConfig()
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	if *benches != "" {
+		cfg.Benches = splitList(*benches)
+	}
+
+	suite, err := experiments.NewSuite(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	var ids []string
+	if *expList != "" {
+		ids = splitList(*expList)
+	}
+	report, err := experiments.RunAll(suite, ids)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(report)
+	if *out != "" {
+		if err := os.WriteFile(*out, []byte(report), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "report written to %s\n", *out)
+	}
+	if *jsonOut != "" {
+		// Re-running is cheap: the suite caches every expensive artifact.
+		results, err := experiments.RunAllStructured(suite, ids)
+		if err != nil {
+			fatal(err)
+		}
+		blob, err := json.MarshalIndent(results, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*jsonOut, blob, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "JSON results written to %s\n", *jsonOut)
+	}
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,125 @@
+// Command fi runs statistical fault-injection campaigns on a benchmark —
+// the LLFI-equivalent driver. It measures whole-program SDC probability for
+// an input, or per-instruction SDC probabilities with -perinstr.
+//
+// Usage:
+//
+//	fi -bench hpccg [-input "3,3,3,15,17"] [-trials 1000] [-perinstr] [-top 10] [-seed 1]
+//
+// Without -input the benchmark's default reference input is used.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/campaign"
+	"repro/internal/fault"
+	"repro/internal/prog"
+	"repro/internal/xrand"
+)
+
+func main() {
+	var (
+		bench    = flag.String("bench", "pathfinder", "benchmark: "+strings.Join(prog.Names(), ", "))
+		input    = flag.String("input", "", "comma-separated input values (default: reference input)")
+		trials   = flag.Int("trials", 1000, "FI trials (whole-program mode) or trials per instruction")
+		perInstr = flag.Bool("perinstr", false, "measure per-instruction SDC probabilities")
+		top      = flag.Int("top", 15, "how many most-SDC-prone instructions to list (per-instruction mode)")
+		seed     = flag.Uint64("seed", 1, "RNG seed")
+		workers  = flag.Int("parallel", 0, "fan trials across N workers (0 = serial; §5.2 parallelization)")
+		multibit = flag.Bool("multibit", false, "use the double-bit-flip fault model")
+	)
+	flag.Parse()
+
+	b := prog.Build(*bench)
+	in := b.RefInput()
+	if *input != "" {
+		parts := strings.Split(*input, ",")
+		if len(parts) != len(b.Args) {
+			fatal(fmt.Errorf("%s takes %d arguments, got %d", b.Name, len(b.Args), len(parts)))
+		}
+		in = make([]float64, len(parts))
+		for i, p := range parts {
+			v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+			if err != nil {
+				fatal(fmt.Errorf("bad input value %q", p))
+			}
+			in[i] = v
+		}
+		b.ClampInput(in)
+	}
+
+	rng := xrand.New(*seed)
+	g, err := campaign.NewGolden(b.Prog, b.Encode(in), b.MaxDyn)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s with input %v\n", b.Name, in)
+	fmt.Printf("golden run: %d dynamic instructions, coverage %.2f, %d output values\n\n",
+		g.DynCount, g.Coverage(), len(g.Output))
+
+	if *perInstr {
+		ids := campaign.AllInstructionIDs(b.Prog)
+		results := campaign.PerInstruction(b.Prog, g, ids, *trials, rng)
+		sort.Slice(results, func(a, c int) bool {
+			return results[a].Counts.SDCProbability() > results[c].Counts.SDCProbability()
+		})
+		instrs := b.Module.Instrs()
+		fmt.Printf("top %d most SDC-prone static instructions (%d trials each):\n", *top, *trials)
+		fmt.Printf("%-8s %-10s %-10s %-8s %-8s %s\n", "ID", "SDC", "Crash", "Hang", "Execs", "Op")
+		for i, r := range results {
+			if i >= *top {
+				break
+			}
+			c := r.Counts
+			fmt.Printf("ID%-6d %-10s %-10s %-8d %-8d %s\n",
+				r.ID, pctS(c.SDCProbability()),
+				pctS(float64(c.Crash)/float64(maxi(c.Trials, 1))),
+				c.Hang, g.InstrCounts[r.ID], instrs[r.ID].Op)
+		}
+		return
+	}
+
+	var c campaign.Counts
+	model := "single bit flips"
+	switch {
+	case *multibit:
+		model = "double bit flips"
+		for i := 0; i < *trials; i++ {
+			plan := fault.SampleDynamicMultiBit(rng, g.DynCount)
+			o, _, dyn := campaign.Classify(b.Prog, g, plan, rng, nil)
+			c.Add(o)
+			c.DynInstrs += dyn
+		}
+	case *workers > 1:
+		c = campaign.OverallParallel(b.Prog, g, *trials, campaign.ParallelOptions{
+			Workers: *workers, Seed: *seed,
+		})
+	default:
+		c = campaign.Overall(b.Prog, g, *trials, rng)
+	}
+	fmt.Printf("%d fault-injection trials (%s in random dynamic instruction results):\n", c.Trials, model)
+	fmt.Printf("  SDC:    %4d  (%.2f%% ±%.2f%%)\n", c.SDC, c.SDCProbability()*100, c.CI95()*100)
+	fmt.Printf("  crash:  %4d  (%.2f%%)\n", c.Crash, float64(c.Crash)/float64(c.Trials)*100)
+	fmt.Printf("  hang:   %4d  (%.2f%%)\n", c.Hang, float64(c.Hang)/float64(c.Trials)*100)
+	fmt.Printf("  benign: %4d  (%.2f%%)\n", c.Benign, float64(c.Benign)/float64(c.Trials)*100)
+}
+
+func pctS(p float64) string { return fmt.Sprintf("%.1f%%", p*100) }
+
+func maxi(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fi:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,113 @@
+// Command irdump prints a benchmark's IR in the textual dialect, or parses
+// and verifies an IR file. Useful for inspecting what the analyses operate
+// on and for round-tripping modules.
+//
+// Usage:
+//
+//	irdump -bench needle            # print the benchmark's IR
+//	irdump -bench needle -stats     # instruction statistics only
+//	irdump -file module.ir          # parse + verify a textual module
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/ir"
+	"repro/internal/prog"
+)
+
+func main() {
+	var (
+		bench    = flag.String("bench", "", "benchmark to dump: "+strings.Join(prog.Names(), ", "))
+		file     = flag.String("file", "", "textual IR file to parse and verify")
+		stats    = flag.Bool("stats", false, "print instruction statistics instead of the IR")
+		pruneFlg = flag.Bool("prune", false, "print the FI-space pruning groups")
+	)
+	flag.Parse()
+
+	var mod *ir.Module
+	switch {
+	case *bench != "":
+		mod = prog.Build(*bench).Module
+	case *file != "":
+		src, err := os.ReadFile(*file)
+		if err != nil {
+			fatal(err)
+		}
+		m, err := ir.Parse(string(src))
+		if err != nil {
+			fatal(err)
+		}
+		if err := ir.Verify(m); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "parsed and verified %s\n", m.Name)
+		mod = m
+	default:
+		fatal(fmt.Errorf("one of -bench or -file is required"))
+	}
+
+	switch {
+	case *stats:
+		printStats(mod)
+	case *pruneFlg:
+		printPruning(mod)
+	default:
+		fmt.Print(ir.Print(mod))
+	}
+}
+
+func printStats(mod *ir.Module) {
+	counts := map[ir.Op]int{}
+	total := 0
+	for _, f := range mod.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				counts[in.Op]++
+				total++
+			}
+		}
+	}
+	fmt.Printf("module %s: %d functions, %d static instructions, %d FI sites\n\n",
+		mod.Name, len(mod.Funcs), total, mod.NumInstrs())
+	type oc struct {
+		op ir.Op
+		n  int
+	}
+	var list []oc
+	for op, n := range counts {
+		list = append(list, oc{op, n})
+	}
+	sort.Slice(list, func(a, b int) bool { return list[a].n > list[b].n })
+	for _, e := range list {
+		boundary := ""
+		if e.op.IsBoundary() {
+			boundary = "  (pruning boundary)"
+		}
+		fmt.Printf("  %-10s %5d%s\n", e.op, e.n, boundary)
+	}
+}
+
+func printPruning(mod *ir.Module) {
+	pr := analysis.Prune(mod)
+	fmt.Printf("module %s: %d FI sites -> %d representatives (pruning ratio %.2f%%)\n\n",
+		mod.Name, mod.NumInstrs(), pr.NumRepresentatives(), pr.Ratio(mod.NumInstrs())*100)
+	instrs := mod.Instrs()
+	for gi, g := range pr.Groups {
+		if len(g.Members) < 2 {
+			continue
+		}
+		fmt.Printf("group %d (rep ID%d %s): %d members\n",
+			gi, g.Representative, instrs[g.Representative].Op, len(g.Members))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "irdump:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,140 @@
+// Command peppax runs the PEPPA-X SDC-bound input search on one benchmark
+// (or a custom program) and reports the found input, its fault-injection-
+// measured SDC probability, and the cost breakdown. With -baseline it also
+// runs the random-search baseline under the same budget; with -max-sdc it
+// acts as a CI reliability gate (§7.1.2).
+//
+// Usage:
+//
+//	peppax -bench pathfinder [-generations 200] [-pop 16] [-trials 1000]
+//	       [-seed 1] [-baseline] [-checkpoints 50,100,200] [-max-sdc 0.2]
+//	peppax -file prog.ir -spec "n:int:4:64:8,seed:int:1:100:7"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/prog"
+	"repro/internal/xrand"
+)
+
+func main() {
+	var (
+		bench       = flag.String("bench", "pathfinder", "benchmark: "+strings.Join(prog.Names(), ", "))
+		file        = flag.String("file", "", "textual IR file of a custom program (overrides -bench; requires -spec)")
+		spec        = flag.String("spec", "", "argument spec for -file: name:kind:min:max:ref[:smallMin:smallMax],...")
+		generations = flag.Int("generations", 200, "GA generations")
+		pop         = flag.Int("pop", 16, "GA population size")
+		trials      = flag.Int("trials", 1000, "FI trials for the final SDC measurement")
+		trialsRep   = flag.Int("rep-trials", 30, "FI trials per pruning representative")
+		seed        = flag.Uint64("seed", 1, "RNG seed")
+		baseline    = flag.Bool("baseline", false, "also run the random+FI baseline with the same budget")
+		checkpoints = flag.String("checkpoints", "", "comma-separated generations to FI-measure (e.g. 50,100,200)")
+		maxSDC      = flag.Float64("max-sdc", 0, "CI gate (§7.1.2): exit non-zero if the SDC bound exceeds this fraction (0 disables)")
+	)
+	flag.Parse()
+
+	var b *prog.Benchmark
+	if *file != "" {
+		src, err := os.ReadFile(*file)
+		if err != nil {
+			fatal(err)
+		}
+		b, err = prog.LoadCustom(string(src), *spec, 0)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		b = prog.Build(*bench)
+	}
+	opts := core.DefaultOptions()
+	opts.Generations = *generations
+	opts.PopSize = *pop
+	opts.FinalTrials = *trials
+	opts.TrialsPerRep = *trialsRep
+	for _, c := range strings.Split(*checkpoints, ",") {
+		if c = strings.TrimSpace(c); c != "" {
+			n, err := strconv.Atoi(c)
+			if err != nil {
+				fatal(fmt.Errorf("bad checkpoint %q", c))
+			}
+			opts.Checkpoints = append(opts.Checkpoints, n)
+		}
+	}
+
+	rng := xrand.New(*seed)
+	fmt.Printf("PEPPA-X search on %s (%s): %d generations, population %d\n\n",
+		b.Name, b.Description, opts.Generations, opts.PopSize)
+
+	res, err := core.Search(b, opts, rng)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("step 1  small FI input:        %v\n", res.SmallInput.Input)
+	fmt.Printf("        coverage %.2f (target %.2f), workload %d dyn instrs (reference: %d)\n",
+		res.SmallInput.Coverage, res.SmallInput.TargetCoverage,
+		res.SmallInput.Golden.DynCount, res.SmallInput.RefDynCount)
+	fmt.Printf("step 2+3 sensitivity analysis: %d representatives (%d FI sites), %d trials, %.1fM dyn instrs\n",
+		res.Distribution.Representatives, b.Prog.NumInstrs(),
+		res.Distribution.FITrials, float64(res.Distribution.FIDynInstrs)/1e6)
+	fmt.Printf("step 4+5 genetic search:       %d candidate evaluations, %.1fM dyn instrs\n\n",
+		res.Evaluations, float64(res.Cost.SearchDyn)/1e6)
+
+	fmt.Printf("SDC-bound input:   %v\n", res.BestInput)
+	fmt.Printf("fitness score:     %.4f\n", res.BestFitness)
+	fmt.Printf("SDC probability:   %.2f%% ±%.2f%% (%d/%d trials; crash %d, hang %d, benign %d)\n",
+		res.Final.SDCProbability()*100, res.Final.CI95()*100,
+		res.Final.SDC, res.Final.Trials, res.Final.Crash, res.Final.Hang, res.Final.Benign)
+	fmt.Printf("total cost:        %.1fM dyn instrs, %v wall clock\n",
+		float64(res.Cost.TotalDyn())/1e6, res.Cost.TotalTime().Round(1000000))
+
+	for _, cp := range res.Checkpoints {
+		fmt.Printf("  checkpoint @%-5d SDC %.2f%%  input %v\n",
+			cp.Generation, cp.Counts.SDCProbability()*100, cp.BestInput)
+	}
+
+	if *maxSDC > 0 {
+		// CI-gate mode (§7.1.2): a conservative release check. The SDC
+		// bound found by the search must stay within the reliability
+		// target, or the build fails.
+		bound := res.Final.SDCProbability()
+		if bound > *maxSDC {
+			fmt.Printf("\nCI gate FAILED: SDC bound %.2f%% exceeds target %.2f%%\n", bound*100, *maxSDC*100)
+			os.Exit(2)
+		}
+		fmt.Printf("\nCI gate passed: SDC bound %.2f%% within target %.2f%%\n", bound*100, *maxSDC*100)
+	}
+
+	if *baseline {
+		fmt.Printf("\nbaseline (random inputs + %d-trial FI each, equal budget %.1fM dyn instrs):\n",
+			*trials, float64(res.Cost.TotalDyn())/1e6)
+		base := core.RandomSearch(b, core.BaselineOptions{
+			TrialsPerInput: *trials,
+			DynBudget:      res.Cost.TotalDyn(),
+		}, xrand.New(*seed+1))
+		fmt.Printf("  evaluated %d inputs, best SDC %.2f%% with input %v\n",
+			base.Inputs, base.BestSDC*100, base.BestInput)
+		if base.BestSDC < res.Final.SDCProbability() {
+			fmt.Printf("  PEPPA-X bound is %.1fx higher\n",
+				res.Final.SDCProbability()/maxf(base.BestSDC, 1e-9))
+		}
+	}
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "peppax:", err)
+	os.Exit(1)
+}

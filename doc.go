@@ -1,0 +1,36 @@
+// Package repro is a from-scratch Go reproduction of "PEPPA-X: Finding
+// Program Test Inputs to Bound Silent Data Corruption Vulnerability in HPC
+// Applications" (Rahman, Shamji, Guo, Li — SC '21).
+//
+// The paper's toolchain (LLVM IR + the LLFI fault injector + native
+// benchmark binaries) is rebuilt as a self-contained substrate:
+//
+//   - internal/ir — a typed, SSA-style IR with builder, verifier and a
+//     textual printer/parser (the LLVM IR stand-in);
+//   - internal/interp — a deterministic IR interpreter with per-dynamic-
+//     instruction fault hooks, trap detection and execution profiling
+//     (native execution + LLFI's injection machinery);
+//   - internal/prog — the seven benchmark kernels of the paper's Table 1
+//     (Pathfinder, Needle, Particlefilter, CoMD, HPCCG, XSBench, FFT)
+//     re-implemented in the IR, each validated against a Go oracle;
+//   - internal/fault, internal/campaign — the single-bit-flip fault model
+//     and statistical FI campaigns with SDC/crash/hang/benign
+//     classification.
+//
+// On top of that substrate, the paper's contribution:
+//
+//   - internal/analysis — static def-use grouping and the FI-space pruning
+//     heuristic (§4.2.2);
+//   - internal/sensitivity — the SDC sensitivity distribution and its
+//     cross-input stationarity (§3.2.3, §4.2.3);
+//   - internal/ga + internal/core — the genetic SDC-bound input search
+//     with the single-execution fitness Σ Pᵢ·Nᵢ/N_total (§4.2.4-4.2.5),
+//     plus the random-search baseline (§5.1);
+//   - internal/duplication — the selective-instruction-duplication case
+//     study with 0-1 knapsack protection selection (§6);
+//   - internal/experiments — regenerators for every table and figure of
+//     the paper's evaluation.
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// paper-to-module mapping, and EXPERIMENTS.md for paper-vs-measured results.
+package repro

@@ -1,0 +1,219 @@
+// Package analysis implements the static program analyses of PEPPA-X:
+// the def-use dataflow graph over a module's injectable instructions, the
+// FI-space pruning heuristic of §4.2.2 (group instructions along static
+// data dependencies; boundary instructions — comparisons, logic operators,
+// bit-manipulation and pointer operations — split groups into subgroups,
+// because their SDC probability diverges from that of their dataflow
+// neighbours), and static-instruction code coverage (the §3.2.2 metric).
+package analysis
+
+import (
+	"repro/internal/ir"
+)
+
+// DefUse is the static def-use graph over injectable instructions: an edge
+// connects a value-producing instruction to each value-producing instruction
+// consuming its result. Indices are static instruction IDs.
+type DefUse struct {
+	N     int
+	Succs [][]int // def -> uses
+	Preds [][]int // use -> defs
+}
+
+// BuildDefUse constructs the def-use graph of a finalized module.
+func BuildDefUse(m *ir.Module) *DefUse {
+	instrs := m.Instrs()
+	g := &DefUse{
+		N:     len(instrs),
+		Succs: make([][]int, len(instrs)),
+		Preds: make([][]int, len(instrs)),
+	}
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if !in.Injectable() {
+					continue
+				}
+				for _, a := range in.Args {
+					if def, ok := a.(*ir.Instr); ok && def.Injectable() {
+						g.Succs[def.ID] = append(g.Succs[def.ID], in.ID)
+						g.Preds[in.ID] = append(g.Preds[in.ID], def.ID)
+					}
+				}
+			}
+		}
+	}
+	return g
+}
+
+// Group is one pruning subgroup: instructions expected to share similar SDC
+// probabilities. Representative is the member selected for fault injection;
+// its measured SDC probability is assigned to every member (§4.2.3).
+type Group struct {
+	Members        []int
+	Representative int
+}
+
+// Pruning is the result of the FI-space pruning analysis.
+type Pruning struct {
+	Groups []Group
+	// GroupOf maps each static instruction ID to its index in Groups.
+	GroupOf []int
+}
+
+// NumRepresentatives returns the pruned FI-space size.
+func (p *Pruning) NumRepresentatives() int { return len(p.Groups) }
+
+// Ratio returns the pruning ratio — the fraction of instructions removed
+// from the FI space, as reported in Table 4.
+func (p *Pruning) Ratio(numInstrs int) float64 {
+	if numInstrs == 0 {
+		return 0
+	}
+	return float64(numInstrs-len(p.Groups)) / float64(numInstrs)
+}
+
+// Representatives returns the representative instruction IDs.
+func (p *Pruning) Representatives() []int {
+	out := make([]int, len(p.Groups))
+	for i, g := range p.Groups {
+		out[i] = g.Representative
+	}
+	return out
+}
+
+// Prune groups a module's injectable instructions by static data dependency
+// and splits the groups at boundary instructions, following §4.2.2:
+//
+//   - Non-boundary instructions connected by def-use edges (not passing
+//     through a boundary instruction) form one subgroup — errors propagate
+//     directly through immediate data dependencies, so their SDC
+//     probabilities are similar.
+//   - Each boundary instruction (CMP, AND/OR/XOR, TRUNC/SEXT/ZEXT/shifts,
+//     GEP/ALLOCA) forms its own singleton subgroup, like the ID1565 CMP in
+//     the paper's Figure 4 example.
+//
+// The first member of each subgroup (lowest ID) is its representative.
+func Prune(m *ir.Module) *Pruning {
+	instrs := m.Instrs()
+	g := BuildDefUse(m)
+	n := len(instrs)
+
+	p := &Pruning{GroupOf: make([]int, n)}
+	for i := range p.GroupOf {
+		p.GroupOf[i] = -1
+	}
+
+	boundary := make([]bool, n)
+	for id, in := range instrs {
+		boundary[id] = in.Op.IsBoundary()
+	}
+
+	// Non-boundary connected components via undirected def-use edges that
+	// avoid boundary nodes.
+	for id := 0; id < n; id++ {
+		if boundary[id] || p.GroupOf[id] >= 0 {
+			continue
+		}
+		gi := len(p.Groups)
+		var members []int
+		stack := []int{id}
+		p.GroupOf[id] = gi
+		for len(stack) > 0 {
+			cur := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			members = append(members, cur)
+			for _, nb := range g.Succs[cur] {
+				if !boundary[nb] && p.GroupOf[nb] < 0 {
+					p.GroupOf[nb] = gi
+					stack = append(stack, nb)
+				}
+			}
+			for _, nb := range g.Preds[cur] {
+				if !boundary[nb] && p.GroupOf[nb] < 0 {
+					p.GroupOf[nb] = gi
+					stack = append(stack, nb)
+				}
+			}
+		}
+		// Deterministic representative: lowest ID in the component.
+		rep := members[0]
+		for _, mID := range members {
+			if mID < rep {
+				rep = mID
+			}
+		}
+		p.Groups = append(p.Groups, Group{Members: members, Representative: rep})
+	}
+
+	// Boundary singletons.
+	for id := 0; id < n; id++ {
+		if boundary[id] {
+			p.GroupOf[id] = len(p.Groups)
+			p.Groups = append(p.Groups, Group{Members: []int{id}, Representative: id})
+		}
+	}
+	return p
+}
+
+// PruneNoBoundaries is the ablation variant that groups purely by static
+// data dependency without boundary splitting — used by the pruning-boundary
+// ablation bench to show why the boundary classes matter.
+func PruneNoBoundaries(m *ir.Module) *Pruning {
+	instrs := m.Instrs()
+	g := BuildDefUse(m)
+	n := len(instrs)
+	p := &Pruning{GroupOf: make([]int, n)}
+	for i := range p.GroupOf {
+		p.GroupOf[i] = -1
+	}
+	for id := 0; id < n; id++ {
+		if p.GroupOf[id] >= 0 {
+			continue
+		}
+		gi := len(p.Groups)
+		var members []int
+		stack := []int{id}
+		p.GroupOf[id] = gi
+		for len(stack) > 0 {
+			cur := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			members = append(members, cur)
+			for _, nb := range g.Succs[cur] {
+				if p.GroupOf[nb] < 0 {
+					p.GroupOf[nb] = gi
+					stack = append(stack, nb)
+				}
+			}
+			for _, nb := range g.Preds[cur] {
+				if p.GroupOf[nb] < 0 {
+					p.GroupOf[nb] = gi
+					stack = append(stack, nb)
+				}
+			}
+		}
+		rep := members[0]
+		for _, mID := range members {
+			if mID < rep {
+				rep = mID
+			}
+		}
+		p.Groups = append(p.Groups, Group{Members: members, Representative: rep})
+	}
+	return p
+}
+
+// Coverage returns the static-instruction code coverage of a profiled run:
+// the fraction of injectable static instructions executed at least once.
+func Coverage(counts []int64) float64 {
+	if len(counts) == 0 {
+		return 0
+	}
+	n := 0
+	for _, c := range counts {
+		if c > 0 {
+			n++
+		}
+	}
+	return float64(n) / float64(len(counts))
+}

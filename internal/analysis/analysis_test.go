@@ -1,0 +1,196 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/prog"
+)
+
+// buildChain builds: load -> add -> icmp (the paper's Figure 4 shape:
+// ID1562 load, ID1563 add, ID1565 icmp).
+func buildChain(t *testing.T) *ir.Module {
+	t.Helper()
+	m := ir.NewModule("chain")
+	f := m.NewFunc("main", ir.I64, &ir.Param{Name: "k", Ty: ir.I64})
+	b := ir.NewBuilder(f)
+	buf := b.AllocaN(4)
+	b.Store(b.Param(0), buf)
+	ld := b.Load(ir.I64, buf)                    // non-boundary
+	add := b.Add(ld, ir.I64c(1))                 // non-boundary, data-dependent on ld
+	cmp := b.ICmp(ir.OpICmpEQ, add, ir.I64c(10)) // boundary
+	b.Ret(b.Select(cmp, ir.I64c(1), ir.I64c(0)))
+	m.Finalize()
+	if err := ir.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestDefUseEdges(t *testing.T) {
+	m := buildChain(t)
+	g := BuildDefUse(m)
+	instrs := m.Instrs()
+	var ld, add, cmp *ir.Instr
+	for _, in := range instrs {
+		switch in.Op {
+		case ir.OpLoad:
+			ld = in
+		case ir.OpAdd:
+			add = in
+		case ir.OpICmpEQ:
+			cmp = in
+		}
+	}
+	if ld == nil || add == nil || cmp == nil {
+		t.Fatal("missing instructions")
+	}
+	found := false
+	for _, s := range g.Succs[ld.ID] {
+		if s == add.ID {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("load -> add edge missing")
+	}
+	found = false
+	for _, p := range g.Preds[cmp.ID] {
+		if p == add.ID {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("add -> cmp edge missing")
+	}
+}
+
+func TestPruneSplitsAtBoundary(t *testing.T) {
+	// The Figure 4 scenario: load and add share a subgroup; the icmp is a
+	// singleton subgroup.
+	m := buildChain(t)
+	p := Prune(m)
+	instrs := m.Instrs()
+	var ld, add, cmp *ir.Instr
+	for _, in := range instrs {
+		switch in.Op {
+		case ir.OpLoad:
+			ld = in
+		case ir.OpAdd:
+			add = in
+		case ir.OpICmpEQ:
+			cmp = in
+		}
+	}
+	if p.GroupOf[ld.ID] != p.GroupOf[add.ID] {
+		t.Fatal("load and add should share a pruning subgroup")
+	}
+	if p.GroupOf[cmp.ID] == p.GroupOf[add.ID] {
+		t.Fatal("icmp must be split from its data-dependent predecessors")
+	}
+	cmpGroup := p.Groups[p.GroupOf[cmp.ID]]
+	if len(cmpGroup.Members) != 1 || cmpGroup.Representative != cmp.ID {
+		t.Fatalf("icmp group = %+v, want singleton", cmpGroup)
+	}
+}
+
+func TestPruneCoversAllInstructions(t *testing.T) {
+	for _, b := range prog.All() {
+		p := Prune(b.Module)
+		n := b.Prog.NumInstrs()
+		seen := make([]bool, n)
+		for gi, g := range p.Groups {
+			if len(g.Members) == 0 {
+				t.Fatalf("%s: empty group %d", b.Name, gi)
+			}
+			repInGroup := false
+			for _, id := range g.Members {
+				if id < 0 || id >= n {
+					t.Fatalf("%s: bad member %d", b.Name, id)
+				}
+				if seen[id] {
+					t.Fatalf("%s: instruction %d in two groups", b.Name, id)
+				}
+				seen[id] = true
+				if p.GroupOf[id] != gi {
+					t.Fatalf("%s: GroupOf inconsistent for %d", b.Name, id)
+				}
+				if id == g.Representative {
+					repInGroup = true
+				}
+			}
+			if !repInGroup {
+				t.Fatalf("%s: representative %d not a member", b.Name, g.Representative)
+			}
+		}
+		for id, ok := range seen {
+			if !ok {
+				t.Fatalf("%s: instruction %d unassigned", b.Name, id)
+			}
+		}
+	}
+}
+
+func TestPruningRatioRange(t *testing.T) {
+	// The paper's Table 4 reports 25-59% pruning across the benchmarks.
+	// Ours need not match exactly but must be non-trivial and below 100%.
+	total := 0.0
+	for _, b := range prog.All() {
+		p := Prune(b.Module)
+		ratio := p.Ratio(b.Prog.NumInstrs())
+		t.Logf("%s: %d instrs -> %d representatives (ratio %.2f%%)",
+			b.Name, b.Prog.NumInstrs(), p.NumRepresentatives(), ratio*100)
+		if ratio <= 0.05 || ratio >= 0.95 {
+			t.Fatalf("%s: pruning ratio %.2f implausible", b.Name, ratio)
+		}
+		total += ratio
+	}
+	avg := total / 7
+	if avg < 0.15 || avg > 0.85 {
+		t.Fatalf("average pruning ratio %.2f out of plausible range", avg)
+	}
+}
+
+func TestPruneNoBoundariesCoarser(t *testing.T) {
+	for _, b := range prog.All() {
+		with := Prune(b.Module)
+		without := PruneNoBoundaries(b.Module)
+		if without.NumRepresentatives() > with.NumRepresentatives() {
+			t.Fatalf("%s: boundary splitting should refine groups (%d vs %d)",
+				b.Name, with.NumRepresentatives(), without.NumRepresentatives())
+		}
+	}
+}
+
+func TestBoundarySingletons(t *testing.T) {
+	for _, b := range prog.All() {
+		p := Prune(b.Module)
+		for _, in := range b.Module.Instrs() {
+			if in.Op.IsBoundary() {
+				g := p.Groups[p.GroupOf[in.ID]]
+				if len(g.Members) != 1 {
+					t.Fatalf("%s: boundary %v in group of %d", b.Name, in.Op, len(g.Members))
+				}
+			}
+		}
+	}
+}
+
+func TestCoverage(t *testing.T) {
+	if Coverage(nil) != 0 {
+		t.Fatal("empty coverage")
+	}
+	if got := Coverage([]int64{1, 0, 5, 0}); got != 0.5 {
+		t.Fatalf("coverage = %v", got)
+	}
+	if got := Coverage([]int64{1, 1}); got != 1 {
+		t.Fatalf("full coverage = %v", got)
+	}
+}
+
+func TestRatioEmptyModule(t *testing.T) {
+	p := &Pruning{}
+	if p.Ratio(0) != 0 {
+		t.Fatal("ratio of empty module")
+	}
+}

@@ -1,0 +1,266 @@
+// Package campaign runs statistical fault-injection campaigns over compiled
+// programs, playing the role LLFI plays in the original paper (§3.1.3-3.1.4):
+// golden runs, single-bit-flip trials, outcome classification into
+// SDC / crash / hang / benign, whole-program SDC probability measurement
+// (1000 trials in the paper) and per-instruction SDC probability measurement
+// (100 trials per instruction in the paper's initial study, 30 in PEPPA-X's
+// reduced sensitivity derivation).
+package campaign
+
+import (
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/interp"
+	"repro/internal/stats"
+	"repro/internal/xrand"
+)
+
+// Outcome classifies one fault-injection trial per the paper's terms (§2.2).
+type Outcome uint8
+
+// Trial outcomes.
+const (
+	// Benign: program output matches the golden run despite the fault.
+	Benign Outcome = iota
+	// SDC: output mismatch with no visible failure symptom.
+	SDC
+	// Crash: a hardware trap terminated the program.
+	Crash
+	// Hang: the run exceeded its dynamic-instruction budget.
+	Hang
+	// Detected: a protection mechanism (selective instruction duplication)
+	// caught the corrupted value before it propagated (§6).
+	Detected
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Benign:
+		return "benign"
+	case SDC:
+		return "sdc"
+	case Crash:
+		return "crash"
+	case Hang:
+		return "hang"
+	case Detected:
+		return "detected"
+	default:
+		return fmt.Sprintf("outcome(%d)", uint8(o))
+	}
+}
+
+// hangBudgetMultiplier scales the golden run's dynamic count into the
+// faulty-run budget; exceeding it classifies the trial as a hang.
+const hangBudgetMultiplier = 3
+
+// hangBudgetSlack is added on top for very short programs.
+const hangBudgetSlack = 10000
+
+// Golden holds a reference (fault-free) execution of a program on an input.
+type Golden struct {
+	Input       []uint64
+	Output      []interp.OutVal
+	DynCount    int64
+	InstrCounts []int64 // per static instruction
+	NumInstrs   int
+}
+
+// Coverage returns the static-instruction coverage of the golden run.
+func (g *Golden) Coverage() float64 {
+	n := 0
+	for _, c := range g.InstrCounts {
+		if c > 0 {
+			n++
+		}
+	}
+	if g.NumInstrs == 0 {
+		return 0
+	}
+	return float64(n) / float64(g.NumInstrs)
+}
+
+// ErrInvalidInput is returned by NewGolden when the fault-free run itself
+// fails — such inputs are excluded from experiments per §3.1.2 ("the input
+// should not lead to any reported errors or exceptions").
+var ErrInvalidInput = fmt.Errorf("campaign: input fails fault-free execution")
+
+// NewGolden executes the program fault-free with profiling and returns the
+// reference run. maxDyn bounds the fault-free execution itself (0 for the
+// interpreter default); inputs whose golden run traps or exceeds the bound
+// are rejected with ErrInvalidInput.
+func NewGolden(p *interp.Program, input []uint64, maxDyn int64) (*Golden, error) {
+	r := interp.Run(p, input, interp.Options{Profile: true, MaxDyn: maxDyn})
+	if r.Trap != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidInput, r.Trap)
+	}
+	if r.BudgetExceeded {
+		return nil, fmt.Errorf("%w: exceeded %d dynamic instructions", ErrInvalidInput, maxDyn)
+	}
+	if r.DynCount == 0 {
+		return nil, fmt.Errorf("%w: program executed no injectable instructions", ErrInvalidInput)
+	}
+	if r.DetectedFlag {
+		return nil, fmt.Errorf("%w: fault-free run raised sdc_detect (broken instrumentation)", ErrInvalidInput)
+	}
+	return &Golden{
+		Input:       input,
+		Output:      r.Output,
+		DynCount:    r.DynCount,
+		InstrCounts: r.InstrCounts,
+		NumInstrs:   p.NumInstrs(),
+	}, nil
+}
+
+// Classify runs one faulty execution under plan and classifies it against
+// the golden run. The returned static ID is the instruction that received
+// the fault (-1 if the fault did not activate, which Classify reports as
+// Benign since the execution is then identical to golden).
+func Classify(p *interp.Program, g *Golden, plan fault.Plan, rng *xrand.RNG, detector func(staticID int) bool) (Outcome, int, int64) {
+	budget := g.DynCount*hangBudgetMultiplier + hangBudgetSlack
+	r := interp.Run(p, g.Input, interp.Options{
+		Plan:     &plan,
+		FaultRNG: rng,
+		MaxDyn:   budget,
+	})
+	if !r.Injected {
+		return Benign, -1, r.DynCount
+	}
+	if r.DetectedFlag {
+		// The program's own duplication instrumentation (duplication pass)
+		// caught the corruption and fail-stopped.
+		return Detected, r.InjectedID, r.DynCount
+	}
+	if detector != nil && detector(r.InjectedID) {
+		// Selective instruction duplication compares the original and
+		// duplicated results at the protected instruction, detecting any
+		// corruption of its return value before it propagates.
+		return Detected, r.InjectedID, r.DynCount
+	}
+	if r.Trap != nil {
+		return Crash, r.InjectedID, r.DynCount
+	}
+	if r.BudgetExceeded {
+		return Hang, r.InjectedID, r.DynCount
+	}
+	if !interp.OutputEqual(g.Output, r.Output) {
+		return SDC, r.InjectedID, r.DynCount
+	}
+	return Benign, r.InjectedID, r.DynCount
+}
+
+// Counts aggregates trial outcomes.
+type Counts struct {
+	Trials   int
+	SDC      int
+	Crash    int
+	Hang     int
+	Benign   int
+	Detected int
+
+	// DynInstrs is the total dynamic instructions executed across the
+	// trials — the cost currency used to give PEPPA-X and the baseline
+	// equal search budgets (§5.1) and to model analysis time (Table 5).
+	DynInstrs int64
+}
+
+// Add accumulates one outcome.
+func (c *Counts) Add(o Outcome) {
+	c.Trials++
+	switch o {
+	case SDC:
+		c.SDC++
+	case Crash:
+		c.Crash++
+	case Hang:
+		c.Hang++
+	case Detected:
+		c.Detected++
+	default:
+		c.Benign++
+	}
+}
+
+// SDCProbability returns the fraction of trials that were SDCs — the
+// paper's "SDC probability given that the fault was activated".
+func (c Counts) SDCProbability() float64 {
+	if c.Trials == 0 {
+		return 0
+	}
+	return float64(c.SDC) / float64(c.Trials)
+}
+
+// CI95 returns the 95% confidence half-width of the SDC probability.
+func (c Counts) CI95() float64 { return stats.BinomialCI(c.SDC, c.Trials) }
+
+// Overall measures the whole-program SDC probability of an input with the
+// given number of random single-bit-flip trials (the paper uses 1000).
+// Each trial samples a uniform dynamic instruction and flips a uniform bit
+// of its return value.
+func Overall(p *interp.Program, g *Golden, trials int, rng *xrand.RNG) Counts {
+	return OverallProtected(p, g, trials, rng, nil)
+}
+
+// OverallProtected is Overall with an optional protection detector: faults
+// landing on static instructions for which detector returns true are
+// classified Detected (used by the §6 stress-test case study).
+func OverallProtected(p *interp.Program, g *Golden, trials int, rng *xrand.RNG, detector func(int) bool) Counts {
+	var c Counts
+	for i := 0; i < trials; i++ {
+		plan := fault.SampleDynamic(rng, g.DynCount)
+		o, _, dyn := Classify(p, g, plan, rng, detector)
+		c.Add(o)
+		c.DynInstrs += dyn
+	}
+	return c
+}
+
+// InstrResult is the measured SDC statistics of one static instruction.
+type InstrResult struct {
+	ID     int
+	Counts Counts
+}
+
+// PerInstruction measures the SDC probability of each static instruction in
+// ids with trialsPerInstr faults targeted at random dynamic occurrences of
+// that instruction (the paper's per-instruction methodology). Instructions
+// that never execute under the input are skipped (zero-trial result).
+func PerInstruction(p *interp.Program, g *Golden, ids []int, trialsPerInstr int, rng *xrand.RNG) []InstrResult {
+	out := make([]InstrResult, 0, len(ids))
+	for _, id := range ids {
+		res := InstrResult{ID: id}
+		if execCount := g.InstrCounts[id]; execCount > 0 {
+			ty := p.InstrType(id)
+			for t := 0; t < trialsPerInstr; t++ {
+				plan := fault.SampleStatic(rng, id, ty, execCount)
+				o, _, dyn := Classify(p, g, plan, rng, nil)
+				res.Counts.Add(o)
+				res.Counts.DynInstrs += dyn
+			}
+		}
+		out = append(out, res)
+	}
+	return out
+}
+
+// AllInstructionIDs returns the IDs 0..n-1 for a program — convenience for
+// whole-program per-instruction campaigns.
+func AllInstructionIDs(p *interp.Program) []int {
+	ids := make([]int, p.NumInstrs())
+	for i := range ids {
+		ids[i] = i
+	}
+	return ids
+}
+
+// PerInstructionVector expands per-instruction results into a dense vector
+// of SDC probabilities indexed by static ID (never-executed instructions
+// get 0), the form consumed by Spearman stability analysis (Table 3).
+func PerInstructionVector(numInstrs int, results []InstrResult) []float64 {
+	v := make([]float64, numInstrs)
+	for _, r := range results {
+		v[r.ID] = r.Counts.SDCProbability()
+	}
+	return v
+}

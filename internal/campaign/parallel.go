@@ -1,0 +1,152 @@
+package campaign
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/fault"
+	"repro/internal/interp"
+	"repro/internal/xrand"
+)
+
+// The paper notes (§5.2) that both PEPPA-X and the baseline parallelize
+// trivially — FI trials are independent — but reports unparallelized
+// numbers for fairness. This file provides the parallel campaign runner for
+// practical use. Determinism is preserved by deriving each trial's RNG from
+// (seed, trial index) rather than sharing a stream, so results are
+// independent of scheduling and worker count.
+
+// ParallelOptions configures a parallel campaign.
+type ParallelOptions struct {
+	// Workers is the goroutine count (default: GOMAXPROCS).
+	Workers int
+	// Seed derives each trial's private RNG stream.
+	Seed uint64
+	// Detector optionally models protection (see OverallProtected).
+	Detector func(staticID int) bool
+}
+
+// trialRNG derives the deterministic per-trial stream.
+func trialRNG(seed uint64, trial int) *xrand.RNG {
+	return xrand.New(seed ^ (uint64(trial)+1)*0x9E3779B97F4A7C15)
+}
+
+// OverallParallel measures the whole-program SDC probability like Overall,
+// fanning trials across workers. For a fixed (seed, trials) configuration
+// the aggregate result is identical regardless of Workers.
+func OverallParallel(p *interp.Program, g *Golden, trials int, opts ParallelOptions) Counts {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > trials {
+		workers = trials
+	}
+	if workers <= 1 {
+		// Degenerate case: still use per-trial seeding so results match the
+		// parallel variants.
+		var c Counts
+		for i := 0; i < trials; i++ {
+			rng := trialRNG(opts.Seed, i)
+			plan := fault.SampleDynamic(rng, g.DynCount)
+			o, _, dyn := Classify(p, g, plan, rng, opts.Detector)
+			c.Add(o)
+			c.DynInstrs += dyn
+		}
+		return c
+	}
+
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		next int
+		agg  Counts
+	)
+	// Work-stealing over trial indices via a shared cursor; each trial's
+	// randomness depends only on its index, so scheduling cannot change the
+	// aggregate.
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var local Counts
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= trials {
+					break
+				}
+				rng := trialRNG(opts.Seed, i)
+				plan := fault.SampleDynamic(rng, g.DynCount)
+				o, _, dyn := Classify(p, g, plan, rng, opts.Detector)
+				local.Add(o)
+				local.DynInstrs += dyn
+			}
+			mu.Lock()
+			agg.Trials += local.Trials
+			agg.SDC += local.SDC
+			agg.Crash += local.Crash
+			agg.Hang += local.Hang
+			agg.Benign += local.Benign
+			agg.Detected += local.Detected
+			agg.DynInstrs += local.DynInstrs
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return agg
+}
+
+// PerInstructionParallel is the parallel form of PerInstruction: the
+// instruction list is distributed across workers, each instruction's trials
+// seeded by its ID so the results match any worker count.
+func PerInstructionParallel(p *interp.Program, g *Golden, ids []int, trialsPerInstr int, opts ParallelOptions) []InstrResult {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(ids) {
+		workers = len(ids)
+	}
+	out := make([]InstrResult, len(ids))
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		next int
+	)
+	if workers < 1 {
+		workers = 1
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				k := next
+				next++
+				mu.Unlock()
+				if k >= len(ids) {
+					break
+				}
+				id := ids[k]
+				res := InstrResult{ID: id}
+				if execCount := g.InstrCounts[id]; execCount > 0 {
+					ty := p.InstrType(id)
+					rng := trialRNG(opts.Seed, id)
+					for t := 0; t < trialsPerInstr; t++ {
+						plan := fault.SampleStatic(rng, id, ty, execCount)
+						o, _, dyn := Classify(p, g, plan, rng, nil)
+						res.Counts.Add(o)
+						res.Counts.DynInstrs += dyn
+					}
+				}
+				out[k] = res
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}

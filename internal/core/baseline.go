@@ -1,0 +1,107 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/prog"
+	"repro/internal/xrand"
+)
+
+// BaselineOptions parameterizes the paper's baseline (§5.1): random input
+// generation where every candidate is assessed with a full statistical FI
+// campaign — "the only currently available approach that searches for the
+// SDC-bound input in a program".
+type BaselineOptions struct {
+	// TrialsPerInput is the FI campaign size per candidate (1000 in the
+	// paper).
+	TrialsPerInput int
+	// DynBudget stops the search once this many dynamic instructions have
+	// been executed — used to match PEPPA-X's cost (Figure 5) or a
+	// multiple of it (Figure 7's 5× comparison).
+	DynBudget int64
+	// MaxInputs optionally caps the number of candidates (0 = unlimited).
+	MaxInputs int
+}
+
+// BaselinePoint is one step of the baseline's progress curve.
+type BaselinePoint struct {
+	Input    []float64
+	SDC      float64
+	DynSpent int64 // cumulative cost after evaluating this input
+	BestSDC  float64
+}
+
+// BaselineResult is the outcome of a baseline search.
+type BaselineResult struct {
+	BestInput []float64
+	Best      campaign.Counts
+	BestSDC   float64
+	Inputs    int // candidates evaluated
+	History   []BaselinePoint
+	DynSpent  int64
+	Elapsed   time.Duration
+}
+
+// RandomSearch runs the baseline: draw uniform random inputs, measure each
+// with a statistical FI campaign, and keep the input with the highest SDC
+// probability, until the dynamic-instruction budget is exhausted.
+func RandomSearch(b *prog.Benchmark, opts BaselineOptions, rng *xrand.RNG) *BaselineResult {
+	if opts.TrialsPerInput <= 0 {
+		opts.TrialsPerInput = 1000
+	}
+	start := time.Now()
+	res := &BaselineResult{BestSDC: -1}
+	for {
+		if opts.DynBudget > 0 && res.DynSpent >= opts.DynBudget {
+			break
+		}
+		if opts.MaxInputs > 0 && res.Inputs >= opts.MaxInputs {
+			break
+		}
+		in := b.RandomInput(rng)
+		g, err := campaign.NewGolden(b.Prog, b.Encode(in), b.MaxDyn)
+		if err != nil {
+			continue // invalid input, excluded per §3.1.2
+		}
+		res.DynSpent += g.DynCount
+		c := campaign.Overall(b.Prog, g, opts.TrialsPerInput, rng)
+		res.DynSpent += c.DynInstrs
+		res.Inputs++
+		sdc := c.SDCProbability()
+		if sdc > res.BestSDC {
+			res.BestSDC = sdc
+			res.BestInput = in
+			res.Best = c
+		}
+		res.History = append(res.History, BaselinePoint{
+			Input: in, SDC: sdc, DynSpent: res.DynSpent, BestSDC: res.BestSDC,
+		})
+	}
+	if res.BestSDC < 0 {
+		res.BestSDC = 0
+	}
+	res.Elapsed = time.Since(start)
+	return res
+}
+
+// EvaluateInputCost measures the per-input evaluation cost of both methods
+// for Table 6: PEPPA-X assesses a candidate with one profiled execution,
+// the baseline with a golden run plus a TrialsPerInput-trial FI campaign.
+// It returns (peppaDyn, baselineDyn, peppaTime, baselineTime).
+func EvaluateInputCost(b *prog.Benchmark, input []float64, trials int, rng *xrand.RNG) (int64, int64, time.Duration, time.Duration, error) {
+	scores := make([]float64, b.Prog.NumInstrs()) // fitness cost is score-independent
+	t0 := time.Now()
+	_, peppaDyn := Fitness(b, scores, input)
+	peppaTime := time.Since(t0)
+
+	t0 = time.Now()
+	g, err := campaign.NewGolden(b.Prog, b.Encode(input), b.MaxDyn)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	c := campaign.Overall(b.Prog, g, trials, rng)
+	baselineTime := time.Since(t0)
+	baselineDyn := g.DynCount + c.DynInstrs
+	return peppaDyn, baselineDyn, peppaTime, baselineTime, nil
+}

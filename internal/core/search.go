@@ -1,0 +1,238 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/ga"
+	"repro/internal/interp"
+	"repro/internal/prog"
+	"repro/internal/sensitivity"
+	"repro/internal/xrand"
+)
+
+// Options parameterizes a PEPPA-X search.
+type Options struct {
+	// Generations is the GA budget (the x-axis of Figure 5).
+	Generations int
+	// PopSize is the GA population size.
+	PopSize int
+	// MutationRate and CrossoverRate follow §4.2.4 (0.4 and 0.05).
+	MutationRate  float64
+	CrossoverRate float64
+	// TrialsPerRep is the FI trial count per pruning representative in the
+	// sensitivity derivation (§4.2.3 uses 30).
+	TrialsPerRep int
+	// FinalTrials is the statistical FI campaign size for the reported
+	// SDC-bound input (the paper uses 1000).
+	FinalTrials int
+	// CoverageTargetFrac configures the small-input fuzzer.
+	CoverageTargetFrac float64
+	// Checkpoints lists generation counts at which the current best input
+	// is FI-evaluated (to draw Figure 5). Checkpoint FI cost is reporting
+	// cost and is excluded from the search budget.
+	Checkpoints []int
+	// DisablePruning turns off the §4.2.2 heuristic (Table 5's "without
+	// heuristics" configuration).
+	DisablePruning bool
+	// UseSmallInput selects the step-① small FI input for the sensitivity
+	// derivation; when false the reference input is used (the other half
+	// of Table 5's "without heuristics" cost).
+	UseSmallInput bool
+}
+
+// DefaultOptions returns the paper's configuration.
+func DefaultOptions() Options {
+	return Options{
+		Generations:        200,
+		PopSize:            ga.DefaultPopulation,
+		MutationRate:       ga.DefaultMutationRate,
+		CrossoverRate:      ga.DefaultCrossoverRate,
+		TrialsPerRep:       sensitivity.DefaultTrialsPerRepresentative,
+		FinalTrials:        1000,
+		CoverageTargetFrac: DefaultCoverageTargetFrac,
+		UseSmallInput:      true,
+	}
+}
+
+// Checkpoint is the FI-measured state of the search at a generation budget.
+type Checkpoint struct {
+	Generation int
+	BestInput  []float64
+	Fitness    float64
+	Counts     campaign.Counts
+}
+
+// Result is the outcome of one PEPPA-X search.
+type Result struct {
+	Benchmark string
+
+	// SmallInput describes the step-① result.
+	SmallInput *SmallInputResult
+	// Distribution is the step-③ SDC sensitivity distribution.
+	Distribution *sensitivity.Distribution
+
+	// BestInput is the reported SDC-bound input with its fitness score.
+	BestInput   []float64
+	BestFitness float64
+	// Final is the closing statistical FI campaign on BestInput — the
+	// paper's reported program SDC probability bound.
+	Final campaign.Counts
+
+	// Checkpoints are the Figure 5 measurements, ordered by generation.
+	Checkpoints []Checkpoint
+	// FitnessHistory records the best fitness after each generation.
+	FitnessHistory []float64
+	// SearchDynHistory records the cumulative GA-search dynamic-instruction
+	// cost after each generation — the basis for giving the baseline an
+	// equal budget at any generation cut-off (Figures 5, 7, 8).
+	SearchDynHistory []int64
+	// Evaluations counts candidate executions during the GA search.
+	Evaluations int
+
+	Cost Cost
+}
+
+// SDCBound returns the SDC probability measured for the reported input.
+func (r *Result) SDCBound() float64 { return r.Final.SDCProbability() }
+
+// PipelineDynAt returns the total pipeline cost, in dynamic instructions,
+// had the search been stopped at the given generation: the fixed small-input
+// and sensitivity costs, the GA cost up to that generation, and the closing
+// FI campaign. This is the equal budget handed to the baseline for the
+// Figure 5 comparison.
+func (r *Result) PipelineDynAt(gen int) int64 {
+	fixed := r.Cost.SmallInputDyn + r.Cost.SensitivityDyn + r.Cost.FinalFIDyn
+	if gen <= 0 || len(r.SearchDynHistory) == 0 {
+		return fixed
+	}
+	if gen > len(r.SearchDynHistory) {
+		gen = len(r.SearchDynHistory)
+	}
+	return fixed + r.SearchDynHistory[gen-1]
+}
+
+// Search runs the full PEPPA-X pipeline on a benchmark.
+func Search(b *prog.Benchmark, opts Options, rng *xrand.RNG) (*Result, error) {
+	if opts.Generations <= 0 {
+		return nil, fmt.Errorf("core: Generations must be positive")
+	}
+	if opts.FinalTrials <= 0 {
+		opts.FinalTrials = 1000
+	}
+	res := &Result{Benchmark: b.Name}
+
+	// Step ①: small FI input.
+	t0 := time.Now()
+	small, err := FindSmallFIInput(b, opts.CoverageTargetFrac, rng)
+	if err != nil {
+		return nil, err
+	}
+	res.SmallInput = small
+	res.Cost.SmallInputTime = time.Since(t0)
+	res.Cost.SmallInputDyn = small.DynSpent
+
+	// Steps ② and ③: pruned FI simulation for the sensitivity distribution.
+	t0 = time.Now()
+	sensGolden := small.Golden
+	if !opts.UseSmallInput {
+		g, err := campaign.NewGolden(b.Prog, b.Encode(b.RefInput()), b.MaxDyn)
+		if err != nil {
+			return nil, err
+		}
+		sensGolden = g
+	}
+	dist := sensitivity.Derive(b.Prog, sensGolden, sensitivity.Options{
+		TrialsPerRep: opts.TrialsPerRep,
+		UsePruning:   !opts.DisablePruning,
+	}, rng)
+	res.Distribution = dist
+	res.Cost.SensitivityTime = time.Since(t0)
+	res.Cost.SensitivityDyn = dist.FIDynInstrs
+
+	// Steps ④ and ⑤: genetic fuzzing with the dynamic-analysis fitness.
+	t0 = time.Now()
+	var searchDyn int64
+	fitness := func(g ga.Genome) float64 {
+		f, dyn := Fitness(b, dist.Scores, g)
+		searchDyn += dyn
+		return f
+	}
+	// Seed with the small FI input, the reference input, and enough random
+	// inputs to fill the population with distinct candidates.
+	seeds := []ga.Genome{
+		ga.Genome(small.Input).Clone(),
+		ga.Genome(b.RefInput()),
+	}
+	for len(seeds) < opts.PopSize {
+		seeds = append(seeds, ga.Genome(b.RandomInput(rng)))
+	}
+	engine, err := ga.New(ga.Config{
+		PopSize:       opts.PopSize,
+		MutationRate:  opts.MutationRate,
+		CrossoverRate: opts.CrossoverRate,
+		Clamp:         func(g ga.Genome) { b.ClampInput(g) },
+		Fitness:       fitness,
+		Seed:          seeds,
+	}, rng.Split())
+	if err != nil {
+		return nil, err
+	}
+
+	checkpoints := append([]int(nil), opts.Checkpoints...)
+	sort.Ints(checkpoints)
+	ci := 0
+	fiRNG := rng.Split() // separate stream so checkpoints don't perturb the search
+	for gen := 1; gen <= opts.Generations; gen++ {
+		engine.Step()
+		res.FitnessHistory = append(res.FitnessHistory, engine.Best().Fitness)
+		res.SearchDynHistory = append(res.SearchDynHistory, searchDyn)
+		for ci < len(checkpoints) && checkpoints[ci] == gen {
+			best := engine.Best()
+			cp := Checkpoint{Generation: gen, BestInput: best.Genome, Fitness: best.Fitness}
+			if g, err := campaign.NewGolden(b.Prog, b.Encode(best.Genome), b.MaxDyn); err == nil {
+				cp.Counts = campaign.Overall(b.Prog, g, opts.FinalTrials, fiRNG)
+			}
+			res.Checkpoints = append(res.Checkpoints, cp)
+			ci++
+		}
+	}
+	best := engine.Best()
+	res.BestInput = best.Genome
+	res.BestFitness = best.Fitness
+	res.Evaluations = engine.Evaluations
+	res.Cost.SearchTime = time.Since(t0)
+	res.Cost.SearchDyn = searchDyn
+
+	// Closing statistical FI campaign on the reported SDC-bound input.
+	t0 = time.Now()
+	g, err := campaign.NewGolden(b.Prog, b.Encode(res.BestInput), b.MaxDyn)
+	if err != nil {
+		return nil, fmt.Errorf("core: reported input of %s is invalid: %w", b.Name, err)
+	}
+	res.Final = campaign.Overall(b.Prog, g, opts.FinalTrials, rng)
+	res.Cost.FinalFIDyn = res.Final.DynInstrs + g.DynCount
+	res.Cost.FinalFITime = time.Since(t0)
+	return res, nil
+}
+
+// Fitness is PEPPA-X's per-candidate evaluation (§4.2.5): one profiled
+// execution, then fitness = Σᵢ scoreᵢ·(Nᵢ/N_total) — the accumulated SDC
+// vulnerability potential over the executed path. Inputs whose fault-free
+// run fails score 0 (§3.1.2 excludes error-raising inputs). It returns the
+// fitness and the dynamic instructions spent.
+func Fitness(b *prog.Benchmark, scores []float64, input []float64) (float64, int64) {
+	r := interp.Run(b.Prog, b.Encode(input), interp.Options{Profile: true, MaxDyn: b.MaxDyn})
+	if r.Trap != nil || r.BudgetExceeded || r.DynCount == 0 {
+		return 0, r.DynCount
+	}
+	var acc float64
+	for id, n := range r.InstrCounts {
+		if n > 0 {
+			acc += scores[id] * float64(n)
+		}
+	}
+	return acc / float64(r.DynCount), r.DynCount
+}

@@ -1,0 +1,191 @@
+package duplication
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// This file implements selective instruction duplication as a real IR
+// transformation, the way the original compile-time technique works [1, 18,
+// 28]: each protected instruction is re-computed with the same operands
+// immediately after the original, the two results are compared, and a
+// mismatch branches to a handler that raises sdc_detect and terminates
+// (fail-stop detection).
+//
+// The detector-predicate model used by the campaign layer is exact under
+// the single-fault model, but the pass is still valuable: it materializes
+// the protection's runtime overhead (duplicates and compares execute and
+// are themselves fault-injection sites), so campaigns on the transformed
+// program expose the residual vulnerability of the checking code itself.
+
+// Duplicable reports whether an instruction can be protected by
+// duplicate-and-compare: pure value computations and loads. Allocas change
+// memory layout if repeated, calls may have side effects (output), and phis
+// have no insertion point after them that preserves SSA edge semantics.
+func Duplicable(in *ir.Instr) bool {
+	if !in.Injectable() {
+		return false
+	}
+	switch in.Op {
+	case ir.OpAlloca, ir.OpCall, ir.OpPhi:
+		return false
+	}
+	return true
+}
+
+// DuplicableIDs lists the static instruction IDs the pass can protect.
+func DuplicableIDs(m *ir.Module) []int {
+	var out []int
+	for _, in := range m.Instrs() {
+		if Duplicable(in) {
+			out = append(out, in.ID)
+		}
+	}
+	return out
+}
+
+// FilterDuplicable restricts a protection selection to pass-implementable
+// instructions (used when a knapsack selection feeds ApplyPass).
+func FilterDuplicable(m *ir.Module, pr *Protection) *Protection {
+	instrs := m.Instrs()
+	out := &Protection{IsProtected: make([]bool, len(pr.IsProtected)), Budget: pr.Budget}
+	for _, id := range pr.Protected {
+		if id < len(instrs) && Duplicable(instrs[id]) {
+			out.IsProtected[id] = true
+			out.Protected = append(out.Protected, id)
+		}
+	}
+	return out
+}
+
+// ApplyPass clones the module and inserts duplicate-and-compare protection
+// for every selected static instruction ID (selection indices refer to the
+// ORIGINAL module's finalized IDs). Non-duplicable selections are skipped.
+// The returned module is verified.
+func ApplyPass(m *ir.Module, protectedIDs []int) (*ir.Module, error) {
+	want := make(map[int]bool, len(protectedIDs))
+	for _, id := range protectedIDs {
+		want[id] = true
+	}
+	clone := ir.CloneModule(m)
+
+	// The clone's Finalize assigned identical IDs, so mark instructions by
+	// ID before we start rewriting (rewriting invalidates ID density).
+	toProtect := make(map[*ir.Instr]bool)
+	for _, in := range clone.Instrs() {
+		if want[in.ID] && Duplicable(in) {
+			toProtect[in] = true
+		}
+	}
+
+	for _, f := range clone.Funcs {
+		if err := protectFunction(f, toProtect); err != nil {
+			return nil, err
+		}
+	}
+	clone.Finalize()
+	if err := ir.Verify(clone); err != nil {
+		return nil, fmt.Errorf("duplication: transformed module invalid: %w", err)
+	}
+	return clone, nil
+}
+
+// protectFunction rewrites one function, splitting blocks after each
+// protected instruction to insert the check.
+func protectFunction(f *ir.Function, toProtect map[*ir.Instr]bool) error {
+	// Does this function protect anything?
+	any := false
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if toProtect[in] {
+				any = true
+			}
+		}
+	}
+	if !any {
+		return nil
+	}
+
+	// Shared fail-stop handler.
+	detectBlock := f.NewBlock("sdc.detect")
+	{
+		b := &ir.Builder{Fn: f, Cur: detectBlock}
+		b.Call(ir.Void, "sdc_detect")
+		if f.RetTy == ir.Void {
+			b.Ret(nil)
+		} else {
+			b.Ret(zeroValue(f.RetTy))
+		}
+	}
+
+	// Rewrite each original block. Splitting moves the tail instructions
+	// into continuation blocks; phi incoming edges referencing the original
+	// block must be retargeted to the block holding its (new) terminator.
+	orig := f.Blocks[:len(f.Blocks)-1] // exclude the handler just added
+	for _, blk := range orig {
+		if blk == detectBlock {
+			continue
+		}
+		instrs := blk.Instrs
+		hasProtected := false
+		for _, in := range instrs {
+			if toProtect[in] {
+				hasProtected = true
+				break
+			}
+		}
+		if !hasProtected {
+			continue
+		}
+		blk.Instrs = nil
+		cur := blk
+		for _, in := range instrs {
+			in.Block = cur
+			cur.Instrs = append(cur.Instrs, in)
+			if !toProtect[in] {
+				continue
+			}
+			// Recompute with identical operands, compare, branch.
+			dup := &ir.Instr{Op: in.Op, Ty: in.Ty, Args: append([]ir.Value(nil), in.Args...), Block: cur}
+			cur.Instrs = append(cur.Instrs, dup)
+			var cmp *ir.Instr
+			if in.Ty == ir.F64 {
+				cmp = &ir.Instr{Op: ir.OpFCmpONE, Ty: ir.I1, Args: []ir.Value{in, dup}, Block: cur}
+			} else {
+				cmp = &ir.Instr{Op: ir.OpICmpNE, Ty: ir.I1, Args: []ir.Value{in, dup}, Block: cur}
+			}
+			cur.Instrs = append(cur.Instrs, cmp)
+			cont := f.NewBlock(cur.Name + ".chk")
+			cur.Instrs = append(cur.Instrs, &ir.Instr{
+				Op: ir.OpCondBr, Ty: ir.Void,
+				Args:    []ir.Value{cmp},
+				Targets: []*ir.Block{detectBlock, cont},
+				Block:   cur,
+			})
+			cur = cont
+		}
+		// Phi edges from the original block now come from the final
+		// continuation block (which holds the terminator).
+		if cur != blk {
+			for _, other := range f.Blocks {
+				for _, in := range other.Instrs {
+					for i, pb := range in.PhiBlocks {
+						if pb == blk {
+							in.PhiBlocks[i] = cur
+						}
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// zeroValue returns the zero constant of a type.
+func zeroValue(ty ir.Type) ir.Value {
+	if ty == ir.F64 {
+		return ir.ConstFloat(0)
+	}
+	return ir.ConstInt(ty, 0)
+}

@@ -1,0 +1,150 @@
+package duplication
+
+import (
+	"math"
+	"sort"
+)
+
+// The paper closes §6 with "We refer the improvement of selective
+// instruction duplication technique to our future work": protection chosen
+// from one input's profile can be compromised when another input shifts the
+// SDC mass. This file implements that improvement — a max-min robust
+// knapsack over profiles measured on several inputs (e.g., the reference
+// input plus PEPPA-X's SDC-bound input):
+//
+//   - the benefit of protecting instruction i is the WORST-CASE share of
+//     SDC mass it covers across the profiled inputs
+//     (minₖ Pᵢᵏ·Nᵢᵏ / Σⱼ Pⱼᵏ·Nⱼᵏ);
+//   - the cost is the WORST-CASE dynamic overhead fraction
+//     (maxₖ Nᵢᵏ/N_totalᵏ), so the overhead budget holds on every input.
+
+// ProfileSet is one input's per-instruction measurement.
+type ProfileSet struct {
+	Profiles []InstrProfile
+	// TotalDyn is the input's golden dynamic-instruction count.
+	TotalDyn int64
+}
+
+// SelectRobust solves the max-min knapsack across the given profile sets at
+// the given overhead level (fraction of every input's dynamic count).
+func SelectRobust(sets []ProfileSet, level float64) *Protection {
+	if len(sets) == 0 {
+		return &Protection{}
+	}
+	n := 0
+	for _, set := range sets {
+		for _, p := range set.Profiles {
+			if p.ID >= n {
+				n = p.ID + 1
+			}
+		}
+	}
+
+	// Per-input benefit shares and cost fractions.
+	benefit := make([]float64, n) // min across inputs
+	cost := make([]float64, n)    // max across inputs
+	for i := range benefit {
+		benefit[i] = math.Inf(1)
+	}
+	for _, set := range sets {
+		var massTotal float64
+		for _, p := range set.Profiles {
+			massTotal += p.SDCProb * float64(p.ExecCount)
+		}
+		share := make([]float64, n)
+		frac := make([]float64, n)
+		for _, p := range set.Profiles {
+			if massTotal > 0 {
+				share[p.ID] = p.SDCProb * float64(p.ExecCount) / massTotal
+			}
+			if set.TotalDyn > 0 {
+				frac[p.ID] = float64(p.ExecCount) / float64(set.TotalDyn)
+			}
+		}
+		for id := 0; id < n; id++ {
+			if share[id] < benefit[id] {
+				benefit[id] = share[id]
+			}
+			if frac[id] > cost[id] {
+				cost[id] = frac[id]
+			}
+		}
+	}
+
+	pr := &Protection{IsProtected: make([]bool, n)}
+	if level <= 0 {
+		return pr
+	}
+
+	// Knapsack over fractional weights, scaled to knapsackBuckets.
+	type item struct {
+		id     int
+		weight int
+		value  float64
+		frac   float64
+	}
+	var items []item
+	for id := 0; id < n; id++ {
+		if benefit[id] <= 0 || math.IsInf(benefit[id], 1) {
+			continue
+		}
+		w := int(math.Ceil(cost[id] / level * knapsackBuckets))
+		if w < 1 {
+			w = 1
+		}
+		items = append(items, item{id: id, weight: w, value: benefit[id], frac: cost[id]})
+	}
+	if len(items) == 0 {
+		return pr
+	}
+	dp := make([]float64, knapsackBuckets+1)
+	take := make([][]bool, len(items))
+	for i := range items {
+		take[i] = make([]bool, knapsackBuckets+1)
+		for c := knapsackBuckets; c >= items[i].weight; c-- {
+			if cand := dp[c-items[i].weight] + items[i].value; cand > dp[c] {
+				dp[c] = cand
+				take[i][c] = true
+			}
+		}
+	}
+	c := knapsackBuckets
+	for i := len(items) - 1; i >= 0; i-- {
+		if take[i][c] {
+			pr.IsProtected[items[i].id] = true
+			pr.Protected = append(pr.Protected, items[i].id)
+			pr.Benefit += items[i].value
+			c -= items[i].weight
+		}
+	}
+	sort.Ints(pr.Protected)
+	return pr
+}
+
+// WorstCaseMass returns the minimum, across the profile sets, of the SDC
+// mass share the selection covers — the quantity SelectRobust maximizes.
+// Useful for comparing a robust selection against a single-input one.
+func WorstCaseMass(sets []ProfileSet, pr *Protection) float64 {
+	worst := math.Inf(1)
+	for _, set := range sets {
+		var total, covered float64
+		for _, p := range set.Profiles {
+			mass := p.SDCProb * float64(p.ExecCount)
+			total += mass
+			if p.ID < len(pr.IsProtected) && pr.IsProtected[p.ID] {
+				covered += mass
+			}
+		}
+		share := 1.0
+		if total > 0 {
+			share = covered / total
+		}
+		if share < worst {
+			worst = share
+		}
+	}
+	if math.IsInf(worst, 1) {
+		return 0
+	}
+	return worst
+}

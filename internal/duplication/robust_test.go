@@ -1,0 +1,82 @@
+package duplication
+
+import (
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/prog"
+	"repro/internal/xrand"
+)
+
+func TestSelectRobustSynthetic(t *testing.T) {
+	// Two inputs whose SDC mass lives in different instructions:
+	// input A: instr 0 carries everything; input B: instr 1 does.
+	// Instr 2 carries moderate mass on BOTH. A robust selection with room
+	// for one item must prefer instr 2 (worst case 0.4) over 0 or 1
+	// (worst case ~0).
+	sets := []ProfileSet{
+		{TotalDyn: 100, Profiles: []InstrProfile{
+			{ID: 0, SDCProb: 1.0, ExecCount: 60},
+			{ID: 1, SDCProb: 0.01, ExecCount: 1},
+			{ID: 2, SDCProb: 0.7, ExecCount: 58},
+		}},
+		{TotalDyn: 100, Profiles: []InstrProfile{
+			{ID: 0, SDCProb: 0.01, ExecCount: 1},
+			{ID: 1, SDCProb: 1.0, ExecCount: 60},
+			{ID: 2, SDCProb: 0.7, ExecCount: 58},
+		}},
+	}
+	pr := SelectRobust(sets, 0.59) // room for one ~0.58-cost item
+	if !pr.IsProtected[2] {
+		t.Fatalf("robust selection should pick the cross-input instr: %v", pr.Protected)
+	}
+	if pr.IsProtected[0] && pr.IsProtected[1] {
+		t.Fatalf("budget cannot hold both single-input items: %v", pr.Protected)
+	}
+}
+
+func TestSelectRobustBeatsSingleInputWorstCase(t *testing.T) {
+	// On a real benchmark with two different inputs, the robust selection's
+	// worst-case covered SDC mass must be at least the single-input
+	// selection's (with slack for knapsack weight-rounding).
+	b := prog.Build("pathfinder")
+	rng := xrand.New(17)
+	inputs := [][]float64{b.RefInput(), {5, 5, 45, 14}}
+	var sets []ProfileSet
+	for _, in := range inputs {
+		g, err := campaign.NewGolden(b.Prog, b.Encode(in), b.MaxDyn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sets = append(sets, ProfileSet{
+			Profiles: Profile(b.Prog, g, 10, rng),
+			TotalDyn: g.DynCount,
+		})
+	}
+	const level = 0.5
+	robust := SelectRobust(sets, level)
+	single := Select(sets[0].Profiles, sets[0].TotalDyn, level)
+
+	wr := WorstCaseMass(sets, robust)
+	ws := WorstCaseMass(sets, single)
+	t.Logf("worst-case covered SDC mass: robust %.3f vs single-input %.3f", wr, ws)
+	if wr < ws-0.05 {
+		t.Fatalf("robust selection worse in the worst case: %.3f vs %.3f", wr, ws)
+	}
+	if len(robust.Protected) == 0 {
+		t.Fatal("robust selection empty")
+	}
+}
+
+func TestSelectRobustEdgeCases(t *testing.T) {
+	if pr := SelectRobust(nil, 0.5); len(pr.Protected) != 0 {
+		t.Fatal("empty sets should protect nothing")
+	}
+	sets := []ProfileSet{{TotalDyn: 10, Profiles: []InstrProfile{{ID: 0, SDCProb: 1, ExecCount: 5}}}}
+	if pr := SelectRobust(sets, 0); len(pr.Protected) != 0 {
+		t.Fatal("zero budget should protect nothing")
+	}
+	if got := WorstCaseMass(nil, &Protection{}); got != 0 {
+		t.Fatalf("worst-case of no sets = %v", got)
+	}
+}

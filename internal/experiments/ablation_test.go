@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationPruningBoundaries(t *testing.T) {
+	s := quickSuite(t, "pathfinder")
+	r, err := AblationPruningBoundaries(s, "pathfinder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.RepsNoBoundaries > r.Reps {
+		t.Fatalf("boundary-free grouping should be coarser: %d vs %d", r.RepsNoBoundaries, r.Reps)
+	}
+	if r.RhoWith < -1 || r.RhoWith > 1 || r.RhoWithout < -1 || r.RhoWithout > 1 {
+		t.Fatalf("correlations out of range: %+v", r)
+	}
+	if !strings.Contains(r.Render(), "pathfinder") {
+		t.Fatal("render incomplete")
+	}
+}
+
+func TestAblationFitness(t *testing.T) {
+	s := quickSuite(t, "pathfinder")
+	r, err := AblationFitness(s, "pathfinder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{r.ScoreFitnessSDC, r.CoverageFitnessSDC, r.RandomSamplingSDC} {
+		if v < 0 || v > 1 {
+			t.Fatalf("SDC out of range: %+v", r)
+		}
+	}
+	if r.Candidates <= 0 {
+		t.Fatal("no candidates counted")
+	}
+	_ = r.Render()
+}
+
+func TestAblationSensitivityTrials(t *testing.T) {
+	s := quickSuite(t, "needle")
+	r, err := AblationSensitivityTrials(s, "needle", 5, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CostRatio < 2.5 || r.CostRatio > 3.5 {
+		t.Fatalf("cost ratio %v, want ~3 for 3x trials", r.CostRatio)
+	}
+	if r.Rho <= 0 {
+		t.Fatalf("trial budgets should rank-correlate positively, got %v", r.Rho)
+	}
+	_ = r.Render()
+}

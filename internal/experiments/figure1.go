@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// Figure1Row summarizes one benchmark's SDC probability range over random
+// inputs, with the reference input's value (the red mark in Figure 1).
+type Figure1Row struct {
+	Bench              string
+	MinSDC             float64
+	MaxSDC             float64
+	MeanSDC            float64
+	RefSDC             float64
+	RefInsideLowerHalf bool
+	CI                 float64 // widest 95% CI half-width among the campaigns
+}
+
+// Figure1Result reproduces Figure 1: the range of overall program SDC
+// probability across random inputs, and where the default reference input
+// falls inside it.
+type Figure1Result struct {
+	Inputs int
+	Trials int
+	Rows   []Figure1Row
+}
+
+// Figure1 runs (or reuses) the random-input study.
+func Figure1(s *Suite) (*Figure1Result, error) {
+	res := &Figure1Result{Inputs: s.Cfg.RandomInputs, Trials: s.Cfg.OverallTrials}
+	for _, name := range s.BenchNames() {
+		st, err := s.Study(name)
+		if err != nil {
+			return nil, err
+		}
+		sdcs := st.SDCs()
+		lo, hi := stats.Min(sdcs), stats.Max(sdcs)
+		ci := st.Ref.Counts.CI95()
+		for _, p := range st.Points {
+			if w := p.Counts.CI95(); w > ci {
+				ci = w
+			}
+		}
+		res.Rows = append(res.Rows, Figure1Row{
+			Bench:              name,
+			MinSDC:             lo,
+			MaxSDC:             hi,
+			MeanSDC:            stats.Mean(sdcs),
+			RefSDC:             st.Ref.SDC,
+			RefInsideLowerHalf: st.Ref.SDC <= (lo+hi)/2,
+			CI:                 ci,
+		})
+	}
+	return res, nil
+}
+
+// Render produces the figure-as-table text with Figure-1-style range bars
+// ('=' spans min..max, '#' marks the reference input, axis 0..max SDC).
+func (r *Figure1Result) Render() string {
+	scaleMax := 0.0
+	for _, row := range r.Rows {
+		if row.MaxSDC > scaleMax {
+			scaleMax = row.MaxSDC
+		}
+	}
+	var rows [][]string
+	lowerHalf := 0
+	for _, row := range r.Rows {
+		mark := ""
+		if row.RefInsideLowerHalf {
+			mark = "yes"
+			lowerHalf++
+		} else {
+			mark = "no"
+		}
+		rows = append(rows, []string{
+			row.Bench, pct(row.MinSDC), pct(row.MaxSDC), pct(row.MeanSDC),
+			pct(row.RefSDC), mark, "±" + pct(row.CI),
+			rangeBar(row.MinSDC, row.MaxSDC, row.RefSDC, scaleMax, 32),
+		})
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figure 1: Range of overall program SDC probability across %d random inputs (%d FI trials each)\n", r.Inputs, r.Trials)
+	sb.WriteString("Paper shape: ranges are wide and application-dependent; every reference input sits in the lower half of its range.\n\n")
+	sb.WriteString(renderTable(
+		[]string{"Benchmark", "Min", "Max", "Mean", "RefInput", "Ref in lower half", "95% CI", "0 .. max"}, rows))
+	fmt.Fprintf(&sb, "\nReference input in lower half: %d/%d benchmarks\n", lowerHalf, len(r.Rows))
+	return sb.String()
+}

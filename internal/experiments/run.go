@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Renderable is any experiment result that can print itself.
+type Renderable interface {
+	Render() string
+}
+
+// Runner executes one experiment against a suite.
+type Runner func(*Suite) (Renderable, error)
+
+// Registry maps experiment identifiers (table/figure numbers) to runners,
+// in the paper's order.
+var Registry = []struct {
+	ID    string
+	Title string
+	Run   Runner
+}{
+	{"table1", "Benchmark characteristics", func(s *Suite) (Renderable, error) {
+		return Table1(s), nil
+	}},
+	{"fig1", "Overall SDC probability range across random inputs", func(s *Suite) (Renderable, error) {
+		return Figure1(s)
+	}},
+	{"table2", "Coverage vs SDC probability correlation", func(s *Suite) (Renderable, error) {
+		return Table2(s)
+	}},
+	{"fig2", "Per-instruction SDC probability ranges (CoMD)", func(s *Suite) (Renderable, error) {
+		return Figure2(s, "comd", 10)
+	}},
+	{"table3", "Rank stability of per-instruction SDC probabilities", func(s *Suite) (Renderable, error) {
+		return Table3(s)
+	}},
+	{"table4", "FI-space pruning ratio", func(s *Suite) (Renderable, error) {
+		return Table4(s), nil
+	}},
+	{"table5", "Sensitivity-analysis cost with vs without heuristics", func(s *Suite) (Renderable, error) {
+		return Table5(s)
+	}},
+	{"fig5", "Bounding SDC probability: PEPPA-X vs baseline", func(s *Suite) (Renderable, error) {
+		return Figure5(s)
+	}},
+	{"fig6", "Input-space SDC heat maps (Hpccg, Pathfinder)", func(s *Suite) (Renderable, error) {
+		return Figure6(s, []string{"hpccg", "pathfinder"})
+	}},
+	{"fig7", "Baseline with 5x budget vs PEPPA-X", func(s *Suite) (Renderable, error) {
+		return Figure7(s)
+	}},
+	{"fig8", "PEPPA-X cost vs generations", func(s *Suite) (Renderable, error) {
+		return Figure8(s)
+	}},
+	{"table6", "Per-input evaluation cost", func(s *Suite) (Renderable, error) {
+		return Table6(s)
+	}},
+	{"fig9", "Stress testing selective instruction duplication", func(s *Suite) (Renderable, error) {
+		return Figure9(s)
+	}},
+	{"passcheck", "Extension: detector model vs real duplication pass", func(s *Suite) (Renderable, error) {
+		return PassCheck(s)
+	}},
+	{"multibit", "Extension: single vs double bit-flip fault model", func(s *Suite) (Renderable, error) {
+		return MultiBit(s)
+	}},
+	{"propagation", "Extension: taint-traced error propagation profiles", func(s *Suite) (Renderable, error) {
+		return Propagation(s)
+	}},
+	{"strategies", "Extension: the pipeline under alternative search strategies", func(s *Suite) (Renderable, error) {
+		return Strategies(s)
+	}},
+	{"optlevel", "Extension: FI profile of -O0-style vs optimized modules", func(s *Suite) (Renderable, error) {
+		return OptLevel(s)
+	}},
+}
+
+// IDs returns the registered experiment identifiers in order.
+func IDs() []string {
+	out := make([]string, len(Registry))
+	for i, e := range Registry {
+		out[i] = e.ID
+	}
+	return out
+}
+
+// Run executes one experiment by ID.
+func Run(s *Suite, id string) (Renderable, error) {
+	for _, e := range Registry {
+		if e.ID == id {
+			return e.Run(s)
+		}
+	}
+	return nil, fmt.Errorf("experiments: unknown experiment %q (known: %s)",
+		id, strings.Join(IDs(), ", "))
+}
+
+// RunAllStructured executes the requested experiments (all when ids is
+// empty) and returns the typed results keyed by experiment ID — the
+// machine-readable artifact behind cmd/experiments -json.
+func RunAllStructured(s *Suite, ids []string) (map[string]Renderable, error) {
+	if len(ids) == 0 {
+		ids = IDs()
+	}
+	out := make(map[string]Renderable, len(ids))
+	for _, id := range ids {
+		r, err := Run(s, id)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", id, err)
+		}
+		out[id] = r
+	}
+	return out, nil
+}
+
+// RunAll executes the requested experiments (all when ids is empty) and
+// returns a combined report. Unknown IDs fail before anything runs.
+func RunAll(s *Suite, ids []string) (string, error) {
+	if len(ids) == 0 {
+		ids = IDs()
+	} else {
+		known := map[string]bool{}
+		for _, e := range Registry {
+			known[e.ID] = true
+		}
+		for _, id := range ids {
+			if !known[id] {
+				return "", fmt.Errorf("experiments: unknown experiment %q", id)
+			}
+		}
+	}
+	// Keep the paper's presentation order regardless of request order.
+	order := map[string]int{}
+	for i, e := range Registry {
+		order[e.ID] = i
+	}
+	sort.Slice(ids, func(a, b int) bool { return order[ids[a]] < order[ids[b]] })
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "PEPPA-X reproduction report (seed %d)\n", s.Cfg.Seed)
+	fmt.Fprintf(&sb, "generated %s\n\n", time.Now().UTC().Format(time.RFC3339))
+	for _, id := range ids {
+		start := time.Now()
+		r, err := Run(s, id)
+		if err != nil {
+			return "", fmt.Errorf("experiments: %s: %w", id, err)
+		}
+		fmt.Fprintf(&sb, "%s\n", strings.Repeat("=", 100))
+		sb.WriteString(r.Render())
+		fmt.Fprintf(&sb, "[%s completed in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	return sb.String(), nil
+}

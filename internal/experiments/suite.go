@@ -1,0 +1,256 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/campaign"
+	"repro/internal/core"
+	"repro/internal/prog"
+	"repro/internal/xrand"
+)
+
+// Suite caches the expensive shared artifacts — PEPPA-X searches, baseline
+// runs, the random-input study and the per-instruction study — so that
+// experiments that view the same data (Figure 1 and Table 2; Figures 5, 7
+// and 8) compute it once.
+type Suite struct {
+	Cfg Config
+
+	benches   map[string]*prog.Benchmark
+	searches  map[string]*core.Result
+	baselines map[string]*core.BaselineResult
+	studies   map[string]*RandomStudy
+	perInstr  map[string]*PerInstrStudy
+}
+
+// NewSuite validates the config and returns an empty suite.
+func NewSuite(cfg Config) (*Suite, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Suite{
+		Cfg:       cfg,
+		benches:   make(map[string]*prog.Benchmark),
+		searches:  make(map[string]*core.Result),
+		baselines: make(map[string]*core.BaselineResult),
+		studies:   make(map[string]*RandomStudy),
+		perInstr:  make(map[string]*PerInstrStudy),
+	}, nil
+}
+
+// BenchNames returns the configured benchmark set in Table 1 order.
+func (s *Suite) BenchNames() []string {
+	if len(s.Cfg.Benches) > 0 {
+		return append([]string(nil), s.Cfg.Benches...)
+	}
+	return prog.Names()
+}
+
+// Bench returns (building once) the named benchmark.
+func (s *Suite) Bench(name string) *prog.Benchmark {
+	if b, ok := s.benches[name]; ok {
+		return b
+	}
+	b := prog.Build(name)
+	s.benches[name] = b
+	return b
+}
+
+// rng derives a deterministic per-purpose stream.
+func (s *Suite) rng(purpose string, bench string) *xrand.RNG {
+	h := s.Cfg.Seed
+	for _, c := range purpose + "/" + bench {
+		h = h*1099511628211 + uint64(c)
+	}
+	return xrand.New(h)
+}
+
+// Search runs (once) the full PEPPA-X search for a benchmark, with the
+// configured checkpoints — the shared artifact behind Figures 5, 7, 8 and 9.
+func (s *Suite) Search(name string) (*core.Result, error) {
+	if r, ok := s.searches[name]; ok {
+		return r, nil
+	}
+	opts := core.DefaultOptions()
+	opts.Generations = s.Cfg.SearchGenerations
+	opts.PopSize = s.Cfg.SearchPop
+	opts.TrialsPerRep = s.Cfg.TrialsPerRep
+	opts.FinalTrials = s.Cfg.OverallTrials
+	opts.Checkpoints = append([]int(nil), s.Cfg.Checkpoints...)
+	r, err := core.Search(s.Bench(name), opts, s.rng("search", name))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: search %s: %w", name, err)
+	}
+	s.searches[name] = r
+	return r, nil
+}
+
+// maxBaselineBudget computes the largest baseline budget any figure needs:
+// the PEPPA-X pipeline cost at the last checkpoint, and Baseline5x times the
+// cost at the 200-generation cut-off (or the middle checkpoint when 200 is
+// not in the set).
+func (s *Suite) maxBaselineBudget(r *core.Result) int64 {
+	last := s.Cfg.Checkpoints[len(s.Cfg.Checkpoints)-1]
+	budget := r.PipelineDynAt(last)
+	if b5 := int64(s.Cfg.Baseline5x * float64(r.PipelineDynAt(s.cutoffGen()))); b5 > budget {
+		budget = b5
+	}
+	return budget
+}
+
+// cutoffGen is the generation used for the Figure 7 comparison — 200 in the
+// paper; the middle checkpoint when the configured set has no 200.
+func (s *Suite) cutoffGen() int {
+	for _, cp := range s.Cfg.Checkpoints {
+		if cp == 200 {
+			return cp
+		}
+	}
+	return s.Cfg.Checkpoints[len(s.Cfg.Checkpoints)/2]
+}
+
+// Baseline runs (once) the random-search baseline for a benchmark, to the
+// largest budget any experiment needs; callers slice its history by budget.
+func (s *Suite) Baseline(name string) (*core.BaselineResult, error) {
+	if b, ok := s.baselines[name]; ok {
+		return b, nil
+	}
+	r, err := s.Search(name)
+	if err != nil {
+		return nil, err
+	}
+	res := core.RandomSearch(s.Bench(name), core.BaselineOptions{
+		TrialsPerInput: s.Cfg.OverallTrials,
+		DynBudget:      s.maxBaselineBudget(r),
+	}, s.rng("baseline", name))
+	s.baselines[name] = res
+	return res, nil
+}
+
+// BaselineBestWithin returns the baseline's best SDC probability achieved
+// within the given dynamic-instruction budget. The baseline always gets at
+// least its first evaluated input (the paper's baseline reports whatever
+// its first FI campaign measured even if it overruns a tiny budget).
+func BaselineBestWithin(b *core.BaselineResult, budget int64) float64 {
+	best := 0.0
+	for i, pt := range b.History {
+		if i > 0 && pt.DynSpent > budget {
+			break
+		}
+		best = pt.BestSDC
+	}
+	return best
+}
+
+// RandomStudy is the §3 initial study's raw data for one benchmark: the
+// reference input plus RandomInputs random inputs, each with a full FI
+// campaign and its static-instruction coverage.
+type RandomStudy struct {
+	Bench  string
+	Ref    StudyPoint
+	Points []StudyPoint
+}
+
+// StudyPoint is one input's measurement.
+type StudyPoint struct {
+	Input    []float64
+	SDC      float64
+	Counts   campaign.Counts
+	Coverage float64
+	DynCount int64
+}
+
+// SDCs returns the random points' SDC probabilities.
+func (rs *RandomStudy) SDCs() []float64 {
+	out := make([]float64, len(rs.Points))
+	for i, p := range rs.Points {
+		out[i] = p.SDC
+	}
+	return out
+}
+
+// Coverages returns the random points' coverages.
+func (rs *RandomStudy) Coverages() []float64 {
+	out := make([]float64, len(rs.Points))
+	for i, p := range rs.Points {
+		out[i] = p.Coverage
+	}
+	return out
+}
+
+// Study runs (once) the random-input FI study for a benchmark.
+func (s *Suite) Study(name string) (*RandomStudy, error) {
+	if st, ok := s.studies[name]; ok {
+		return st, nil
+	}
+	b := s.Bench(name)
+	rng := s.rng("study", name)
+	st := &RandomStudy{Bench: name}
+
+	measure := func(in []float64) (StudyPoint, error) {
+		g, err := campaign.NewGolden(b.Prog, b.Encode(in), b.MaxDyn)
+		if err != nil {
+			return StudyPoint{}, err
+		}
+		c := campaign.Overall(b.Prog, g, s.Cfg.OverallTrials, rng)
+		return StudyPoint{
+			Input: in, SDC: c.SDCProbability(), Counts: c,
+			Coverage: g.Coverage(), DynCount: g.DynCount,
+		}, nil
+	}
+
+	ref, err := measure(b.RefInput())
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s reference input: %w", name, err)
+	}
+	st.Ref = ref
+	for len(st.Points) < s.Cfg.RandomInputs {
+		pt, err := measure(b.RandomInput(rng))
+		if err != nil {
+			continue // invalid input, redraw (§3.1.2)
+		}
+		st.Points = append(st.Points, pt)
+	}
+	s.studies[name] = st
+	return st, nil
+}
+
+// PerInstrStudy holds per-instruction SDC probability vectors for several
+// inputs of one benchmark (Figure 2 / Table 3 data).
+type PerInstrStudy struct {
+	Bench   string
+	Inputs  [][]float64
+	Vectors [][]float64 // Vectors[k][id] = SDC prob of instr id under input k
+}
+
+// PerInstr runs (once) the per-instruction study for a benchmark. Moderate
+// workloads (scaled inputs) keep the all-instruction campaigns tractable.
+func (s *Suite) PerInstr(name string) (*PerInstrStudy, error) {
+	if st, ok := s.perInstr[name]; ok {
+		return st, nil
+	}
+	b := s.Bench(name)
+	rng := s.rng("perinstr", name)
+	st := &PerInstrStudy{Bench: name}
+	ids := campaign.AllInstructionIDs(b.Prog)
+	for len(st.Vectors) < s.Cfg.PerInstrInputs {
+		in := b.RandomInputScaled(rng, 0.25)
+		g, err := campaign.NewGolden(b.Prog, b.Encode(in), b.MaxDyn)
+		if err != nil {
+			continue
+		}
+		res := campaign.PerInstruction(b.Prog, g, ids, s.Cfg.PerInstrTrials, rng)
+		st.Inputs = append(st.Inputs, in)
+		st.Vectors = append(st.Vectors, campaign.PerInstructionVector(b.Prog.NumInstrs(), res))
+	}
+	s.perInstr[name] = st
+	return st, nil
+}
+
+// sortedCheckpoints returns the configured checkpoints in ascending order.
+func (s *Suite) sortedCheckpoints() []int {
+	cps := append([]int(nil), s.Cfg.Checkpoints...)
+	sort.Ints(cps)
+	return cps
+}

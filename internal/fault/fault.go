@@ -1,0 +1,149 @@
+// Package fault defines the transient-hardware-fault model of the paper
+// (§2.1, §3.1.3): a single bit flip in the return value of one dynamic
+// instruction, emulating LLFI's injection mode. Faults in memory/caches
+// (assumed ECC-protected), control logic and instruction encodings are out
+// of scope; a flipped value may steer execution down a legal-but-wrong
+// branch, exactly as the fault model allows.
+package fault
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/xrand"
+)
+
+// Mode selects how the injection target is addressed.
+type Mode uint8
+
+const (
+	// ModeDynamic targets the k-th dynamically executed value-producing
+	// instruction, counted across the whole run — the sampling LLFI uses for
+	// whole-program campaigns (§3.1.4: "a single fault is injected into a
+	// randomly sampled instruction during the execution").
+	ModeDynamic Mode = iota
+	// ModeStatic targets the k-th dynamic occurrence of one specific static
+	// instruction — the sampling used for per-instruction SDC probabilities.
+	ModeStatic
+)
+
+// Plan describes one fault to inject during an execution.
+type Plan struct {
+	Mode Mode
+
+	// TargetDyn is the 1-based global dynamic index for ModeDynamic.
+	TargetDyn int64
+
+	// StaticID and Occurrence select the 1-based k-th execution of the
+	// static instruction with that ID for ModeStatic.
+	StaticID   int
+	Occurrence int64
+
+	// Bit is the bit position to flip within the result's type width.
+	Bit uint8
+
+	// SecondBit encodes an optional additional flip of the same value for
+	// the double-bit fault model of the §3.1.3 discussion (Sangchoolie et
+	// al. find little application-level SDC difference vs single flips,
+	// which the multibit ablation verifies on this substrate). The zero
+	// value means no second flip; positive values encode position+1; the
+	// secondBitPending sentinel defers the draw to injection time.
+	SecondBit int16
+}
+
+// SecondBitAt encodes a concrete second-flip position.
+func SecondBitAt(bit uint8) int16 { return int16(bit) + 1 }
+
+// String renders the plan for logs.
+func (p Plan) String() string {
+	if p.Mode == ModeDynamic {
+		return fmt.Sprintf("flip bit %d at dynamic instr %d", p.Bit, p.TargetDyn)
+	}
+	return fmt.Sprintf("flip bit %d at occurrence %d of static instr %d", p.Bit, p.Occurrence, p.StaticID)
+}
+
+// Flip applies the single-bit flip to a canonical slot value of type ty and
+// returns the corrupted value, re-canonicalized. It panics if the bit is
+// outside the type's width, which indicates a sampling bug.
+func Flip(ty ir.Type, bits uint64, bit uint8) uint64 {
+	if int(bit) >= ty.Bits() {
+		panic(fmt.Sprintf("fault: bit %d out of range for %v", bit, ty))
+	}
+	return ir.CanonInt(ty, bits^(1<<bit))
+}
+
+// RandomBit samples a uniform bit position within the width of ty.
+func RandomBit(rng *xrand.RNG, ty ir.Type) uint8 {
+	n := ty.Bits()
+	if n <= 0 {
+		panic(fmt.Sprintf("fault: type %v has no injectable bits", ty))
+	}
+	return uint8(rng.Intn(n))
+}
+
+// SampleDynamic draws a whole-program injection plan: a uniform dynamic
+// instruction index in [1, totalDyn] (the bit is chosen later, once the
+// target instruction's type is known at injection time — LLFI likewise flips
+// within the return value's width).
+func SampleDynamic(rng *xrand.RNG, totalDyn int64) Plan {
+	if totalDyn <= 0 {
+		panic("fault: SampleDynamic with no dynamic instructions")
+	}
+	return Plan{
+		Mode:      ModeDynamic,
+		TargetDyn: 1 + rng.Int63n(totalDyn),
+		// Bit is resolved at injection time; see BitPending.
+		Bit: bitPending,
+	}
+}
+
+// SampleDynamicMultiBit is SampleDynamic for the double-bit model: both bit
+// positions are resolved at injection time (the second is drawn distinct
+// from the first when the width allows).
+func SampleDynamicMultiBit(rng *xrand.RNG, totalDyn int64) Plan {
+	p := SampleDynamic(rng, totalDyn)
+	p.SecondBit = secondBitPending
+	return p
+}
+
+// secondBitPending marks a plan whose second bit must also be drawn at
+// injection time.
+const secondBitPending = int16(-1)
+
+// SecondBitPending reports whether the second bit is deferred.
+func (p Plan) SecondBitPending() bool { return p.SecondBit == secondBitPending }
+
+// RandomSecondBit draws a bit distinct from first when possible.
+func RandomSecondBit(rng *xrand.RNG, ty ir.Type, first uint8) uint8 {
+	n := ty.Bits()
+	if n <= 1 {
+		return first // single-bit types cannot host a distinct second flip
+	}
+	for {
+		b := uint8(rng.Intn(n))
+		if b != first {
+			return b
+		}
+	}
+}
+
+// bitPending marks a plan whose bit must be drawn at injection time from the
+// target instruction's width.
+const bitPending = 0xFF
+
+// BitPending reports whether the plan's bit is deferred to injection time.
+func (p Plan) BitPending() bool { return p.Bit == bitPending }
+
+// SampleStatic draws a per-instruction plan for static instruction id of
+// type ty, given how many times it executes under the profiled input.
+func SampleStatic(rng *xrand.RNG, id int, ty ir.Type, execCount int64) Plan {
+	if execCount <= 0 {
+		panic("fault: SampleStatic on never-executed instruction")
+	}
+	return Plan{
+		Mode:       ModeStatic,
+		StaticID:   id,
+		Occurrence: 1 + rng.Int63n(execCount),
+		Bit:        RandomBit(rng, ty),
+	}
+}

@@ -1,0 +1,172 @@
+package fault
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ir"
+	"repro/internal/xrand"
+)
+
+func TestFlip(t *testing.T) {
+	if got := Flip(ir.I64, 0, 3); got != 8 {
+		t.Fatalf("flip bit 3 of 0 = %d", got)
+	}
+	if got := Flip(ir.I64, 8, 3); got != 0 {
+		t.Fatalf("flip is not an involution: %d", got)
+	}
+	if got := Flip(ir.I1, 1, 0); got != 0 {
+		t.Fatalf("i1 flip = %d", got)
+	}
+	// I32 results stay canonical (high bits clear).
+	if got := Flip(ir.I32, 0xFFFFFFFF, 31); got != 0x7FFFFFFF {
+		t.Fatalf("i32 flip = %x", got)
+	}
+}
+
+func TestFlipPanicsOutOfWidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for bit 1 of i1")
+		}
+	}()
+	Flip(ir.I1, 0, 1)
+}
+
+func TestFlipInvolutionProperty(t *testing.T) {
+	f := func(bits uint64, bitRaw uint8) bool {
+		bit := bitRaw % 64
+		v := Flip(ir.I64, bits, bit)
+		return Flip(ir.I64, v, bit) == bits && v != bits
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomBitWithinWidth(t *testing.T) {
+	rng := xrand.New(1)
+	for i := 0; i < 1000; i++ {
+		if b := RandomBit(rng, ir.I32); b >= 32 {
+			t.Fatalf("i32 bit %d", b)
+		}
+		if b := RandomBit(rng, ir.I1); b != 0 {
+			t.Fatalf("i1 bit %d", b)
+		}
+	}
+}
+
+func TestSampleDynamic(t *testing.T) {
+	rng := xrand.New(2)
+	seen1, seenN := false, false
+	const total = 17
+	for i := 0; i < 3000; i++ {
+		p := SampleDynamic(rng, total)
+		if p.TargetDyn < 1 || p.TargetDyn > total {
+			t.Fatalf("target %d out of [1,%d]", p.TargetDyn, total)
+		}
+		if !p.BitPending() {
+			t.Fatal("dynamic plan bit should be pending")
+		}
+		if p.TargetDyn == 1 {
+			seen1 = true
+		}
+		if p.TargetDyn == total {
+			seenN = true
+		}
+	}
+	if !seen1 || !seenN {
+		t.Fatal("sampling never hit the range endpoints")
+	}
+}
+
+func TestSampleStatic(t *testing.T) {
+	rng := xrand.New(3)
+	for i := 0; i < 1000; i++ {
+		p := SampleStatic(rng, 7, ir.I32, 9)
+		if p.Occurrence < 1 || p.Occurrence > 9 {
+			t.Fatalf("occurrence %d", p.Occurrence)
+		}
+		if p.StaticID != 7 || p.Mode != ModeStatic {
+			t.Fatalf("plan %+v", p)
+		}
+		if p.BitPending() || p.Bit >= 32 {
+			t.Fatalf("bit %d", p.Bit)
+		}
+	}
+}
+
+func TestSamplePanics(t *testing.T) {
+	rng := xrand.New(4)
+	for name, fn := range map[string]func(){
+		"dynamic zero": func() { SampleDynamic(rng, 0) },
+		"static zero":  func() { SampleStatic(rng, 0, ir.I64, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: want panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestPlanString(t *testing.T) {
+	d := Plan{Mode: ModeDynamic, TargetDyn: 5, Bit: 2}
+	if d.String() == "" {
+		t.Fatal("empty string")
+	}
+	s := Plan{Mode: ModeStatic, StaticID: 3, Occurrence: 4, Bit: 1}
+	if s.String() == "" {
+		t.Fatal("empty string")
+	}
+}
+
+func TestSecondBitEncoding(t *testing.T) {
+	if SecondBitAt(0) != 1 || SecondBitAt(63) != 64 {
+		t.Fatal("SecondBitAt encoding wrong")
+	}
+	var p Plan
+	if p.SecondBitPending() {
+		t.Fatal("zero value must mean no second bit")
+	}
+	mp := SampleDynamicMultiBit(xrand.New(1), 100)
+	if !mp.SecondBitPending() {
+		t.Fatal("multibit plan must defer the second bit")
+	}
+	if !mp.BitPending() {
+		t.Fatal("multibit plan must defer the first bit too")
+	}
+}
+
+func TestRandomSecondBitDistinct(t *testing.T) {
+	rng := xrand.New(2)
+	for i := 0; i < 500; i++ {
+		first := uint8(rng.Intn(64))
+		second := RandomSecondBit(rng, ir.I64, first)
+		if second == first {
+			t.Fatal("second bit equals first for a wide type")
+		}
+	}
+	// I1 has no distinct second position.
+	if RandomSecondBit(rng, ir.I1, 0) != 0 {
+		t.Fatal("i1 second bit should fall back to the first")
+	}
+}
+
+func TestModeValues(t *testing.T) {
+	if ModeDynamic == ModeStatic {
+		t.Fatal("modes must differ")
+	}
+	rng := xrand.New(3)
+	d := SampleDynamic(rng, 10)
+	if d.Mode != ModeDynamic {
+		t.Fatal("dynamic sample mode")
+	}
+	s := SampleStatic(rng, 1, ir.I64, 5)
+	if s.Mode != ModeStatic {
+		t.Fatal("static sample mode")
+	}
+}

@@ -1,0 +1,214 @@
+// Package ga implements the genetic search engine of PEPPA-X (§2.4, §4.2.4):
+// real-valued genomes (program input vectors), roulette-wheel selection,
+// a mutation operator that perturbs one argument by ±10 % of its value, and
+// a crossover operator that swaps one argument between two parents. The
+// paper uses mutation rate 0.4 and crossover rate 0.05 following Haupt's
+// heuristics [24].
+package ga
+
+import (
+	"fmt"
+
+	"repro/internal/xrand"
+)
+
+// Paper-specified recombination rates (§4.2.4).
+const (
+	DefaultMutationRate  = 0.4
+	DefaultCrossoverRate = 0.05
+	// DefaultPopulation is the number of candidates per generation.
+	DefaultPopulation = 16
+	// mutationSpan is the relative perturbation range: ±10 % of the
+	// current argument value.
+	mutationSpan = 0.10
+)
+
+// Genome is a candidate solution: one value per program argument.
+type Genome []float64
+
+// Clone copies the genome.
+func (g Genome) Clone() Genome { return append(Genome(nil), g...) }
+
+// Individual pairs a genome with its fitness.
+type Individual struct {
+	Genome  Genome
+	Fitness float64
+}
+
+// Config parameterizes the engine.
+type Config struct {
+	// PopSize is the population size (default 16).
+	PopSize int
+	// MutationRate is the per-offspring probability of mutation (default 0.4).
+	MutationRate float64
+	// CrossoverRate is the per-offspring probability of crossover (default 0.05).
+	CrossoverRate float64
+	// Clamp forces a genome back into the valid input space after
+	// recombination; required.
+	Clamp func(Genome)
+	// Fitness evaluates a genome; required. Higher is better and values
+	// must be non-negative for roulette selection.
+	Fitness func(Genome) float64
+	// Seed provides initial genomes; the engine draws the initial
+	// population from it (cycling if shorter than PopSize); required
+	// non-empty.
+	Seed []Genome
+}
+
+// Engine runs the genetic search.
+type Engine struct {
+	cfg Config
+	rng *xrand.RNG
+
+	pop  []Individual
+	best Individual
+	gen  int
+
+	// Evaluations counts fitness calls — each corresponds to one program
+	// execution in PEPPA-X (the cheap per-input evaluation of Table 6).
+	Evaluations int
+}
+
+// New validates the configuration and builds the initial population.
+func New(cfg Config, rng *xrand.RNG) (*Engine, error) {
+	if cfg.Fitness == nil || cfg.Clamp == nil {
+		return nil, fmt.Errorf("ga: Fitness and Clamp are required")
+	}
+	if len(cfg.Seed) == 0 {
+		return nil, fmt.Errorf("ga: Seed population is required")
+	}
+	if cfg.PopSize <= 1 {
+		cfg.PopSize = DefaultPopulation
+	}
+	if cfg.MutationRate <= 0 {
+		cfg.MutationRate = DefaultMutationRate
+	}
+	if cfg.CrossoverRate <= 0 {
+		cfg.CrossoverRate = DefaultCrossoverRate
+	}
+	e := &Engine{cfg: cfg, rng: rng}
+	e.pop = make([]Individual, cfg.PopSize)
+	for i := range e.pop {
+		g := cfg.Seed[i%len(cfg.Seed)].Clone()
+		cfg.Clamp(g)
+		e.pop[i] = e.eval(g)
+		if i == 0 || e.pop[i].Fitness > e.best.Fitness {
+			e.best = Individual{Genome: e.pop[i].Genome.Clone(), Fitness: e.pop[i].Fitness}
+		}
+	}
+	return e, nil
+}
+
+func (e *Engine) eval(g Genome) Individual {
+	e.Evaluations++
+	return Individual{Genome: g, Fitness: e.cfg.Fitness(g)}
+}
+
+// Best returns the best individual seen so far.
+func (e *Engine) Best() Individual {
+	return Individual{Genome: e.best.Genome.Clone(), Fitness: e.best.Fitness}
+}
+
+// Generation returns the number of completed generations.
+func (e *Engine) Generation() int { return e.gen }
+
+// Population returns a snapshot of the current population.
+func (e *Engine) Population() []Individual {
+	out := make([]Individual, len(e.pop))
+	for i, ind := range e.pop {
+		out[i] = Individual{Genome: ind.Genome.Clone(), Fitness: ind.Fitness}
+	}
+	return out
+}
+
+// rouletteIndex samples an index proportional to fitness (§4.2.4 adopts
+// roulette selection). Degenerate all-zero populations fall back to uniform.
+func (e *Engine) rouletteIndex() int {
+	var total float64
+	for _, ind := range e.pop {
+		if ind.Fitness > 0 {
+			total += ind.Fitness
+		}
+	}
+	if total <= 0 {
+		return e.rng.Intn(len(e.pop))
+	}
+	target := e.rng.Float64() * total
+	for i, ind := range e.pop {
+		if ind.Fitness > 0 {
+			target -= ind.Fitness
+			if target < 0 {
+				return i
+			}
+		}
+	}
+	return len(e.pop) - 1
+}
+
+// mutate perturbs one argument by a uniform value in ±10 % of its current
+// magnitude (§4.2.4). Arguments whose value is 0 get a small absolute kick
+// so mutation cannot stall.
+func (e *Engine) mutate(g Genome) {
+	i := e.rng.Intn(len(g))
+	span := g[i] * mutationSpan
+	if span < 0 {
+		span = -span
+	}
+	if span == 0 {
+		span = mutationSpan
+	}
+	g[i] += e.rng.Range(-span, span)
+}
+
+// crossover swaps one argument value between two genomes (§4.2.4).
+func (e *Engine) crossover(a, b Genome) {
+	i := e.rng.Intn(len(a))
+	a[i], b[i] = b[i], a[i]
+}
+
+// Step runs one generation: it breeds a full offspring population via
+// roulette selection plus mutation/crossover, evaluates it, and replaces
+// the old population with the offspring plus the elite best-so-far
+// individual.
+func (e *Engine) Step() {
+	next := make([]Individual, 0, len(e.pop))
+	// Elitism: carry the best individual forward unchanged so the bound
+	// estimate never regresses.
+	next = append(next, Individual{Genome: e.best.Genome.Clone(), Fitness: e.best.Fitness})
+
+	for len(next) < len(e.pop) {
+		parent := e.pop[e.rouletteIndex()].Genome.Clone()
+		if e.rng.Bool(e.cfg.CrossoverRate) && len(e.pop) > 1 {
+			other := e.pop[e.rouletteIndex()].Genome.Clone()
+			e.crossover(parent, other)
+			// The second offspring of the swap joins too if there is room.
+			if len(next) < len(e.pop)-1 {
+				e.cfg.Clamp(other)
+				ind := e.eval(other)
+				next = append(next, ind)
+				if ind.Fitness > e.best.Fitness {
+					e.best = Individual{Genome: ind.Genome.Clone(), Fitness: ind.Fitness}
+				}
+			}
+		}
+		if e.rng.Bool(e.cfg.MutationRate) {
+			e.mutate(parent)
+		}
+		e.cfg.Clamp(parent)
+		ind := e.eval(parent)
+		next = append(next, ind)
+		if ind.Fitness > e.best.Fitness {
+			e.best = Individual{Genome: ind.Genome.Clone(), Fitness: ind.Fitness}
+		}
+	}
+	e.pop = next
+	e.gen++
+}
+
+// Run executes n generations and returns the best individual.
+func (e *Engine) Run(n int) Individual {
+	for i := 0; i < n; i++ {
+		e.Step()
+	}
+	return e.Best()
+}

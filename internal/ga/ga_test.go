@@ -1,0 +1,261 @@
+package ga
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+// sphereConfig builds a maximization problem with optimum at (3, -2, 5):
+// fitness = 1 / (1 + ||x - opt||²).
+func sphereConfig() Config {
+	opt := []float64{3, 2, 5}
+	return Config{
+		PopSize: 20,
+		Clamp: func(g Genome) {
+			for i := range g {
+				if g[i] < -10 {
+					g[i] = -10
+				}
+				if g[i] > 10 {
+					g[i] = 10
+				}
+			}
+		},
+		Fitness: func(g Genome) float64 {
+			var d2 float64
+			for i := range g {
+				d := g[i] - opt[i]
+				d2 += d * d
+			}
+			return 1 / (1 + d2)
+		},
+		Seed: []Genome{{0, 0, 0}, {1, 1, 1}, {-5, 5, -5}},
+	}
+}
+
+func TestNewValidates(t *testing.T) {
+	rng := xrand.New(1)
+	if _, err := New(Config{}, rng); err == nil {
+		t.Fatal("want error for missing fitness")
+	}
+	cfg := sphereConfig()
+	cfg.Seed = nil
+	if _, err := New(cfg, rng); err == nil {
+		t.Fatal("want error for empty seed")
+	}
+}
+
+func TestOptimizesSphere(t *testing.T) {
+	e, err := New(sphereConfig(), xrand.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	initial := e.Best().Fitness
+	best := e.Run(300)
+	if best.Fitness <= initial {
+		t.Fatalf("no improvement: %v -> %v", initial, best.Fitness)
+	}
+	if best.Fitness < 0.5 { // within distance 1 of the optimum
+		t.Fatalf("best fitness %v too far from optimum (genome %v)", best.Fitness, best.Genome)
+	}
+}
+
+func TestBestNeverRegresses(t *testing.T) {
+	e, err := New(sphereConfig(), xrand.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := e.Best().Fitness
+	for i := 0; i < 100; i++ {
+		e.Step()
+		cur := e.Best().Fitness
+		if cur < prev {
+			t.Fatalf("best regressed at gen %d: %v -> %v", i, prev, cur)
+		}
+		prev = cur
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	run := func() Individual {
+		e, err := New(sphereConfig(), xrand.New(99))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e.Run(50)
+	}
+	a, b := run(), run()
+	if a.Fitness != b.Fitness {
+		t.Fatalf("nondeterministic: %v vs %v", a.Fitness, b.Fitness)
+	}
+	for i := range a.Genome {
+		if a.Genome[i] != b.Genome[i] {
+			t.Fatal("genomes differ")
+		}
+	}
+}
+
+func TestClampAlwaysApplied(t *testing.T) {
+	cfg := sphereConfig()
+	cfg.Fitness = func(g Genome) float64 {
+		for _, x := range g {
+			if x < -10 || x > 10 {
+				t.Fatalf("unclamped genome reached fitness: %v", g)
+			}
+		}
+		return 1
+	}
+	e, err := New(cfg, xrand.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Run(100)
+}
+
+func TestEvaluationsCounted(t *testing.T) {
+	e, err := New(sphereConfig(), xrand.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := e.Evaluations
+	if after != 20 { // initial population
+		t.Fatalf("initial evaluations = %d, want 20", after)
+	}
+	e.Step()
+	// Each generation re-evaluates all offspring except the elite clone.
+	if e.Evaluations < after+15 {
+		t.Fatalf("generation evaluated only %d new candidates", e.Evaluations-after)
+	}
+}
+
+func TestPopulationSizeStable(t *testing.T) {
+	e, err := New(sphereConfig(), xrand.New(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		e.Step()
+		if got := len(e.Population()); got != 20 {
+			t.Fatalf("population size %d after gen %d", got, i)
+		}
+	}
+}
+
+func TestGenerationCounter(t *testing.T) {
+	e, _ := New(sphereConfig(), xrand.New(2))
+	e.Run(17)
+	if e.Generation() != 17 {
+		t.Fatalf("generation = %d", e.Generation())
+	}
+}
+
+func TestRouletteFavoursFitter(t *testing.T) {
+	// With one dominant individual, roulette must pick it most of the time.
+	e, _ := New(sphereConfig(), xrand.New(21))
+	for i := range e.pop {
+		e.pop[i].Fitness = 0.001
+	}
+	e.pop[7].Fitness = 10
+	hits := 0
+	for i := 0; i < 1000; i++ {
+		if e.rouletteIndex() == 7 {
+			hits++
+		}
+	}
+	if hits < 900 {
+		t.Fatalf("dominant individual selected only %d/1000", hits)
+	}
+}
+
+func TestRouletteDegenerateUniform(t *testing.T) {
+	e, _ := New(sphereConfig(), xrand.New(23))
+	for i := range e.pop {
+		e.pop[i].Fitness = 0
+	}
+	seen := map[int]bool{}
+	for i := 0; i < 2000; i++ {
+		seen[e.rouletteIndex()] = true
+	}
+	if len(seen) < len(e.pop)/2 {
+		t.Fatalf("degenerate roulette not uniform: %d distinct", len(seen))
+	}
+}
+
+func TestMutatePerturbsOneGene(t *testing.T) {
+	e, _ := New(sphereConfig(), xrand.New(31))
+	g := Genome{100, 200, 300}
+	orig := g.Clone()
+	e.mutate(g)
+	changed := 0
+	for i := range g {
+		if g[i] != orig[i] {
+			changed++
+			delta := math.Abs(g[i] - orig[i])
+			if delta > orig[i]*0.1+1e-9 {
+				t.Fatalf("mutation delta %v exceeds 10%% of %v", delta, orig[i])
+			}
+		}
+	}
+	if changed != 1 {
+		t.Fatalf("mutation changed %d genes, want 1", changed)
+	}
+}
+
+func TestMutateZeroGeneDoesNotStall(t *testing.T) {
+	e, _ := New(sphereConfig(), xrand.New(37))
+	stuck := true
+	for trial := 0; trial < 50; trial++ {
+		g := Genome{0}
+		e.mutate(g)
+		if g[0] != 0 {
+			stuck = false
+			break
+		}
+	}
+	if stuck {
+		t.Fatal("mutation of zero gene never moves")
+	}
+}
+
+func TestCrossoverSwapsOneGene(t *testing.T) {
+	e, _ := New(sphereConfig(), xrand.New(41))
+	a := Genome{1, 2, 3}
+	b := Genome{10, 20, 30}
+	e.crossover(a, b)
+	diff := 0
+	for i := range a {
+		if a[i] != float64(i+1) {
+			diff++
+			if a[i] != float64((i+1)*10) || b[i] != float64(i+1) {
+				t.Fatalf("crossover not a swap: %v %v", a, b)
+			}
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("crossover changed %d genes, want 1", diff)
+	}
+}
+
+// Property: Run never returns a genome outside the clamped space.
+func TestRunRespectsBoundsProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		cfg := sphereConfig()
+		e, err := New(cfg, xrand.New(seed))
+		if err != nil {
+			return false
+		}
+		best := e.Run(20)
+		for _, x := range best.Genome {
+			if x < -10 || x > 10 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,320 @@
+// Package interp executes ir.Module programs. It is the stand-in for native
+// execution in the original paper's toolchain: it provides deterministic
+// golden runs, per-dynamic-instruction fault injection hooks (the LLFI
+// role), trap detection for crash classification, dynamic-instruction
+// budgets for hang classification, and per-static-instruction execution
+// counting for coverage and for the PEPPA-X fitness function
+// fitness = Σᵢ Pᵢ·(Nᵢ/N_total) (§4.2.5).
+//
+// Modules are first compiled to a flat register machine: each
+// value-producing instruction gets a frame slot, operands become slot or
+// constant-pool references, blocks flatten into a single code array with
+// branch targets as code indices, and SSA phis lower to parallel copies
+// attached to control-flow edges.
+package interp
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// ref encodes an operand: values >= 0 index frame slots, values < 0 index
+// the function constant pool at (-ref - 1).
+type ref int32
+
+// move is one phi-edge parallel copy: write the value of src into dst when
+// the edge executes. phiID is the static instruction ID of the phi (the phi
+// "executes" on the edge, so the copy is an injectable dynamic instruction).
+type move struct {
+	dst   int32
+	src   ref
+	phiID int32
+	ty    ir.Type
+}
+
+// inst is a decoded instruction.
+type inst struct {
+	op  ir.Op
+	ty  ir.Type
+	dst int32 // frame slot, -1 for void results
+	id  int32 // static instruction ID, -1 for void
+
+	// srcTy is the operand type for casts and integer comparisons, whose
+	// semantics depend on the source width rather than the result type.
+	srcTy ir.Type
+
+	// nargs is the number of inline operands in use (taint propagation
+	// needs to know which of a/b/c are live).
+	nargs int8
+
+	a, b, c ref // inline operands (arity <= 3)
+
+	// Branch data. For OpBr: jumpA is the target pc and movesA its phi
+	// copies. For OpCondBr: jumpA/movesA for true, jumpB/movesB for false.
+	jumpA, jumpB   int32
+	movesA, movesB []move
+
+	// Call data: callee >= 0 indexes Program.funcs; callee < 0 encodes
+	// intrinsic (-callee - 1). args lists operand refs.
+	callee int32
+	args   []ref
+}
+
+// compiledFunc is the executable form of one function.
+type compiledFunc struct {
+	name    string
+	nParams int
+	nSlots  int // params first, then one slot per value-producing instr
+	retTy   ir.Type
+	code    []inst
+	consts  []uint64
+}
+
+// intrinsic IDs, fixed order for the dispatch table in exec.go.
+const (
+	intrSqrt = iota
+	intrFabs
+	intrExp
+	intrLog
+	intrSin
+	intrCos
+	intrPow
+	intrFloor
+	intrPrintI64
+	intrPrintF64
+	intrSDCDetect
+	numIntrinsics
+)
+
+var intrinsicIndex = map[string]int32{
+	"sqrt": intrSqrt, "fabs": intrFabs, "exp": intrExp, "log": intrLog,
+	"sin": intrSin, "cos": intrCos, "pow": intrPow, "floor": intrFloor,
+	"print_i64": intrPrintI64, "print_f64": intrPrintF64,
+	"sdc_detect": intrSDCDetect,
+}
+
+// Program is a compiled, executable module.
+type Program struct {
+	Mod       *ir.Module
+	funcs     []*compiledFunc
+	funcIdx   map[string]int32
+	entry     int32
+	numInstrs int // injectable static instructions
+
+	// instrTypes[id] is the result type of static instruction id, used to
+	// resolve deferred fault bits.
+	instrTypes []ir.Type
+}
+
+// NumInstrs returns the number of injectable static instructions.
+func (p *Program) NumInstrs() int { return p.numInstrs }
+
+// InstrType returns the result type of static instruction id.
+func (p *Program) InstrType(id int) ir.Type { return p.instrTypes[id] }
+
+// Compile verifies and flat-decodes a module. The module is finalized as a
+// side effect (static IDs assigned).
+func Compile(m *ir.Module) (*Program, error) {
+	m.Finalize()
+	if err := ir.Verify(m); err != nil {
+		return nil, err
+	}
+	p := &Program{
+		Mod:       m,
+		funcIdx:   make(map[string]int32, len(m.Funcs)),
+		numInstrs: m.NumInstrs(),
+	}
+	p.instrTypes = make([]ir.Type, p.numInstrs)
+	for id, in := range m.Instrs() {
+		p.instrTypes[id] = in.Ty
+	}
+	for i, f := range m.Funcs {
+		p.funcIdx[f.Name] = int32(i)
+	}
+	p.entry = p.funcIdx[m.EntryName]
+	for _, f := range m.Funcs {
+		cf, err := compileFunc(p, f)
+		if err != nil {
+			return nil, fmt.Errorf("interp: compiling %s: %w", f.Name, err)
+		}
+		p.funcs = append(p.funcs, cf)
+	}
+	return p, nil
+}
+
+// funcCompiler carries per-function compile state.
+type funcCompiler struct {
+	p        *Program
+	cf       *compiledFunc
+	slotOf   map[*ir.Instr]int32
+	constIdx map[uint64]map[ir.Type]ref // dedup constant pool
+}
+
+func compileFunc(p *Program, f *ir.Function) (*compiledFunc, error) {
+	cf := &compiledFunc{name: f.Name, nParams: len(f.Params), retTy: f.RetTy}
+	fc := &funcCompiler{p: p, cf: cf, slotOf: make(map[*ir.Instr]int32), constIdx: make(map[uint64]map[ir.Type]ref)}
+
+	// Slot assignment: params 0..n-1, then every value-producing instr.
+	next := int32(len(f.Params))
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Ty != ir.Void {
+				fc.slotOf[in] = next
+				next++
+			}
+		}
+	}
+	cf.nSlots = int(next)
+
+	// Block start pcs: jump targets skip phis (phi values are written by
+	// edge moves before the jump lands).
+	blockPC := make(map[*ir.Block]int32, len(f.Blocks))
+	pc := int32(0)
+	for _, b := range f.Blocks {
+		nPhi := int32(0)
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpPhi {
+				nPhi++
+			}
+		}
+		blockPC[b] = pc
+		pc += int32(len(b.Instrs)) - nPhi
+	}
+
+	// Emit code.
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpPhi {
+				continue
+			}
+			ci, err := fc.compileInstr(in, blockPC)
+			if err != nil {
+				return nil, err
+			}
+			cf.code = append(cf.code, ci)
+		}
+	}
+	return cf, nil
+}
+
+// operand resolves a value to a ref.
+func (fc *funcCompiler) operand(v ir.Value) (ref, error) {
+	switch x := v.(type) {
+	case ir.Const:
+		byTy, ok := fc.constIdx[x.Bits]
+		if !ok {
+			byTy = make(map[ir.Type]ref)
+			fc.constIdx[x.Bits] = byTy
+		}
+		if r, ok := byTy[x.Ty]; ok {
+			return r, nil
+		}
+		r := ref(-len(fc.cf.consts) - 1)
+		fc.cf.consts = append(fc.cf.consts, x.Bits)
+		byTy[x.Ty] = r
+		return r, nil
+	case *ir.Param:
+		return ref(x.Index), nil
+	case *ir.Instr:
+		slot, ok := fc.slotOf[x]
+		if !ok {
+			return 0, fmt.Errorf("operand %%%s has no slot", x.Name)
+		}
+		return ref(slot), nil
+	default:
+		return 0, fmt.Errorf("unknown operand kind %T", v)
+	}
+}
+
+// edgeMoves builds the phi parallel copies for the edge into target.
+func (fc *funcCompiler) edgeMoves(from *ir.Block, target *ir.Block) ([]move, error) {
+	var moves []move
+	for _, in := range target.Instrs {
+		if in.Op != ir.OpPhi {
+			break // phis are grouped at block start (verified)
+		}
+		for i, pb := range in.PhiBlocks {
+			if pb == from {
+				src, err := fc.operand(in.Args[i])
+				if err != nil {
+					return nil, err
+				}
+				moves = append(moves, move{
+					dst: fc.slotOf[in], src: src, phiID: int32(in.ID), ty: in.Ty,
+				})
+				break
+			}
+		}
+	}
+	return moves, nil
+}
+
+func (fc *funcCompiler) compileInstr(in *ir.Instr, blockPC map[*ir.Block]int32) (inst, error) {
+	ci := inst{op: in.Op, ty: in.Ty, dst: -1, id: -1, callee: -1}
+	if in.Ty != ir.Void {
+		ci.dst = fc.slotOf[in]
+		ci.id = int32(in.ID)
+	}
+	if len(in.Args) > 0 {
+		ci.srcTy = in.Args[0].Type()
+	}
+	setOps := func() error {
+		ops := [3]*ref{&ci.a, &ci.b, &ci.c}
+		if len(in.Args) > 3 {
+			return fmt.Errorf("instruction %v has %d operands", in.Op, len(in.Args))
+		}
+		ci.nargs = int8(len(in.Args))
+		for i, a := range in.Args {
+			r, err := fc.operand(a)
+			if err != nil {
+				return err
+			}
+			*ops[i] = r
+		}
+		return nil
+	}
+	switch in.Op {
+	case ir.OpBr:
+		moves, err := fc.edgeMoves(in.Block, in.Targets[0])
+		if err != nil {
+			return ci, err
+		}
+		ci.jumpA = blockPC[in.Targets[0]]
+		ci.movesA = moves
+	case ir.OpCondBr:
+		if err := setOps(); err != nil {
+			return ci, err
+		}
+		mA, err := fc.edgeMoves(in.Block, in.Targets[0])
+		if err != nil {
+			return ci, err
+		}
+		mB, err := fc.edgeMoves(in.Block, in.Targets[1])
+		if err != nil {
+			return ci, err
+		}
+		ci.jumpA, ci.movesA = blockPC[in.Targets[0]], mA
+		ci.jumpB, ci.movesB = blockPC[in.Targets[1]], mB
+	case ir.OpCall:
+		for _, a := range in.Args {
+			r, err := fc.operand(a)
+			if err != nil {
+				return ci, err
+			}
+			ci.args = append(ci.args, r)
+		}
+		if fi, ok := fc.p.funcIdx[in.Callee]; ok {
+			ci.callee = fi
+		} else if ii, ok := intrinsicIndex[in.Callee]; ok {
+			ci.callee = -ii - 1
+		} else {
+			return ci, fmt.Errorf("unknown callee %q", in.Callee)
+		}
+	default:
+		if err := setOps(); err != nil {
+			return ci, err
+		}
+	}
+	return ci, nil
+}

@@ -1,0 +1,161 @@
+package interp
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/ir"
+)
+
+// negU returns the slot representation of -v.
+func negU(v int64) uint64 { return uint64(-v) }
+
+// evalBinOp builds and runs a single binary operation.
+func evalBinOp(t *testing.T, op ir.Op, ty ir.Type, a, b uint64) uint64 {
+	t.Helper()
+	m := ir.NewModule("edge")
+	f := m.NewFunc("main", ty, &ir.Param{Name: "a", Ty: ty}, &ir.Param{Name: "b", Ty: ty})
+	bld := ir.NewBuilder(f)
+	v := &ir.Instr{Op: op, Ty: ty, Args: []ir.Value{bld.Param(0), bld.Param(1)}}
+	bld.Cur.Instrs = append(bld.Cur.Instrs, v)
+	bld.Ret(v)
+	p, err := Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Run(p, []uint64{a, b}, Options{})
+	if r.Trap != nil {
+		t.Fatalf("%v trapped: %v", op, r.Trap)
+	}
+	return r.Ret
+}
+
+func TestSRemSign(t *testing.T) {
+	// Go/C truncated remainder: -7 % 3 = -1, 7 % -3 = 1.
+	if got := int64(evalBinOp(t, ir.OpSRem, ir.I64, negU(7), 3)); got != -1 {
+		t.Fatalf("-7 %% 3 = %d", got)
+	}
+	if got := int64(evalBinOp(t, ir.OpSRem, ir.I64, 7, negU(3))); got != 1 {
+		t.Fatalf("7 %% -3 = %d", got)
+	}
+}
+
+func TestShiftCountMasking(t *testing.T) {
+	// x86 semantics: shift counts are masked to the operand width.
+	if got := evalBinOp(t, ir.OpShl, ir.I64, 1, 64); got != 1 {
+		t.Fatalf("1 << 64 = %d, want 1 (count masked to 0)", got)
+	}
+	if got := evalBinOp(t, ir.OpShl, ir.I64, 1, 65); got != 2 {
+		t.Fatalf("1 << 65 = %d, want 2 (count masked to 1)", got)
+	}
+	if got := evalBinOp(t, ir.OpLShr, ir.I32, 8, 33); got != 4 {
+		t.Fatalf("i32 8 >> 33 = %d, want 4", got)
+	}
+}
+
+func TestI32DivCanonical(t *testing.T) {
+	// i32 division of negative values must stay canonical (zero-extended).
+	negSix := ir.CanonInt(ir.I32, uint64(uint32(0xFFFFFFFA))) // -6 as i32
+	got := evalBinOp(t, ir.OpSDiv, ir.I32, negSix, 3)
+	if ir.SignedValue(ir.I32, got) != -2 {
+		t.Fatalf("i32 -6/3 = %d", ir.SignedValue(ir.I32, got))
+	}
+	if got>>32 != 0 {
+		t.Fatalf("i32 result not canonical: %x", got)
+	}
+}
+
+func TestFDivByZeroIsIEEE(t *testing.T) {
+	got := evalBinOp(t, ir.OpFDiv, ir.F64, math.Float64bits(1), math.Float64bits(0))
+	if !math.IsInf(math.Float64frombits(got), 1) {
+		t.Fatalf("1.0/0.0 = %v, want +Inf (no trap)", math.Float64frombits(got))
+	}
+	got = evalBinOp(t, ir.OpFDiv, ir.F64, math.Float64bits(0), math.Float64bits(0))
+	if !math.IsNaN(math.Float64frombits(got)) {
+		t.Fatalf("0.0/0.0 = %v, want NaN", math.Float64frombits(got))
+	}
+}
+
+func TestZExtVsSExt(t *testing.T) {
+	m := ir.NewModule("ext")
+	f := m.NewFunc("main", ir.I64, &ir.Param{Name: "a", Ty: ir.I32})
+	b := ir.NewBuilder(f)
+	z := b.ZExt(b.Param(0), ir.I64)
+	s := b.SExt(b.Param(0), ir.I64)
+	b.Ret(b.Sub(z, s))
+	p, err := Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// For a negative i32, zext - sext = 2^32.
+	neg := ir.CanonInt(ir.I32, uint64(uint32(0x80000000)))
+	r := Run(p, []uint64{neg}, Options{})
+	if r.Ret != 1<<32 {
+		t.Fatalf("zext-sext = %d, want 2^32", r.Ret)
+	}
+}
+
+func TestMemoryGrowth(t *testing.T) {
+	// Allocations beyond the initial arena must grow transparently.
+	m := ir.NewModule("grow")
+	f := m.NewFunc("main", ir.I64)
+	b := ir.NewBuilder(f)
+	arr := b.AllocaN(100000) // larger than the 4096-word initial arena
+	last := b.GEP(arr, ir.I64c(99999))
+	b.Store(ir.I64c(7), last)
+	b.Ret(b.Load(ir.I64, last))
+	p, err := Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Run(p, nil, Options{})
+	if r.Trap != nil || r.Ret != 7 {
+		t.Fatalf("ret=%d trap=%v", r.Ret, r.Trap)
+	}
+}
+
+func TestAllocaZeroesReusedMemory(t *testing.T) {
+	// A function that dirties its frame memory, called twice: the second
+	// call must observe zeroed allocas.
+	m := ir.NewModule("zero")
+	leaf := m.NewFunc("leaf", ir.I64)
+	lb := ir.NewBuilder(leaf)
+	buf := lb.AllocaN(4)
+	v := lb.Load(ir.I64, buf) // must be 0 even on the second call
+	lb.Store(ir.I64c(12345), buf)
+	lb.Ret(v)
+	main := m.NewFunc("main", ir.I64)
+	b := ir.NewBuilder(main)
+	first := b.Call(ir.I64, "leaf")
+	second := b.Call(ir.I64, "leaf")
+	b.Ret(b.Add(first, second))
+	p, err := Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Run(p, nil, Options{})
+	if r.Ret != 0 {
+		t.Fatalf("reused alloca not zeroed: sum = %d", int64(r.Ret))
+	}
+}
+
+func TestVoidFunctionCall(t *testing.T) {
+	m := ir.NewModule("voidfn")
+	helper := m.NewFunc("emit", ir.Void, &ir.Param{Name: "x", Ty: ir.I64})
+	hb := ir.NewBuilder(helper)
+	hb.Call(ir.Void, "print_i64", hb.Param(0))
+	hb.Ret(nil)
+	main := m.NewFunc("main", ir.Void)
+	b := ir.NewBuilder(main)
+	b.Call(ir.Void, "emit", ir.I64c(1))
+	b.Call(ir.Void, "emit", ir.I64c(2))
+	b.Ret(nil)
+	p, err := Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Run(p, nil, Options{})
+	if len(r.Output) != 2 || r.Output[0].Int() != 1 || r.Output[1].Int() != 2 {
+		t.Fatalf("output = %v", r.Output)
+	}
+}

@@ -1,0 +1,773 @@
+package interp
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+
+	"repro/internal/fault"
+	"repro/internal/ir"
+	"repro/internal/xrand"
+)
+
+// TrapKind classifies hardware-trap-equivalent failures. Any trap during a
+// fault-injection run is classified as a Crash by the campaign layer: "the
+// raising of a hardware trap or exception due to the error" (§2.2).
+type TrapKind uint8
+
+// Trap kinds.
+const (
+	TrapNone          TrapKind = iota
+	TrapOOB                    // load/store outside mapped memory (segfault)
+	TrapNull                   // load/store through the null word
+	TrapDivZero                // integer divide/remainder by zero
+	TrapDivOverflow            // INT_MIN / -1 (x86 #DE)
+	TrapBadAlloc               // negative or over-limit allocation size
+	TrapStackOverflow          // call depth exceeded
+)
+
+func (k TrapKind) String() string {
+	switch k {
+	case TrapNone:
+		return "none"
+	case TrapOOB:
+		return "out-of-bounds access"
+	case TrapNull:
+		return "null dereference"
+	case TrapDivZero:
+		return "division by zero"
+	case TrapDivOverflow:
+		return "division overflow"
+	case TrapBadAlloc:
+		return "bad allocation"
+	case TrapStackOverflow:
+		return "stack overflow"
+	default:
+		return fmt.Sprintf("trap(%d)", uint8(k))
+	}
+}
+
+// Trap describes a hardware-trap-equivalent failure.
+type Trap struct {
+	Kind TrapKind
+	Fn   string // function in which the trap occurred
+}
+
+func (t *Trap) Error() string { return fmt.Sprintf("trap in %s: %s", t.Fn, t.Kind) }
+
+// OutVal is one value the program printed; the sequence of OutVals is the
+// program output whose golden-vs-faulty mismatch defines an SDC.
+type OutVal struct {
+	Ty   ir.Type
+	Bits uint64
+}
+
+// Float returns the value as a float (for F64 outputs).
+func (o OutVal) Float() float64 { return math.Float64frombits(o.Bits) }
+
+// Int returns the value as a signed integer.
+func (o OutVal) Int() int64 { return ir.SignedValue(o.Ty, o.Bits) }
+
+// Options configures one execution.
+type Options struct {
+	// MaxDyn bounds the number of injectable dynamic instructions; 0 means
+	// a large default. Exceeding it aborts the run with BudgetExceeded set,
+	// which the campaign layer classifies as a Hang.
+	MaxDyn int64
+	// MaxMemWords bounds total memory in 8-byte words (default 1<<24).
+	MaxMemWords int
+	// MaxDepth bounds the call stack (default 512 frames).
+	MaxDepth int
+	// Profile enables per-static-instruction execution counting.
+	Profile bool
+	// Plan, when non-nil, injects one single-bit fault during the run.
+	Plan *fault.Plan
+	// FaultRNG resolves a deferred bit choice (fault.Plan.BitPending) at
+	// injection time, once the target instruction's width is known.
+	FaultRNG *xrand.RNG
+	// TrackPropagation enables dynamic taint tracking of the injected
+	// fault: the corrupted value and everything data-dependent on it is
+	// traced through registers, memory, calls and output, yielding the
+	// Result's Propagation statistics (the raw material of §7.1.1-style
+	// error-propagation modelling). Implicit flows are not propagated, but
+	// tainted branch decisions are counted.
+	TrackPropagation bool
+}
+
+const (
+	defaultMaxDyn      = int64(1) << 40
+	defaultMaxMemWords = 1 << 24
+	defaultMaxDepth    = 512
+)
+
+// Result is the outcome of one execution.
+type Result struct {
+	// Ret is the entry function's return value (0 for void).
+	Ret uint64
+	// Output is the printed value sequence.
+	Output []OutVal
+	// DynCount is the number of injectable dynamic instructions executed.
+	DynCount int64
+	// Trap is non-nil if the run died with a hardware-trap equivalent.
+	Trap *Trap
+	// BudgetExceeded reports that MaxDyn was hit (hang classification).
+	BudgetExceeded bool
+	// InstrCounts is the per-static-instruction execution count vector
+	// (only when Options.Profile was set).
+	InstrCounts []int64
+	// Injected reports whether the fault plan's target was reached.
+	Injected bool
+	// InjectedID is the static instruction that received the fault.
+	InjectedID int
+	// InjectedBit is the bit position that was flipped.
+	InjectedBit uint8
+	// DetectedFlag reports that the program's protection instrumentation
+	// (the duplication pass) called sdc_detect during the run.
+	DetectedFlag bool
+	// Propagation carries taint-tracking statistics (only when
+	// Options.TrackPropagation was set).
+	Propagation *PropagationStats
+}
+
+// PropagationStats summarizes how an injected fault propagated.
+type PropagationStats struct {
+	// TaintedDyn counts dynamic instructions that produced a corrupted
+	// (data-dependent-on-the-fault) value.
+	TaintedDyn int64
+	// TaintedStatic counts distinct static instructions that ever produced
+	// a corrupted value.
+	TaintedStatic int
+	// TaintedMemWrites counts stores of corrupted values (or through
+	// corrupted pointers).
+	TaintedMemWrites int64
+	// TaintedBranches counts conditional branches whose condition was
+	// corrupted — the legal-but-wrong-branch events of the fault model.
+	TaintedBranches int64
+	// WildStores counts stores whose ADDRESS was corrupted: the value
+	// landed at an unintended location and the intended location silently
+	// kept stale data, which forward taint cannot see. Any SDC without a
+	// tainted output or branch must involve a wild store.
+	WildStores int64
+	// TaintedOutputs counts printed values that were corrupted.
+	TaintedOutputs int
+}
+
+// Coverage returns the fraction of injectable static instructions executed
+// at least once. Requires a profiled run.
+func (r *Result) Coverage(numInstrs int) float64 {
+	if r.InstrCounts == nil || numInstrs == 0 {
+		return 0
+	}
+	n := 0
+	for _, c := range r.InstrCounts {
+		if c > 0 {
+			n++
+		}
+	}
+	return float64(n) / float64(numInstrs)
+}
+
+// OutputEqual reports whether two output sequences are identical — the SDC
+// test between golden and faulty runs.
+func OutputEqual(a, b []OutVal) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// exec is the per-run machine state.
+type exec struct {
+	p       *Program
+	mem     []uint64
+	memTop  int64
+	maxMem  int64
+	depth   int
+	maxDep  int
+	dyn     int64
+	maxDyn  int64
+	counts  []int64
+	profile bool
+
+	plan     *fault.Plan
+	occSeen  int64
+	injected bool
+	injID    int32
+	injBit   uint8
+	rng      *xrand.RNG
+
+	output   []OutVal
+	trap     *Trap
+	budget   bool
+	detected bool
+	moveBuf  []uint64
+
+	// Taint tracking state (nil unless Options.TrackPropagation).
+	taintMem     []bool
+	taintStatic  []bool
+	taintStats   *PropagationStats
+	retTaint     bool
+	taintMoveBuf []bool
+}
+
+// Run executes the program entry function with the given argument slot
+// values. It never panics on program-level failures; traps, hangs and
+// injected faults are reported in the Result.
+func Run(p *Program, args []uint64, opts Options) *Result {
+	e := &exec{
+		p:      p,
+		mem:    make([]uint64, 4096),
+		memTop: 1, // word 0 is the null page
+		maxMem: int64(opts.MaxMemWords),
+		maxDep: opts.MaxDepth,
+		maxDyn: opts.MaxDyn,
+		plan:   opts.Plan,
+		rng:    opts.FaultRNG,
+	}
+	if e.maxMem <= 0 {
+		e.maxMem = defaultMaxMemWords
+	}
+	if e.maxDep <= 0 {
+		e.maxDep = defaultMaxDepth
+	}
+	if e.maxDyn <= 0 {
+		e.maxDyn = defaultMaxDyn
+	}
+	if opts.Profile {
+		e.profile = true
+		e.counts = make([]int64, p.numInstrs)
+	}
+	if opts.TrackPropagation {
+		e.taintStats = &PropagationStats{}
+		e.taintStatic = make([]bool, p.numInstrs)
+		e.taintMem = make([]bool, len(e.mem))
+	}
+	entry := p.funcs[p.entry]
+	if len(args) != entry.nParams {
+		panic(fmt.Sprintf("interp: entry %s takes %d args, got %d", entry.name, entry.nParams, len(args)))
+	}
+	var entryTaint []bool
+	if opts.TrackPropagation {
+		entryTaint = make([]bool, len(args))
+	}
+	ret, _ := e.runFunc(p.entry, args, entryTaint)
+	res := &Result{
+		Ret:            ret,
+		Output:         e.output,
+		DynCount:       e.dyn,
+		Trap:           e.trap,
+		BudgetExceeded: e.budget,
+		InstrCounts:    e.counts,
+		Injected:       e.injected,
+		InjectedID:     int(e.injID),
+		InjectedBit:    e.injBit,
+		DetectedFlag:   e.detected,
+		Propagation:    e.taintStats,
+	}
+	return res
+}
+
+// result records the production of a value by static instruction id,
+// applying the fault plan when the target dynamic instance is reached.
+// It returns the (possibly corrupted) value and false when the run must
+// abort (dynamic budget exceeded).
+func (e *exec) result(id int32, ty ir.Type, v uint64) (uint64, bool) {
+	e.dyn++
+	if e.dyn > e.maxDyn {
+		e.budget = true
+		return v, false
+	}
+	if e.profile {
+		e.counts[id]++
+	}
+	if e.plan != nil && !e.injected {
+		hit := false
+		switch e.plan.Mode {
+		case fault.ModeDynamic:
+			hit = e.dyn == e.plan.TargetDyn
+		case fault.ModeStatic:
+			if int(id) == e.plan.StaticID {
+				e.occSeen++
+				hit = e.occSeen == e.plan.Occurrence
+			}
+		}
+		if hit {
+			bit := e.plan.Bit
+			if e.plan.BitPending() {
+				if e.rng == nil {
+					panic("interp: fault plan with pending bit but no FaultRNG")
+				}
+				bit = fault.RandomBit(e.rng, ty)
+			}
+			v = fault.Flip(ty, v, bit)
+			if e.plan.SecondBitPending() {
+				second := fault.RandomSecondBit(e.rng, ty, bit)
+				if second != bit {
+					v = fault.Flip(ty, v, second)
+				}
+			} else if sb := e.plan.SecondBit; sb > 0 {
+				v = fault.Flip(ty, v, uint8(sb-1))
+			}
+			e.injected = true
+			e.injID = id
+			e.injBit = bit
+		}
+	}
+	return v, true
+}
+
+func get(regs, consts []uint64, r ref) uint64 {
+	if r >= 0 {
+		return regs[r]
+	}
+	return consts[-r-1]
+}
+
+// taintOf reads the taint of an operand ref (constants are never tainted).
+func taintOf(taint []bool, r ref) bool { return r >= 0 && taint[r] }
+
+// noteTaint records that static instruction id produced a corrupted value.
+func (e *exec) noteTaint(id int32) {
+	e.taintStats.TaintedDyn++
+	if !e.taintStatic[id] {
+		e.taintStatic[id] = true
+		e.taintStats.TaintedStatic++
+	}
+}
+
+// applyMoves performs the parallel phi copies for a CFG edge.
+func (e *exec) applyMoves(moves []move, regs, consts []uint64, taint []bool) bool {
+	if len(moves) == 0 {
+		return true
+	}
+	if cap(e.moveBuf) < len(moves) {
+		e.moveBuf = make([]uint64, len(moves))
+	}
+	buf := e.moveBuf[:len(moves)]
+	for i, mv := range moves {
+		buf[i] = get(regs, consts, mv.src)
+	}
+	track := taint != nil
+	if track {
+		if cap(e.taintMoveBuf) < len(moves) {
+			e.taintMoveBuf = make([]bool, len(moves))
+		}
+		tb := e.taintMoveBuf[:len(moves)]
+		for i, mv := range moves {
+			tb[i] = taintOf(taint, mv.src)
+		}
+		for i, mv := range moves {
+			preInj := e.injected
+			v, ok := e.result(mv.phiID, mv.ty, buf[i])
+			if !ok {
+				return false
+			}
+			regs[mv.dst] = v
+			t := tb[i] || (e.injected && !preInj)
+			taint[mv.dst] = t
+			if t {
+				e.noteTaint(mv.phiID)
+			}
+		}
+		return true
+	}
+	for i, mv := range moves {
+		v, ok := e.result(mv.phiID, mv.ty, buf[i])
+		if !ok {
+			return false
+		}
+		regs[mv.dst] = v
+	}
+	return true
+}
+
+// checkAddr validates a memory word address for load/store.
+func (e *exec) checkAddr(fn string, addr uint64) bool {
+	if addr == 0 {
+		e.trap = &Trap{Kind: TrapNull, Fn: fn}
+		return false
+	}
+	if addr >= uint64(e.memTop) {
+		e.trap = &Trap{Kind: TrapOOB, Fn: fn}
+		return false
+	}
+	return true
+}
+
+// runFunc executes one function; returns (retValue, ok). On !ok the run is
+// aborted (trap or budget), recorded in e. argTaint carries per-argument
+// taint when propagation tracking is enabled (nil otherwise); the callee's
+// return-value taint is left in e.retTaint.
+func (e *exec) runFunc(fi int32, args []uint64, argTaint []bool) (uint64, bool) {
+	cf := e.p.funcs[fi]
+	e.depth++
+	if e.depth > e.maxDep {
+		e.trap = &Trap{Kind: TrapStackOverflow, Fn: cf.name}
+		e.depth--
+		return 0, false
+	}
+	memBase := e.memTop
+	defer func() {
+		e.memTop = memBase
+		e.depth--
+	}()
+
+	regs := make([]uint64, cf.nSlots)
+	copy(regs, args)
+	var taint []bool
+	track := e.taintStats != nil
+	if track {
+		taint = make([]bool, cf.nSlots)
+		copy(taint, argTaint)
+	}
+	consts := cf.consts
+	code := cf.code
+	pc := int32(0)
+
+	for {
+		in := &code[pc]
+		switch in.op {
+		case ir.OpBr:
+			if !e.applyMoves(in.movesA, regs, consts, taint) {
+				return 0, false
+			}
+			pc = in.jumpA
+			continue
+		case ir.OpCondBr:
+			if track && taintOf(taint, in.a) {
+				e.taintStats.TaintedBranches++
+			}
+			if get(regs, consts, in.a)&1 != 0 {
+				if !e.applyMoves(in.movesA, regs, consts, taint) {
+					return 0, false
+				}
+				pc = in.jumpA
+			} else {
+				if !e.applyMoves(in.movesB, regs, consts, taint) {
+					return 0, false
+				}
+				pc = in.jumpB
+			}
+			continue
+		case ir.OpRet:
+			if cf.retTy == ir.Void {
+				e.retTaint = false
+				return 0, true
+			}
+			if track {
+				e.retTaint = taintOf(taint, in.a)
+			}
+			return get(regs, consts, in.a), true
+		}
+
+		var v uint64
+		var tIn bool
+		if track && in.nargs > 0 {
+			tIn = taintOf(taint, in.a)
+			if in.nargs > 1 {
+				tIn = tIn || taintOf(taint, in.b)
+			}
+			if in.nargs > 2 {
+				tIn = tIn || taintOf(taint, in.c)
+			}
+		}
+		switch in.op {
+		case ir.OpAdd:
+			v = ir.CanonInt(in.ty, get(regs, consts, in.a)+get(regs, consts, in.b))
+		case ir.OpSub:
+			v = ir.CanonInt(in.ty, get(regs, consts, in.a)-get(regs, consts, in.b))
+		case ir.OpMul:
+			v = ir.CanonInt(in.ty, get(regs, consts, in.a)*get(regs, consts, in.b))
+		case ir.OpSDiv, ir.OpSRem:
+			x := ir.SignedValue(in.ty, get(regs, consts, in.a))
+			y := ir.SignedValue(in.ty, get(regs, consts, in.b))
+			if y == 0 {
+				e.trap = &Trap{Kind: TrapDivZero, Fn: cf.name}
+				return 0, false
+			}
+			minInt := int64(math.MinInt64)
+			if in.ty == ir.I32 {
+				minInt = math.MinInt32
+			}
+			if x == minInt && y == -1 {
+				e.trap = &Trap{Kind: TrapDivOverflow, Fn: cf.name}
+				return 0, false
+			}
+			if in.op == ir.OpSDiv {
+				v = ir.CanonInt(in.ty, uint64(x/y))
+			} else {
+				v = ir.CanonInt(in.ty, uint64(x%y))
+			}
+		case ir.OpShl:
+			sh := get(regs, consts, in.b) & uint64(in.ty.Bits()-1)
+			v = ir.CanonInt(in.ty, get(regs, consts, in.a)<<sh)
+		case ir.OpLShr:
+			sh := get(regs, consts, in.b) & uint64(in.ty.Bits()-1)
+			v = get(regs, consts, in.a) >> sh // operands canonical: high bits clear
+		case ir.OpAShr:
+			sh := get(regs, consts, in.b) & uint64(in.ty.Bits()-1)
+			v = ir.CanonInt(in.ty, uint64(ir.SignedValue(in.ty, get(regs, consts, in.a))>>sh))
+		case ir.OpAnd:
+			v = get(regs, consts, in.a) & get(regs, consts, in.b)
+		case ir.OpOr:
+			v = get(regs, consts, in.a) | get(regs, consts, in.b)
+		case ir.OpXor:
+			v = get(regs, consts, in.a) ^ get(regs, consts, in.b)
+		case ir.OpFAdd:
+			v = math.Float64bits(math.Float64frombits(get(regs, consts, in.a)) + math.Float64frombits(get(regs, consts, in.b)))
+		case ir.OpFSub:
+			v = math.Float64bits(math.Float64frombits(get(regs, consts, in.a)) - math.Float64frombits(get(regs, consts, in.b)))
+		case ir.OpFMul:
+			v = math.Float64bits(math.Float64frombits(get(regs, consts, in.a)) * math.Float64frombits(get(regs, consts, in.b)))
+		case ir.OpFDiv:
+			v = math.Float64bits(math.Float64frombits(get(regs, consts, in.a)) / math.Float64frombits(get(regs, consts, in.b)))
+		case ir.OpICmpEQ:
+			v = b2u(get(regs, consts, in.a) == get(regs, consts, in.b))
+		case ir.OpICmpNE:
+			v = b2u(get(regs, consts, in.a) != get(regs, consts, in.b))
+		case ir.OpICmpSLT:
+			v = b2u(icmpOperands(in, regs, consts, func(x, y int64) bool { return x < y }))
+		case ir.OpICmpSLE:
+			v = b2u(icmpOperands(in, regs, consts, func(x, y int64) bool { return x <= y }))
+		case ir.OpICmpSGT:
+			v = b2u(icmpOperands(in, regs, consts, func(x, y int64) bool { return x > y }))
+		case ir.OpICmpSGE:
+			v = b2u(icmpOperands(in, regs, consts, func(x, y int64) bool { return x >= y }))
+		case ir.OpFCmpOEQ:
+			x, y := fops(in, regs, consts)
+			v = b2u(x == y)
+		case ir.OpFCmpONE:
+			x, y := fops(in, regs, consts)
+			v = b2u(x < y || x > y)
+		case ir.OpFCmpOLT:
+			x, y := fops(in, regs, consts)
+			v = b2u(x < y)
+		case ir.OpFCmpOLE:
+			x, y := fops(in, regs, consts)
+			v = b2u(x <= y)
+		case ir.OpFCmpOGT:
+			x, y := fops(in, regs, consts)
+			v = b2u(x > y)
+		case ir.OpFCmpOGE:
+			x, y := fops(in, regs, consts)
+			v = b2u(x >= y)
+		case ir.OpTrunc, ir.OpZExt:
+			v = ir.CanonInt(in.ty, get(regs, consts, in.a))
+		case ir.OpSExt:
+			v = ir.CanonInt(in.ty, uint64(ir.SignedValue(in.srcTy, get(regs, consts, in.a))))
+		case ir.OpSIToFP:
+			v = math.Float64bits(float64(ir.SignedValue(in.srcTy, get(regs, consts, in.a))))
+		case ir.OpFPToSI:
+			v = fpToSI(in.ty, math.Float64frombits(get(regs, consts, in.a)))
+		case ir.OpSelect:
+			if get(regs, consts, in.a)&1 != 0 {
+				v = get(regs, consts, in.b)
+			} else {
+				v = get(regs, consts, in.c)
+			}
+		case ir.OpAlloca:
+			count := int64(get(regs, consts, in.a))
+			if count < 0 || count > e.maxMem || e.memTop+count > e.maxMem {
+				e.trap = &Trap{Kind: TrapBadAlloc, Fn: cf.name}
+				return 0, false
+			}
+			base := e.memTop
+			e.memTop += count
+			for int64(len(e.mem)) < e.memTop {
+				e.mem = append(e.mem, make([]uint64, len(e.mem))...)
+			}
+			// Zero the region: stack memory may be reused across frames and
+			// determinism requires a fixed initial state.
+			for i := base; i < e.memTop; i++ {
+				e.mem[i] = 0
+			}
+			if track {
+				for int64(len(e.taintMem)) < e.memTop {
+					e.taintMem = append(e.taintMem, make([]bool, len(e.taintMem))...)
+				}
+				for i := base; i < e.memTop; i++ {
+					e.taintMem[i] = false
+				}
+				tIn = false // a fresh allocation's address is clean
+			}
+			v = uint64(base)
+		case ir.OpLoad:
+			addr := get(regs, consts, in.a)
+			if !e.checkAddr(cf.name, addr) {
+				return 0, false
+			}
+			if track && e.taintMem[addr] {
+				tIn = true
+			}
+			v = ir.CanonInt(in.ty, e.mem[addr])
+		case ir.OpStore:
+			addr := get(regs, consts, in.b)
+			if !e.checkAddr(cf.name, addr) {
+				return 0, false
+			}
+			e.mem[addr] = get(regs, consts, in.a)
+			if track {
+				tVal := taintOf(taint, in.a)
+				tPtr := taintOf(taint, in.b)
+				e.taintMem[addr] = tVal || tPtr
+				if tVal || tPtr {
+					e.taintStats.TaintedMemWrites++
+				}
+				if tPtr {
+					e.taintStats.WildStores++
+				}
+			}
+			pc++
+			continue
+		case ir.OpGEP:
+			v = get(regs, consts, in.a) + get(regs, consts, in.b)
+		case ir.OpCall:
+			var ok bool
+			v, ok = e.call(cf, in, regs, consts, taint)
+			if !ok {
+				return 0, false
+			}
+			if track {
+				tIn = e.retTaint
+			}
+			if in.dst < 0 { // void call (print intrinsics)
+				pc++
+				continue
+			}
+		default:
+			panic(fmt.Sprintf("interp: unhandled opcode %v", in.op))
+		}
+
+		preInj := e.injected
+		v, ok := e.result(in.id, in.ty, v)
+		if !ok {
+			return 0, false
+		}
+		regs[in.dst] = v
+		if track {
+			t := tIn || (e.injected && !preInj)
+			taint[in.dst] = t
+			if t {
+				e.noteTaint(in.id)
+			}
+		}
+		pc++
+	}
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func icmpOperands(in *inst, regs, consts []uint64, cmp func(x, y int64) bool) bool {
+	ty := in.srcTy
+	return cmp(ir.SignedValue(ty, get(regs, consts, in.a)), ir.SignedValue(ty, get(regs, consts, in.b)))
+}
+
+func fops(in *inst, regs, consts []uint64) (float64, float64) {
+	return math.Float64frombits(get(regs, consts, in.a)), math.Float64frombits(get(regs, consts, in.b))
+}
+
+// QuantizeOutput rounds a float to six significant decimal digits — the
+// precision programs typically print with printf("%g"). LLFI classifies
+// SDCs by diffing printed output, so low-order mantissa corruption that
+// does not survive the formatting is benign; this quantization reproduces
+// that masking, which the bit-exact comparison of raw doubles would miss.
+func QuantizeOutput(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) || v == 0 {
+		return v
+	}
+	q, err := strconv.ParseFloat(strconv.FormatFloat(v, 'g', 6, 64), 64)
+	if err != nil {
+		return v
+	}
+	return q
+}
+
+// fpToSI converts with x86 cvttsd2si semantics: NaN and out-of-range values
+// produce the minimum integer of the target width (deterministic, no trap).
+func fpToSI(ty ir.Type, f float64) uint64 {
+	if ty == ir.I32 {
+		if math.IsNaN(f) || f >= math.MaxInt32+1 || f < math.MinInt32 {
+			return ir.CanonInt(ir.I32, uint64(uint32(1)<<31))
+		}
+		return ir.CanonInt(ir.I32, uint64(uint32(int32(f))))
+	}
+	if math.IsNaN(f) || f >= math.MaxInt64 || f < math.MinInt64 {
+		return uint64(1) << 63
+	}
+	return uint64(int64(f))
+}
+
+// call dispatches an OpCall to an intrinsic or user function. The
+// return-value taint is left in e.retTaint.
+func (e *exec) call(cf *compiledFunc, in *inst, regs, consts []uint64, taint []bool) (uint64, bool) {
+	track := e.taintStats != nil
+	if in.callee >= 0 {
+		args := make([]uint64, len(in.args))
+		for i, r := range in.args {
+			args[i] = get(regs, consts, r)
+		}
+		var argTaint []bool
+		if track {
+			argTaint = make([]bool, len(in.args))
+			for i, r := range in.args {
+				argTaint[i] = taintOf(taint, r)
+			}
+		}
+		return e.runFunc(in.callee, args, argTaint)
+	}
+	intr := -in.callee - 1
+	a := func(i int) uint64 { return get(regs, consts, in.args[i]) }
+	f := func(i int) float64 { return math.Float64frombits(a(i)) }
+	if track {
+		e.retTaint = false
+		for _, r := range in.args {
+			if taintOf(taint, r) {
+				e.retTaint = true
+				break
+			}
+		}
+		if (intr == intrPrintI64 || intr == intrPrintF64) && e.retTaint {
+			e.taintStats.TaintedOutputs++
+		}
+	}
+	switch intr {
+	case intrSqrt:
+		return math.Float64bits(math.Sqrt(f(0))), true
+	case intrFabs:
+		return math.Float64bits(math.Abs(f(0))), true
+	case intrExp:
+		return math.Float64bits(math.Exp(f(0))), true
+	case intrLog:
+		return math.Float64bits(math.Log(f(0))), true
+	case intrSin:
+		return math.Float64bits(math.Sin(f(0))), true
+	case intrCos:
+		return math.Float64bits(math.Cos(f(0))), true
+	case intrPow:
+		return math.Float64bits(math.Pow(f(0), f(1))), true
+	case intrFloor:
+		return math.Float64bits(math.Floor(f(0))), true
+	case intrPrintI64:
+		e.output = append(e.output, OutVal{Ty: ir.I64, Bits: a(0)})
+		return 0, true
+	case intrPrintF64:
+		q := QuantizeOutput(math.Float64frombits(a(0)))
+		e.output = append(e.output, OutVal{Ty: ir.F64, Bits: math.Float64bits(q)})
+		return 0, true
+	case intrSDCDetect:
+		e.detected = true
+		return 0, true
+	default:
+		panic(fmt.Sprintf("interp: unknown intrinsic %d", intr))
+	}
+}

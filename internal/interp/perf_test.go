@@ -1,0 +1,14 @@
+package interp
+
+import "testing"
+
+func BenchmarkSumLoop(b *testing.B) {
+	p := buildSumLoop(b)
+	b.ResetTimer()
+	var dyn int64
+	for i := 0; i < b.N; i++ {
+		r := Run(p, []uint64{10000}, Options{})
+		dyn = r.DynCount
+	}
+	b.ReportMetric(float64(dyn), "dyn/op")
+}

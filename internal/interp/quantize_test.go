@@ -1,0 +1,78 @@
+package interp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestQuantizeOutputBasics(t *testing.T) {
+	cases := map[float64]float64{
+		0:          0,
+		1:          1,
+		1.2345678:  1.23457,
+		-1.2345678: -1.23457,
+		123456789:  1.23457e8,
+		1e-9:       1e-9,
+	}
+	for in, want := range cases {
+		if got := QuantizeOutput(in); got != want {
+			t.Errorf("QuantizeOutput(%v) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestQuantizeOutputSpecials(t *testing.T) {
+	if !math.IsNaN(QuantizeOutput(math.NaN())) {
+		t.Error("NaN should pass through")
+	}
+	if QuantizeOutput(math.Inf(1)) != math.Inf(1) || QuantizeOutput(math.Inf(-1)) != math.Inf(-1) {
+		t.Error("infinities should pass through")
+	}
+	negZero := math.Copysign(0, -1)
+	if QuantizeOutput(negZero) != negZero {
+		t.Error("zero should pass through")
+	}
+}
+
+// Property: quantization is idempotent and preserves sign and magnitude to
+// within one part in 1e5.
+func TestQuantizeOutputProperties(t *testing.T) {
+	f := func(v float64) bool {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return true
+		}
+		q := QuantizeOutput(v)
+		if QuantizeOutput(q) != q {
+			return false // not idempotent
+		}
+		if v == 0 {
+			return q == 0
+		}
+		if math.Signbit(q) != math.Signbit(v) && q != 0 {
+			return false
+		}
+		rel := math.Abs(q-v) / math.Abs(v)
+		return rel < 1e-5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Low-order mantissa corruption must frequently quantize away — the masking
+// mechanism that motivates the quantization.
+func TestQuantizeMasksLowOrderBits(t *testing.T) {
+	masked := 0
+	const n = 1000
+	for i := 0; i < n; i++ {
+		v := 1.0 + float64(i)*0.001
+		corrupted := math.Float64frombits(math.Float64bits(v) ^ 1) // flip LSB
+		if QuantizeOutput(v) == QuantizeOutput(corrupted) {
+			masked++
+		}
+	}
+	if masked < n*9/10 {
+		t.Fatalf("only %d/%d LSB flips masked by quantization", masked, n)
+	}
+}

@@ -1,0 +1,311 @@
+package ir
+
+import "fmt"
+
+// Builder constructs instructions into a function with an insertion point,
+// in the style of LLVM's IRBuilder. Type errors panic at construction time;
+// structural properties are re-checked by Verify.
+type Builder struct {
+	Fn  *Function
+	Cur *Block
+}
+
+// NewBuilder returns a builder for fn positioned at a fresh entry block if
+// the function has none, or at the last existing block otherwise.
+func NewBuilder(fn *Function) *Builder {
+	b := &Builder{Fn: fn}
+	if len(fn.Blocks) == 0 {
+		b.Cur = fn.NewBlock("entry")
+	} else {
+		b.Cur = fn.Blocks[len(fn.Blocks)-1]
+	}
+	return b
+}
+
+// Block creates a new basic block in the builder's function without moving
+// the insertion point.
+func (b *Builder) Block(name string) *Block { return b.Fn.NewBlock(name) }
+
+// SetBlock moves the insertion point to blk.
+func (b *Builder) SetBlock(blk *Block) { b.Cur = blk }
+
+// Param returns the function's i-th parameter.
+func (b *Builder) Param(i int) *Param { return b.Fn.Params[i] }
+
+// ParamByName returns the parameter with the given name, panicking if absent.
+func (b *Builder) ParamByName(name string) *Param {
+	for _, p := range b.Fn.Params {
+		if p.Name == name {
+			return p
+		}
+	}
+	panic(fmt.Sprintf("ir: function %s has no parameter %q", b.Fn.Name, name))
+}
+
+func (b *Builder) emit(in *Instr) *Instr {
+	if b.Cur == nil {
+		panic("ir: builder has no insertion block")
+	}
+	if t := b.Cur.Terminator(); t != nil {
+		panic(fmt.Sprintf("ir: emitting %v into terminated block %s", in.Op, b.Cur.Name))
+	}
+	in.Block = b.Cur
+	b.Cur.Instrs = append(b.Cur.Instrs, in)
+	return in
+}
+
+func sameIntType(op Op, a, c Value) Type {
+	ta, tc := a.Type(), c.Type()
+	if ta != tc {
+		panic(fmt.Sprintf("ir: %v operand types differ: %v vs %v", op, ta, tc))
+	}
+	if ta != I32 && ta != I64 && !(op.IsLogic() && ta == I1) {
+		panic(fmt.Sprintf("ir: %v requires i32/i64 operands, got %v", op, ta))
+	}
+	return ta
+}
+
+func binOp(b *Builder, op Op, ty Type, x, y Value) *Instr {
+	return b.emit(&Instr{Op: op, Ty: ty, Args: []Value{x, y}})
+}
+
+// Integer arithmetic.
+
+// Add emits an integer addition.
+func (b *Builder) Add(x, y Value) *Instr { return binOp(b, OpAdd, sameIntType(OpAdd, x, y), x, y) }
+
+// Sub emits an integer subtraction.
+func (b *Builder) Sub(x, y Value) *Instr { return binOp(b, OpSub, sameIntType(OpSub, x, y), x, y) }
+
+// Mul emits an integer multiplication.
+func (b *Builder) Mul(x, y Value) *Instr { return binOp(b, OpMul, sameIntType(OpMul, x, y), x, y) }
+
+// SDiv emits a signed integer division (traps on zero divisor).
+func (b *Builder) SDiv(x, y Value) *Instr { return binOp(b, OpSDiv, sameIntType(OpSDiv, x, y), x, y) }
+
+// SRem emits a signed remainder (traps on zero divisor).
+func (b *Builder) SRem(x, y Value) *Instr { return binOp(b, OpSRem, sameIntType(OpSRem, x, y), x, y) }
+
+// Shl emits a left shift.
+func (b *Builder) Shl(x, y Value) *Instr { return binOp(b, OpShl, sameIntType(OpShl, x, y), x, y) }
+
+// LShr emits a logical right shift.
+func (b *Builder) LShr(x, y Value) *Instr { return binOp(b, OpLShr, sameIntType(OpLShr, x, y), x, y) }
+
+// AShr emits an arithmetic right shift.
+func (b *Builder) AShr(x, y Value) *Instr { return binOp(b, OpAShr, sameIntType(OpAShr, x, y), x, y) }
+
+// And emits a bitwise AND.
+func (b *Builder) And(x, y Value) *Instr { return binOp(b, OpAnd, sameIntType(OpAnd, x, y), x, y) }
+
+// Or emits a bitwise OR.
+func (b *Builder) Or(x, y Value) *Instr { return binOp(b, OpOr, sameIntType(OpOr, x, y), x, y) }
+
+// Xor emits a bitwise XOR.
+func (b *Builder) Xor(x, y Value) *Instr { return binOp(b, OpXor, sameIntType(OpXor, x, y), x, y) }
+
+// Floating arithmetic.
+
+func f64Pair(op Op, x, y Value) {
+	if x.Type() != F64 || y.Type() != F64 {
+		panic(fmt.Sprintf("ir: %v requires f64 operands, got %v and %v", op, x.Type(), y.Type()))
+	}
+}
+
+// FAdd emits a floating addition.
+func (b *Builder) FAdd(x, y Value) *Instr { f64Pair(OpFAdd, x, y); return binOp(b, OpFAdd, F64, x, y) }
+
+// FSub emits a floating subtraction.
+func (b *Builder) FSub(x, y Value) *Instr { f64Pair(OpFSub, x, y); return binOp(b, OpFSub, F64, x, y) }
+
+// FMul emits a floating multiplication.
+func (b *Builder) FMul(x, y Value) *Instr { f64Pair(OpFMul, x, y); return binOp(b, OpFMul, F64, x, y) }
+
+// FDiv emits a floating division (IEEE semantics; never traps).
+func (b *Builder) FDiv(x, y Value) *Instr { f64Pair(OpFDiv, x, y); return binOp(b, OpFDiv, F64, x, y) }
+
+// Comparisons.
+
+// ICmp emits an integer comparison with the given predicate opcode.
+func (b *Builder) ICmp(op Op, x, y Value) *Instr {
+	if !op.IsICmp() {
+		panic(fmt.Sprintf("ir: ICmp with non-icmp opcode %v", op))
+	}
+	tx, ty := x.Type(), y.Type()
+	if tx != ty || (!tx.IsInt() && tx != Ptr) {
+		panic(fmt.Sprintf("ir: icmp operand types %v, %v", tx, ty))
+	}
+	return b.emit(&Instr{Op: op, Ty: I1, Args: []Value{x, y}})
+}
+
+// FCmp emits a floating comparison with the given predicate opcode.
+func (b *Builder) FCmp(op Op, x, y Value) *Instr {
+	if !op.IsFCmp() {
+		panic(fmt.Sprintf("ir: FCmp with non-fcmp opcode %v", op))
+	}
+	f64Pair(op, x, y)
+	return b.emit(&Instr{Op: op, Ty: I1, Args: []Value{x, y}})
+}
+
+// Casts.
+
+// Trunc emits an integer truncation to the narrower type to.
+func (b *Builder) Trunc(x Value, to Type) *Instr {
+	if !x.Type().IsInt() || !to.IsInt() || to.Bits() >= x.Type().Bits() {
+		panic(fmt.Sprintf("ir: invalid trunc %v -> %v", x.Type(), to))
+	}
+	return b.emit(&Instr{Op: OpTrunc, Ty: to, Args: []Value{x}})
+}
+
+// SExt emits a sign extension to the wider type to.
+func (b *Builder) SExt(x Value, to Type) *Instr {
+	if !x.Type().IsInt() || !to.IsInt() || to.Bits() <= x.Type().Bits() {
+		panic(fmt.Sprintf("ir: invalid sext %v -> %v", x.Type(), to))
+	}
+	return b.emit(&Instr{Op: OpSExt, Ty: to, Args: []Value{x}})
+}
+
+// ZExt emits a zero extension to the wider type to.
+func (b *Builder) ZExt(x Value, to Type) *Instr {
+	if !x.Type().IsInt() || !to.IsInt() || to.Bits() <= x.Type().Bits() {
+		panic(fmt.Sprintf("ir: invalid zext %v -> %v", x.Type(), to))
+	}
+	return b.emit(&Instr{Op: OpZExt, Ty: to, Args: []Value{x}})
+}
+
+// SIToFP emits a signed-integer-to-float conversion.
+func (b *Builder) SIToFP(x Value) *Instr {
+	if !x.Type().IsInt() {
+		panic(fmt.Sprintf("ir: sitofp on %v", x.Type()))
+	}
+	return b.emit(&Instr{Op: OpSIToFP, Ty: F64, Args: []Value{x}})
+}
+
+// FPToSI emits a float-to-signed-integer conversion to type to.
+func (b *Builder) FPToSI(x Value, to Type) *Instr {
+	if x.Type() != F64 || (to != I32 && to != I64) {
+		panic(fmt.Sprintf("ir: invalid fptosi %v -> %v", x.Type(), to))
+	}
+	return b.emit(&Instr{Op: OpFPToSI, Ty: to, Args: []Value{x}})
+}
+
+// Memory.
+
+// Alloca emits a stack allocation of count 8-byte words, returning a Ptr.
+func (b *Builder) Alloca(count Value) *Instr {
+	if count.Type() != I64 {
+		panic(fmt.Sprintf("ir: alloca count must be i64, got %v", count.Type()))
+	}
+	return b.emit(&Instr{Op: OpAlloca, Ty: Ptr, Args: []Value{count}})
+}
+
+// AllocaN emits a stack allocation of a constant number of words.
+func (b *Builder) AllocaN(words int64) *Instr { return b.Alloca(ConstInt(I64, words)) }
+
+// Load emits a typed load from ptr.
+func (b *Builder) Load(ty Type, ptr Value) *Instr {
+	if ptr.Type() != Ptr {
+		panic(fmt.Sprintf("ir: load from non-pointer %v", ptr.Type()))
+	}
+	if ty == Void {
+		panic("ir: load of void")
+	}
+	return b.emit(&Instr{Op: OpLoad, Ty: ty, Args: []Value{ptr}})
+}
+
+// Store emits a store of val to ptr.
+func (b *Builder) Store(val, ptr Value) *Instr {
+	if ptr.Type() != Ptr {
+		panic(fmt.Sprintf("ir: store to non-pointer %v", ptr.Type()))
+	}
+	return b.emit(&Instr{Op: OpStore, Ty: Void, Args: []Value{val, ptr}})
+}
+
+// GEP emits pointer arithmetic: ptr + idx words.
+func (b *Builder) GEP(ptr, idx Value) *Instr {
+	if ptr.Type() != Ptr || idx.Type() != I64 {
+		panic(fmt.Sprintf("ir: gep(%v, %v)", ptr.Type(), idx.Type()))
+	}
+	return b.emit(&Instr{Op: OpGEP, Ty: Ptr, Args: []Value{ptr, idx}})
+}
+
+// Other value ops.
+
+// Select emits cond ? x : y.
+func (b *Builder) Select(cond, x, y Value) *Instr {
+	if cond.Type() != I1 {
+		panic("ir: select condition must be i1")
+	}
+	if x.Type() != y.Type() {
+		panic(fmt.Sprintf("ir: select arms differ: %v vs %v", x.Type(), y.Type()))
+	}
+	return b.emit(&Instr{Op: OpSelect, Ty: x.Type(), Args: []Value{cond, x, y}})
+}
+
+// Phi emits an SSA phi of the given type; incoming edges are added with
+// AddIncoming before verification.
+func (b *Builder) Phi(ty Type) *Instr {
+	if ty == Void {
+		panic("ir: phi of void")
+	}
+	return b.emit(&Instr{Op: OpPhi, Ty: ty})
+}
+
+// AddIncoming appends an incoming (value, predecessor) edge to a phi.
+func AddIncoming(phi *Instr, v Value, from *Block) {
+	if phi.Op != OpPhi {
+		panic("ir: AddIncoming on non-phi")
+	}
+	if v.Type() != phi.Ty {
+		panic(fmt.Sprintf("ir: phi incoming type %v, want %v", v.Type(), phi.Ty))
+	}
+	phi.Args = append(phi.Args, v)
+	phi.PhiBlocks = append(phi.PhiBlocks, from)
+}
+
+// Call emits a call to a module function or intrinsic by name. retTy must
+// match the callee's return type (checked by Verify and at compile time).
+func (b *Builder) Call(retTy Type, callee string, args ...Value) *Instr {
+	return b.emit(&Instr{Op: OpCall, Ty: retTy, Callee: callee, Args: args})
+}
+
+// Terminators.
+
+// Br emits an unconditional branch.
+func (b *Builder) Br(target *Block) *Instr {
+	return b.emit(&Instr{Op: OpBr, Ty: Void, Targets: []*Block{target}})
+}
+
+// CondBr emits a conditional branch on an I1 value.
+func (b *Builder) CondBr(cond Value, ifTrue, ifFalse *Block) *Instr {
+	if cond.Type() != I1 {
+		panic("ir: condbr condition must be i1")
+	}
+	return b.emit(&Instr{Op: OpCondBr, Ty: Void, Args: []Value{cond}, Targets: []*Block{ifTrue, ifFalse}})
+}
+
+// Ret emits a return. val must be nil exactly when the function returns Void.
+func (b *Builder) Ret(val Value) *Instr {
+	if (val == nil) != (b.Fn.RetTy == Void) {
+		panic(fmt.Sprintf("ir: ret value mismatch for %s returning %v", b.Fn.Name, b.Fn.RetTy))
+	}
+	in := &Instr{Op: OpRet, Ty: Void}
+	if val != nil {
+		if val.Type() != b.Fn.RetTy {
+			panic(fmt.Sprintf("ir: ret type %v, want %v", val.Type(), b.Fn.RetTy))
+		}
+		in.Args = []Value{val}
+	}
+	return b.emit(in)
+}
+
+// Convenience constant helpers.
+
+// I64c returns an i64 constant.
+func I64c(v int64) Const { return ConstInt(I64, v) }
+
+// I32c returns an i32 constant.
+func I32c(v int64) Const { return ConstInt(I32, v) }
+
+// F64c returns an f64 constant.
+func F64c(v float64) Const { return ConstFloat(v) }

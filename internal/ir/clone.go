@@ -1,0 +1,83 @@
+package ir
+
+// CloneModule deep-copies a module: new functions, parameters, blocks and
+// instructions with all operand, branch-target and phi-incoming references
+// remapped. Transformation passes (e.g. selective instruction duplication)
+// clone first so the original program and its protected variant can be
+// compared side by side. The clone is finalized; IDs are reassigned in the
+// same order, so an unmodified clone has identical static instruction IDs.
+func CloneModule(m *Module) *Module {
+	out := NewModule(m.Name)
+	out.EntryName = m.EntryName
+
+	valueMap := make(map[Value]Value)
+	blockMap := make(map[*Block]*Block)
+
+	// First pass: create functions, parameters, blocks and instruction
+	// shells, so forward references resolve in the second pass.
+	type instrPair struct{ src, dst *Instr }
+	var pairs []instrPair
+	for _, f := range m.Funcs {
+		params := make([]*Param, len(f.Params))
+		for i, p := range f.Params {
+			np := &Param{Name: p.Name, Ty: p.Ty, Index: p.Index}
+			params[i] = np
+			valueMap[p] = np
+		}
+		nf := out.NewFunc(f.Name, f.RetTy, params...)
+		for _, b := range f.Blocks {
+			nb := nf.NewBlock(b.Name)
+			blockMap[b] = nb
+			for _, in := range b.Instrs {
+				ni := &Instr{
+					Op:     in.Op,
+					Ty:     in.Ty,
+					Name:   in.Name,
+					Callee: in.Callee,
+					Block:  nb,
+				}
+				nb.Instrs = append(nb.Instrs, ni)
+				if in.Ty != Void {
+					valueMap[in] = ni
+				}
+				pairs = append(pairs, instrPair{src: in, dst: ni})
+			}
+		}
+	}
+
+	remap := func(v Value) Value {
+		if c, ok := v.(Const); ok {
+			return c
+		}
+		nv, ok := valueMap[v]
+		if !ok {
+			panic("ir: CloneModule found operand outside the module")
+		}
+		return nv
+	}
+
+	// Second pass: fill operand, target and phi references.
+	for _, pr := range pairs {
+		src, dst := pr.src, pr.dst
+		if len(src.Args) > 0 {
+			dst.Args = make([]Value, len(src.Args))
+			for i, a := range src.Args {
+				dst.Args[i] = remap(a)
+			}
+		}
+		if len(src.Targets) > 0 {
+			dst.Targets = make([]*Block, len(src.Targets))
+			for i, t := range src.Targets {
+				dst.Targets[i] = blockMap[t]
+			}
+		}
+		if len(src.PhiBlocks) > 0 {
+			dst.PhiBlocks = make([]*Block, len(src.PhiBlocks))
+			for i, pb := range src.PhiBlocks {
+				dst.PhiBlocks[i] = blockMap[pb]
+			}
+		}
+	}
+	out.Finalize()
+	return out
+}

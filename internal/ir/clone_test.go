@@ -1,0 +1,77 @@
+package ir
+
+import "testing"
+
+func TestCloneModuleIdentical(t *testing.T) {
+	m := buildSumLoop(t)
+	c := CloneModule(m)
+	if Print(c) != Print(m) {
+		t.Fatalf("clone prints differently:\n%s\nvs\n%s", Print(c), Print(m))
+	}
+	if err := Verify(c); err != nil {
+		t.Fatalf("clone fails verification: %v", err)
+	}
+	if c.NumInstrs() != m.NumInstrs() {
+		t.Fatal("instruction counts differ")
+	}
+}
+
+func TestCloneModuleIsDeep(t *testing.T) {
+	m := buildSumLoop(t)
+	c := CloneModule(m)
+	// Mutating the clone must not affect the original.
+	f := c.Entry()
+	b := NewBuilder(f)
+	extra := f.NewBlock("extra")
+	b.SetBlock(extra)
+	b.Ret(I64c(0))
+	c.Finalize()
+	if len(m.Entry().Blocks) == len(c.Entry().Blocks) {
+		t.Fatal("clone shares block list with original")
+	}
+	// No instruction object shared.
+	seen := map[*Instr]bool{}
+	for _, fn := range m.Funcs {
+		for _, blk := range fn.Blocks {
+			for _, in := range blk.Instrs {
+				seen[in] = true
+			}
+		}
+	}
+	for _, fn := range c.Funcs {
+		for _, blk := range fn.Blocks {
+			for _, in := range blk.Instrs {
+				if seen[in] {
+					t.Fatal("clone shares an instruction with the original")
+				}
+			}
+		}
+	}
+}
+
+func TestCloneRemapsPhiBlocks(t *testing.T) {
+	m := buildSumLoop(t)
+	c := CloneModule(m)
+	cloneBlocks := map[*Block]bool{}
+	for _, f := range c.Funcs {
+		for _, b := range f.Blocks {
+			cloneBlocks[b] = true
+		}
+	}
+	for _, f := range c.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				for _, pb := range in.PhiBlocks {
+					if !cloneBlocks[pb] {
+						t.Fatal("phi incoming block points into the original module")
+					}
+				}
+				for _, tb := range in.Targets {
+					if !cloneBlocks[tb] {
+						t.Fatal("branch target points into the original module")
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package ir
+
+import "fmt"
+
+// Intrinsic describes a built-in runtime function callable with OpCall.
+// Intrinsics model the C library calls the original benchmarks make (math
+// functions) and the output channel whose contents define SDC equality
+// (print_* append to the run's output vector, standing in for stdout, which
+// LLFI diffs against the golden run).
+type Intrinsic struct {
+	Name   string
+	Params []Type
+	RetTy  Type
+}
+
+// Intrinsics is the registry of built-in functions, keyed by name.
+var Intrinsics = map[string]Intrinsic{
+	"sqrt":  {Name: "sqrt", Params: []Type{F64}, RetTy: F64},
+	"fabs":  {Name: "fabs", Params: []Type{F64}, RetTy: F64},
+	"exp":   {Name: "exp", Params: []Type{F64}, RetTy: F64},
+	"log":   {Name: "log", Params: []Type{F64}, RetTy: F64},
+	"sin":   {Name: "sin", Params: []Type{F64}, RetTy: F64},
+	"cos":   {Name: "cos", Params: []Type{F64}, RetTy: F64},
+	"pow":   {Name: "pow", Params: []Type{F64, F64}, RetTy: F64},
+	"floor": {Name: "floor", Params: []Type{F64}, RetTy: F64},
+
+	// Output channel: values printed here constitute the program output
+	// compared between golden and faulty runs to classify SDCs.
+	"print_i64": {Name: "print_i64", Params: []Type{I64}, RetTy: Void},
+	"print_f64": {Name: "print_f64", Params: []Type{F64}, RetTy: Void},
+
+	// Protection channel: the selective-instruction-duplication pass emits
+	// calls to sdc_detect when a duplicate-and-compare check fires; the
+	// interpreter flags the run as Detected.
+	"sdc_detect": {Name: "sdc_detect", Params: nil, RetTy: Void},
+}
+
+// IsIntrinsic reports whether name is a registered intrinsic.
+func IsIntrinsic(name string) bool {
+	_, ok := Intrinsics[name]
+	return ok
+}
+
+// CallSignature returns the parameter and return types for a callee name in
+// module m — either a user function or an intrinsic — or an error if the
+// name resolves to neither.
+func CallSignature(m *Module, name string) (params []Type, ret Type, err error) {
+	if f := m.Func(name); f != nil {
+		ps := make([]Type, len(f.Params))
+		for i, p := range f.Params {
+			ps[i] = p.Ty
+		}
+		return ps, f.RetTy, nil
+	}
+	if in, ok := Intrinsics[name]; ok {
+		return in.Params, in.RetTy, nil
+	}
+	return nil, Void, fmt.Errorf("ir: unknown callee %q", name)
+}

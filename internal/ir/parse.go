@@ -1,0 +1,359 @@
+package ir
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Parse reads the textual dialect produced by Print and reconstructs the
+// module. Parsing is two-pass within each function so that forward
+// references to blocks and registers resolve. The returned module is
+// finalized but not verified; callers should run Verify.
+func Parse(src string) (*Module, error) {
+	mp := &moduleParser{src: strings.Split(src, "\n")}
+	return mp.run()
+}
+
+type moduleParser struct {
+	src   []string
+	pos   int
+	mod   *Module
+	funcs map[string]*Function
+}
+
+func (mp *moduleParser) next() (string, bool) {
+	for mp.pos < len(mp.src) {
+		line := strings.TrimSpace(mp.src[mp.pos])
+		mp.pos++
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, ";") {
+			continue
+		}
+		return line, true
+	}
+	return "", false
+}
+
+func (mp *moduleParser) run() (*Module, error) {
+	line, ok := mp.next()
+	if !ok || !strings.HasPrefix(line, "module ") {
+		return nil, fmt.Errorf("ir: expected 'module <name>', got %q", line)
+	}
+	mp.mod = NewModule(strings.TrimSpace(strings.TrimPrefix(line, "module ")))
+	mp.funcs = make(map[string]*Function)
+
+	for {
+		line, ok = mp.next()
+		if !ok {
+			break
+		}
+		switch {
+		case strings.HasPrefix(line, "entry "):
+			mp.mod.EntryName = strings.TrimSpace(strings.TrimPrefix(line, "entry "))
+		case strings.HasPrefix(line, "func @"):
+			if err := mp.parseFunc(line); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("ir: unexpected top-level line %q", line)
+		}
+	}
+	mp.mod.Finalize()
+	return mp.mod, nil
+}
+
+// parseFunc parses one function starting at its header line.
+func (mp *moduleParser) parseFunc(header string) error {
+	// func @name(params) retty {
+	rest := strings.TrimPrefix(header, "func @")
+	open := strings.Index(rest, "(")
+	closeIdx := strings.LastIndex(rest, ")")
+	if open < 0 || closeIdx < open || !strings.HasSuffix(rest, "{") {
+		return fmt.Errorf("ir: bad function header %q", header)
+	}
+	name := rest[:open]
+	paramStr := rest[open+1 : closeIdx]
+	retStr := strings.TrimSpace(strings.TrimSuffix(rest[closeIdx+1:], "{"))
+	retTy, err := ParseType(retStr)
+	if err != nil {
+		return fmt.Errorf("ir: function %s: %w", name, err)
+	}
+	var params []*Param
+	if strings.TrimSpace(paramStr) != "" {
+		for _, ps := range splitTopLevel(paramStr) {
+			fields := strings.Fields(strings.TrimSpace(ps))
+			if len(fields) != 2 || !strings.HasPrefix(fields[1], "%") {
+				return fmt.Errorf("ir: bad parameter %q in %s", ps, name)
+			}
+			ty, err := ParseType(fields[0])
+			if err != nil {
+				return err
+			}
+			params = append(params, &Param{Name: fields[1][1:], Ty: ty})
+		}
+	}
+	f := mp.mod.NewFunc(name, retTy, params...)
+	mp.funcs[name] = f
+
+	// Collect the body lines until the closing brace.
+	var body []string
+	for {
+		line, ok := mp.next()
+		if !ok {
+			return fmt.Errorf("ir: function %s not closed", name)
+		}
+		if line == "}" {
+			break
+		}
+		body = append(body, line)
+	}
+	return parseFuncBody(f, body)
+}
+
+// splitTopLevel splits on commas not inside brackets or parens.
+func splitTopLevel(s string) []string {
+	var out []string
+	depth := 0
+	start := 0
+	for i, r := range s {
+		switch r {
+		case '(', '[':
+			depth++
+		case ')', ']':
+			depth--
+		case ',':
+			if depth == 0 {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, s[start:])
+	return out
+}
+
+type pendingInstr struct {
+	in       *Instr
+	argTexts []string    // operand texts to resolve in pass 2
+	phiPairs [][2]string // [operandText, blockName]
+	targets  []string    // block names for terminators
+}
+
+func parseFuncBody(f *Function, body []string) error {
+	blocks := make(map[string]*Block)
+	var pending []*pendingInstr
+	var cur *Block
+
+	// Pass 1: create blocks and instruction shells.
+	for _, line := range body {
+		if strings.HasSuffix(line, ":") && !strings.Contains(line, "=") && !strings.Contains(line, "(") {
+			name := strings.TrimSuffix(line, ":")
+			if _, dup := blocks[name]; dup {
+				return fmt.Errorf("ir: duplicate block %s in %s", name, f.Name)
+			}
+			cur = f.NewBlock(name)
+			blocks[name] = cur
+			continue
+		}
+		if cur == nil {
+			return fmt.Errorf("ir: instruction before first block in %s: %q", f.Name, line)
+		}
+		pi, err := parseInstrLine(line)
+		if err != nil {
+			return fmt.Errorf("ir: %s: %w", f.Name, err)
+		}
+		pi.in.Block = cur
+		cur.Instrs = append(cur.Instrs, pi.in)
+		pending = append(pending, pi)
+	}
+
+	// Name table for register resolution.
+	regs := make(map[string]Value)
+	for _, p := range f.Params {
+		regs[p.Name] = p
+	}
+	for _, pi := range pending {
+		if pi.in.Ty != Void && pi.in.Name != "" {
+			if _, dup := regs[pi.in.Name]; dup {
+				return fmt.Errorf("ir: duplicate register %%%s in %s", pi.in.Name, f.Name)
+			}
+			regs[pi.in.Name] = pi.in
+		}
+	}
+
+	resolve := func(text string) (Value, error) { return parseOperand(text, regs) }
+
+	// Pass 2: resolve operands and targets.
+	for _, pi := range pending {
+		for _, at := range pi.argTexts {
+			v, err := resolve(at)
+			if err != nil {
+				return fmt.Errorf("ir: %s: %w", f.Name, err)
+			}
+			pi.in.Args = append(pi.in.Args, v)
+		}
+		for _, pair := range pi.phiPairs {
+			v, err := resolve(pair[0])
+			if err != nil {
+				return fmt.Errorf("ir: %s: %w", f.Name, err)
+			}
+			blk, ok := blocks[pair[1]]
+			if !ok {
+				return fmt.Errorf("ir: %s: phi references unknown block %q", f.Name, pair[1])
+			}
+			pi.in.Args = append(pi.in.Args, v)
+			pi.in.PhiBlocks = append(pi.in.PhiBlocks, blk)
+		}
+		for _, tn := range pi.targets {
+			blk, ok := blocks[tn]
+			if !ok {
+				return fmt.Errorf("ir: %s: branch to unknown block %q", f.Name, tn)
+			}
+			pi.in.Targets = append(pi.in.Targets, blk)
+		}
+	}
+	return nil
+}
+
+// parseInstrLine parses one instruction line into a shell with unresolved
+// operand texts.
+func parseInstrLine(line string) (*pendingInstr, error) {
+	in := &Instr{Ty: Void}
+	pi := &pendingInstr{in: in}
+	rhs := line
+
+	// Optional result: "%name : ty = rhs"
+	if strings.HasPrefix(line, "%") {
+		eq := strings.Index(line, "=")
+		if eq < 0 {
+			return nil, fmt.Errorf("bad instruction %q", line)
+		}
+		lhs := strings.TrimSpace(line[:eq])
+		rhs = strings.TrimSpace(line[eq+1:])
+		parts := strings.SplitN(lhs, ":", 2)
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("bad result %q", lhs)
+		}
+		in.Name = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(parts[0]), "%"))
+		ty, err := ParseType(strings.TrimSpace(parts[1]))
+		if err != nil {
+			return nil, err
+		}
+		in.Ty = ty
+	}
+
+	// br target
+	if strings.HasPrefix(rhs, "br ") {
+		in.Op = OpBr
+		pi.targets = []string{strings.TrimSpace(strings.TrimPrefix(rhs, "br "))}
+		return pi, nil
+	}
+	// condbr(cond) t, f
+	if strings.HasPrefix(rhs, "condbr(") {
+		in.Op = OpCondBr
+		close := strings.Index(rhs, ")")
+		if close < 0 {
+			return nil, fmt.Errorf("bad condbr %q", rhs)
+		}
+		pi.argTexts = []string{strings.TrimSpace(rhs[len("condbr("):close])}
+		tgt := splitTopLevel(rhs[close+1:])
+		if len(tgt) != 2 {
+			return nil, fmt.Errorf("condbr needs two targets: %q", rhs)
+		}
+		pi.targets = []string{strings.TrimSpace(tgt[0]), strings.TrimSpace(tgt[1])}
+		return pi, nil
+	}
+
+	open := strings.Index(rhs, "(")
+	if open < 0 || !strings.HasSuffix(rhs, ")") {
+		return nil, fmt.Errorf("bad instruction rhs %q", rhs)
+	}
+	mnemonic := strings.TrimSpace(rhs[:open])
+	inner := rhs[open+1 : len(rhs)-1]
+
+	// call @name(args)
+	if strings.HasPrefix(mnemonic, "call @") {
+		in.Op = OpCall
+		in.Callee = strings.TrimPrefix(mnemonic, "call @")
+		if strings.TrimSpace(inner) != "" {
+			for _, a := range splitTopLevel(inner) {
+				pi.argTexts = append(pi.argTexts, strings.TrimSpace(a))
+			}
+		}
+		return pi, nil
+	}
+
+	op, ok := opByName[mnemonic]
+	if !ok {
+		return nil, fmt.Errorf("unknown opcode %q", mnemonic)
+	}
+	in.Op = op
+
+	if op == OpPhi {
+		for _, pairText := range splitTopLevel(inner) {
+			pt := strings.TrimSpace(pairText)
+			if !strings.HasPrefix(pt, "[") || !strings.HasSuffix(pt, "]") {
+				return nil, fmt.Errorf("bad phi pair %q", pt)
+			}
+			parts := splitTopLevel(pt[1 : len(pt)-1])
+			if len(parts) != 2 {
+				return nil, fmt.Errorf("bad phi pair %q", pt)
+			}
+			pi.phiPairs = append(pi.phiPairs, [2]string{
+				strings.TrimSpace(parts[0]), strings.TrimSpace(parts[1]),
+			})
+		}
+		return pi, nil
+	}
+
+	if strings.TrimSpace(inner) != "" {
+		for _, a := range splitTopLevel(inner) {
+			pi.argTexts = append(pi.argTexts, strings.TrimSpace(a))
+		}
+	}
+	return pi, nil
+}
+
+// parseOperand parses "<type> <value>" where value is %reg or a literal.
+func parseOperand(text string, regs map[string]Value) (Value, error) {
+	fields := strings.Fields(text)
+	if len(fields) != 2 {
+		return nil, fmt.Errorf("bad operand %q", text)
+	}
+	ty, err := ParseType(fields[0])
+	if err != nil {
+		return nil, err
+	}
+	val := fields[1]
+	if strings.HasPrefix(val, "%") {
+		v, ok := regs[val[1:]]
+		if !ok {
+			return nil, fmt.Errorf("unknown register %s", val)
+		}
+		if v.Type() != ty {
+			return nil, fmt.Errorf("operand %s has type %v, annotated %v", val, v.Type(), ty)
+		}
+		return v, nil
+	}
+	if ty == F64 {
+		switch val {
+		case "+inf":
+			return ConstFloat(math.Inf(1)), nil
+		case "-inf":
+			return ConstFloat(math.Inf(-1)), nil
+		case "nan":
+			return ConstFloat(math.NaN()), nil
+		}
+		fv, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad float literal %q", val)
+		}
+		return ConstFloat(fv), nil
+	}
+	iv, err := strconv.ParseInt(val, 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("bad int literal %q", val)
+	}
+	return ConstInt(ty, iv), nil
+}

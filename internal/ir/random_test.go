@@ -1,0 +1,48 @@
+package ir_test
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/ir/irtest"
+	"repro/internal/xrand"
+)
+
+func TestRandomModulesVerify(t *testing.T) {
+	rng := xrand.New(404)
+	for i := 0; i < 200; i++ {
+		m := irtest.RandomModule(rng)
+		if err := ir.Verify(m); err != nil {
+			t.Fatalf("case %d: generated module invalid: %v\n%s", i, err, ir.Print(m))
+		}
+	}
+}
+
+func TestRandomModulesPrintParseRoundTrip(t *testing.T) {
+	rng := xrand.New(505)
+	for i := 0; i < 200; i++ {
+		m := irtest.RandomModule(rng)
+		text := ir.Print(m)
+		m2, err := ir.Parse(text)
+		if err != nil {
+			t.Fatalf("case %d: parse: %v\n%s", i, err, text)
+		}
+		if err := ir.Verify(m2); err != nil {
+			t.Fatalf("case %d: parsed module invalid: %v", i, err)
+		}
+		if ir.Print(m2) != text {
+			t.Fatalf("case %d: round-trip not a fixed point", i)
+		}
+	}
+}
+
+func TestRandomModulesCloneFaithful(t *testing.T) {
+	rng := xrand.New(606)
+	for i := 0; i < 200; i++ {
+		m := irtest.RandomModule(rng)
+		c := ir.CloneModule(m)
+		if ir.Print(c) != ir.Print(m) {
+			t.Fatalf("case %d: clone differs", i)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+// Package ir defines a small typed, SSA-style register intermediate
+// representation modelled on LLVM IR, which the original PEPPA-X paper uses
+// as its analysis and fault-injection substrate. Because Go has no LLVM
+// toolchain, this package provides the equivalent pieces: a typed
+// instruction set (arithmetic, memory, compare, logic, cast, pointer and
+// control-flow classes), functions made of basic blocks, a construction
+// builder, a structural verifier, and a textual printer/parser.
+//
+// The instruction taxonomy deliberately mirrors the categories the paper's
+// pruning heuristic distinguishes (§4.2.2): compare instructions, logic
+// operators, bit-manipulation casts and pointer operations act as "boundary"
+// instructions that split static data-dependence groups.
+package ir
+
+import "fmt"
+
+// Type is the type of an IR value. The representation is a small fixed
+// universe: 1-, 32- and 64-bit integers, IEEE-754 double, and a word-granular
+// pointer. All values occupy one 64-bit slot at runtime; Type governs
+// arithmetic width, signedness of comparisons, and fault-injection bit width.
+type Type uint8
+
+// The IR type universe.
+const (
+	Void Type = iota // instruction produces no value
+	I1               // boolean / compare result
+	I32              // 32-bit integer (two's complement)
+	I64              // 64-bit integer (two's complement)
+	F64              // IEEE-754 binary64
+	Ptr              // pointer, in 8-byte word units
+)
+
+// String returns the LLVM-flavoured spelling of the type.
+func (t Type) String() string {
+	switch t {
+	case Void:
+		return "void"
+	case I1:
+		return "i1"
+	case I32:
+		return "i32"
+	case I64:
+		return "i64"
+	case F64:
+		return "f64"
+	case Ptr:
+		return "ptr"
+	default:
+		return fmt.Sprintf("type(%d)", uint8(t))
+	}
+}
+
+// Bits returns the number of significant bits in a value of type t — the
+// width within which a transient single-bit flip may land (§3.1.3 of the
+// paper: LLFI flips one bit of an instruction's return value).
+func (t Type) Bits() int {
+	switch t {
+	case I1:
+		return 1
+	case I32:
+		return 32
+	case I64, F64, Ptr:
+		return 64
+	default:
+		return 0
+	}
+}
+
+// IsInt reports whether t is an integer type (including I1).
+func (t Type) IsInt() bool { return t == I1 || t == I32 || t == I64 }
+
+// IsFloat reports whether t is a floating-point type.
+func (t Type) IsFloat() bool { return t == F64 }
+
+// ParseType parses the textual spelling produced by Type.String. It returns
+// an error for unknown spellings.
+func ParseType(s string) (Type, error) {
+	switch s {
+	case "void":
+		return Void, nil
+	case "i1":
+		return I1, nil
+	case "i32":
+		return I32, nil
+	case "i64":
+		return I64, nil
+	case "f64":
+		return F64, nil
+	case "ptr":
+		return Ptr, nil
+	default:
+		return Void, fmt.Errorf("ir: unknown type %q", s)
+	}
+}

@@ -1,0 +1,415 @@
+// Package opt implements classic scalar optimization passes over the IR:
+// constant folding, algebraic simplification, local common-subexpression
+// elimination and dead-code elimination. The benchmark kernels are built in
+// clang -O0 style (locals in allocas, no redundancy elimination), which is
+// what LLFI-based studies typically instrument; optimizing them changes the
+// instruction mix and therefore the fault-injection surface. The optlevel
+// experiment uses these passes to measure how optimization shifts SDC
+// probability — optimized code carries less masking bookkeeping per useful
+// operation, a well-known effect in the FI literature.
+package opt
+
+import (
+	"math"
+
+	"repro/internal/ir"
+)
+
+// Result summarizes what the pipeline did.
+type Result struct {
+	Folded     int // instructions replaced by constants
+	Simplified int // algebraic identities applied
+	CSE        int // duplicate computations reused
+	Forwarded  int // loads satisfied by earlier loads/stores in the block
+	Eliminated int // dead instructions removed
+	Passes     int // fixpoint iterations
+}
+
+// Optimize clones the module and runs the pass pipeline to a fixpoint.
+// The original module is untouched.
+func Optimize(m *ir.Module) (*ir.Module, *Result) {
+	clone := ir.CloneModule(m)
+	res := &Result{}
+	for {
+		changed := 0
+		changed += foldConstants(clone, res)
+		changed += simplifyAlgebra(clone, res)
+		changed += cseBlocks(clone, res)
+		changed += forwardMemory(clone, res)
+		changed += eliminateDead(clone, res)
+		res.Passes++
+		if changed == 0 {
+			break
+		}
+	}
+	clone.Finalize()
+	return clone, res
+}
+
+// replaceUses rewrites every operand reference to old with v, in all
+// functions (operands never cross functions, but scanning all is simplest).
+func replaceUses(m *ir.Module, old *ir.Instr, v ir.Value) {
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				for i, a := range in.Args {
+					if a == old {
+						in.Args[i] = v
+					}
+				}
+			}
+		}
+	}
+}
+
+// constOf extracts a constant operand.
+func constOf(v ir.Value) (ir.Const, bool) {
+	c, ok := v.(ir.Const)
+	return c, ok
+}
+
+// foldConstants replaces pure instructions whose operands are all constants
+// with their computed constant. Division by a zero constant is left alone
+// (it must trap at runtime), as are memory and control operations.
+func foldConstants(m *ir.Module, res *Result) int {
+	changed := 0
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				c, ok := foldInstr(in)
+				if !ok {
+					continue
+				}
+				replaceUses(m, in, c)
+				changed++
+				res.Folded++
+			}
+		}
+	}
+	return changed
+}
+
+// foldInstr computes the constant result of an all-constant pure
+// instruction.
+func foldInstr(in *ir.Instr) (ir.Const, bool) {
+	if in.Ty == ir.Void || in.Op == ir.OpAlloca || in.Op == ir.OpLoad ||
+		in.Op == ir.OpCall || in.Op == ir.OpPhi {
+		return ir.Const{}, false
+	}
+	consts := make([]ir.Const, len(in.Args))
+	for i, a := range in.Args {
+		c, ok := constOf(a)
+		if !ok {
+			return ir.Const{}, false
+		}
+		consts[i] = c
+	}
+	sv := func(i int) int64 { return ir.SignedValue(consts[i].Ty, consts[i].Bits) }
+	fv := func(i int) float64 { return math.Float64frombits(consts[i].Bits) }
+	ci := func(v int64) (ir.Const, bool) { return ir.ConstInt(in.Ty, v), true }
+	cu := func(bits uint64) (ir.Const, bool) {
+		return ir.Const{Ty: in.Ty, Bits: ir.CanonInt(in.Ty, bits)}, true
+	}
+	cf := func(v float64) (ir.Const, bool) { return ir.ConstFloat(v), true }
+	cb := func(v bool) (ir.Const, bool) { return ir.ConstBool(v), true }
+
+	switch in.Op {
+	case ir.OpAdd:
+		return cu(consts[0].Bits + consts[1].Bits)
+	case ir.OpSub:
+		return cu(consts[0].Bits - consts[1].Bits)
+	case ir.OpMul:
+		return cu(consts[0].Bits * consts[1].Bits)
+	case ir.OpSDiv:
+		if sv(1) == 0 || (sv(1) == -1 && sv(0) == minIntFor(in.Ty)) {
+			return ir.Const{}, false // must trap at runtime
+		}
+		return ci(sv(0) / sv(1))
+	case ir.OpSRem:
+		if sv(1) == 0 || (sv(1) == -1 && sv(0) == minIntFor(in.Ty)) {
+			return ir.Const{}, false
+		}
+		return ci(sv(0) % sv(1))
+	case ir.OpShl:
+		return cu(consts[0].Bits << (consts[1].Bits & uint64(in.Ty.Bits()-1)))
+	case ir.OpLShr:
+		return cu(consts[0].Bits >> (consts[1].Bits & uint64(in.Ty.Bits()-1)))
+	case ir.OpAShr:
+		return ci(sv(0) >> (consts[1].Bits & uint64(in.Ty.Bits()-1)))
+	case ir.OpAnd:
+		return cu(consts[0].Bits & consts[1].Bits)
+	case ir.OpOr:
+		return cu(consts[0].Bits | consts[1].Bits)
+	case ir.OpXor:
+		return cu(consts[0].Bits ^ consts[1].Bits)
+	case ir.OpFAdd:
+		return cf(fv(0) + fv(1))
+	case ir.OpFSub:
+		return cf(fv(0) - fv(1))
+	case ir.OpFMul:
+		return cf(fv(0) * fv(1))
+	case ir.OpFDiv:
+		return cf(fv(0) / fv(1))
+	case ir.OpICmpEQ:
+		return cb(consts[0].Bits == consts[1].Bits)
+	case ir.OpICmpNE:
+		return cb(consts[0].Bits != consts[1].Bits)
+	case ir.OpICmpSLT:
+		return cb(sv(0) < sv(1))
+	case ir.OpICmpSLE:
+		return cb(sv(0) <= sv(1))
+	case ir.OpICmpSGT:
+		return cb(sv(0) > sv(1))
+	case ir.OpICmpSGE:
+		return cb(sv(0) >= sv(1))
+	case ir.OpFCmpOEQ:
+		return cb(fv(0) == fv(1))
+	case ir.OpFCmpONE:
+		return cb(fv(0) < fv(1) || fv(0) > fv(1))
+	case ir.OpFCmpOLT:
+		return cb(fv(0) < fv(1))
+	case ir.OpFCmpOLE:
+		return cb(fv(0) <= fv(1))
+	case ir.OpFCmpOGT:
+		return cb(fv(0) > fv(1))
+	case ir.OpFCmpOGE:
+		return cb(fv(0) >= fv(1))
+	case ir.OpTrunc, ir.OpZExt:
+		return cu(consts[0].Bits)
+	case ir.OpSExt:
+		return ci(sv(0))
+	case ir.OpSIToFP:
+		return cf(float64(sv(0)))
+	case ir.OpSelect:
+		if consts[0].Bits&1 != 0 {
+			return consts[1], true
+		}
+		return consts[2], true
+	case ir.OpGEP:
+		return cu(consts[0].Bits + consts[1].Bits)
+	default:
+		return ir.Const{}, false
+	}
+}
+
+func minIntFor(ty ir.Type) int64 {
+	if ty == ir.I32 {
+		return math.MinInt32
+	}
+	return math.MinInt64
+}
+
+// simplifyAlgebra applies identities whose result is one of the operands:
+// x+0, x-0, x*1, x*0, 0/x (x const non-zero), x&x, x|x, x^x, select(c,x,x),
+// and float x*1, x+0 (which are exact for these identities).
+func simplifyAlgebra(m *ir.Module, res *Result) int {
+	changed := 0
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if v, ok := simplifyInstr(in); ok {
+					replaceUses(m, in, v)
+					changed++
+					res.Simplified++
+				}
+			}
+		}
+	}
+	return changed
+}
+
+func isIntConst(v ir.Value, want int64) bool {
+	c, ok := constOf(v)
+	if !ok || !c.Ty.IsInt() {
+		return false
+	}
+	return ir.SignedValue(c.Ty, c.Bits) == want
+}
+
+func simplifyInstr(in *ir.Instr) (ir.Value, bool) {
+	switch in.Op {
+	case ir.OpAdd:
+		if isIntConst(in.Args[1], 0) {
+			return in.Args[0], true
+		}
+		if isIntConst(in.Args[0], 0) {
+			return in.Args[1], true
+		}
+	case ir.OpSub:
+		if isIntConst(in.Args[1], 0) {
+			return in.Args[0], true
+		}
+	case ir.OpMul:
+		if isIntConst(in.Args[1], 1) {
+			return in.Args[0], true
+		}
+		if isIntConst(in.Args[0], 1) {
+			return in.Args[1], true
+		}
+		if isIntConst(in.Args[0], 0) || isIntConst(in.Args[1], 0) {
+			return ir.ConstInt(in.Ty, 0), true
+		}
+	case ir.OpAnd, ir.OpOr:
+		if in.Args[0] == in.Args[1] {
+			return in.Args[0], true
+		}
+	case ir.OpXor:
+		if in.Args[0] == in.Args[1] {
+			return ir.ConstInt(in.Ty, 0), true
+		}
+	case ir.OpSelect:
+		if in.Args[1] == in.Args[2] {
+			return in.Args[1], true
+		}
+	case ir.OpGEP:
+		if isIntConst(in.Args[1], 0) {
+			return in.Args[0], true
+		}
+	}
+	return nil, false
+}
+
+// cseBlocks eliminates duplicate pure computations within each basic block
+// (loads excluded: intervening stores could change memory).
+func cseBlocks(m *ir.Module, res *Result) int {
+	changed := 0
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			type key struct {
+				op      ir.Op
+				ty      ir.Type
+				a, b, c ir.Value
+			}
+			seen := map[key]*ir.Instr{}
+			for _, in := range b.Instrs {
+				if in.Ty == ir.Void || !purelyValue(in.Op) || len(in.Args) > 3 {
+					continue
+				}
+				k := key{op: in.Op, ty: in.Ty}
+				if len(in.Args) > 0 {
+					k.a = in.Args[0]
+				}
+				if len(in.Args) > 1 {
+					k.b = in.Args[1]
+				}
+				if len(in.Args) > 2 {
+					k.c = in.Args[2]
+				}
+				if prev, ok := seen[k]; ok {
+					replaceUses(m, in, prev)
+					changed++
+					res.CSE++
+					continue
+				}
+				seen[k] = in
+			}
+		}
+	}
+	return changed
+}
+
+// forwardMemory performs block-local redundant-load elimination and
+// store-to-load forwarding — a mem2reg-lite for the alloca-heavy -O0-style
+// code the builders produce. Pointer equality is by SSA value (run after
+// CSE so identical GEPs are unified); any store to a different pointer or
+// any call conservatively invalidates the whole cache (no alias analysis).
+func forwardMemory(m *ir.Module, res *Result) int {
+	changed := 0
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			avail := map[ir.Value]ir.Value{} // pointer -> known memory value
+			for _, in := range b.Instrs {
+				switch in.Op {
+				case ir.OpLoad:
+					p := in.Args[0]
+					if v, ok := avail[p]; ok {
+						replaceUses(m, in, v)
+						changed++
+						res.Forwarded++
+						continue
+					}
+					avail[p] = in
+				case ir.OpStore:
+					p := in.Args[1]
+					// Unknown aliasing: drop everything, then record the
+					// stored value for this exact pointer.
+					avail = map[ir.Value]ir.Value{p: in.Args[0]}
+				case ir.OpCall:
+					avail = map[ir.Value]ir.Value{}
+				}
+			}
+		}
+	}
+	return changed
+}
+
+// purelyValue reports whether the opcode computes a value purely from its
+// operands (no memory, no side effects, no control).
+func purelyValue(op ir.Op) bool {
+	switch op {
+	case ir.OpLoad, ir.OpStore, ir.OpAlloca, ir.OpCall, ir.OpPhi,
+		ir.OpBr, ir.OpCondBr, ir.OpRet:
+		return false
+	}
+	return true
+}
+
+// eliminateDead removes value-producing instructions with no uses and no
+// side effects. Math intrinsic calls are pure and removable; print and
+// sdc_detect calls and user-function calls are kept.
+func eliminateDead(m *ir.Module, res *Result) int {
+	// Collect all used values.
+	used := map[*ir.Instr]bool{}
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				for _, a := range in.Args {
+					if ai, ok := a.(*ir.Instr); ok {
+						used[ai] = true
+					}
+				}
+			}
+		}
+	}
+	changed := 0
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			kept := b.Instrs[:0]
+			for _, in := range b.Instrs {
+				if isDead(in, used) {
+					changed++
+					res.Eliminated++
+					continue
+				}
+				kept = append(kept, in)
+			}
+			b.Instrs = kept
+		}
+	}
+	return changed
+}
+
+// pureIntrinsics are intrinsic callees without side effects.
+var pureIntrinsics = map[string]bool{
+	"sqrt": true, "fabs": true, "exp": true, "log": true,
+	"sin": true, "cos": true, "pow": true, "floor": true,
+}
+
+func isDead(in *ir.Instr, used map[*ir.Instr]bool) bool {
+	if in.Ty == ir.Void || used[in] {
+		return false
+	}
+	switch in.Op {
+	case ir.OpStore, ir.OpBr, ir.OpCondBr, ir.OpRet:
+		return false
+	case ir.OpCall:
+		return pureIntrinsics[in.Callee]
+	case ir.OpSDiv, ir.OpSRem:
+		// May trap; removing would change crash behaviour.
+		return false
+	case ir.OpAlloca:
+		// Unused allocation: removable (addresses are not observable).
+		return true
+	}
+	return true
+}

@@ -1,0 +1,248 @@
+package opt
+
+import (
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/ir/irtest"
+	"repro/internal/prog"
+	"repro/internal/xrand"
+)
+
+func TestFoldConstantChain(t *testing.T) {
+	m := ir.NewModule("fold")
+	f := m.NewFunc("main", ir.I64)
+	b := ir.NewBuilder(f)
+	x := b.Add(ir.I64c(2), ir.I64c(3))          // 5
+	y := b.Mul(x, ir.I64c(4))                   // 20
+	z := b.Sub(y, ir.I64c(1))                   // 19
+	cmp := b.ICmp(ir.OpICmpSGT, z, ir.I64c(10)) // true
+	sel := b.Select(cmp, z, ir.I64c(0))         // 19
+	b.Ret(sel)
+	m.Finalize()
+
+	o, res := Optimize(m)
+	if res.Folded == 0 || res.Eliminated == 0 {
+		t.Fatalf("nothing optimized: %+v", res)
+	}
+	p, err := interp.Compile(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := interp.Run(p, nil, interp.Options{})
+	if int64(r.Ret) != 19 {
+		t.Fatalf("optimized result = %d", int64(r.Ret))
+	}
+	// The whole chain folds away: only the ret should remain.
+	if o.NumInstrs() != 0 {
+		t.Fatalf("expected fully folded body, %d instrs remain", o.NumInstrs())
+	}
+}
+
+func TestDivByZeroNotFolded(t *testing.T) {
+	m := ir.NewModule("divz")
+	f := m.NewFunc("main", ir.I64)
+	b := ir.NewBuilder(f)
+	d := b.SDiv(ir.I64c(10), ir.I64c(0))
+	b.Ret(d)
+	m.Finalize()
+	o, _ := Optimize(m)
+	p, err := interp.Compile(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := interp.Run(p, nil, interp.Options{})
+	if r.Trap == nil || r.Trap.Kind != interp.TrapDivZero {
+		t.Fatalf("optimization removed a trapping division: %v", r.Trap)
+	}
+}
+
+func TestAlgebraicIdentities(t *testing.T) {
+	m := ir.NewModule("alg")
+	f := m.NewFunc("main", ir.I64, &ir.Param{Name: "x", Ty: ir.I64})
+	b := ir.NewBuilder(f)
+	a1 := b.Add(b.Param(0), ir.I64c(0)) // x
+	a2 := b.Mul(a1, ir.I64c(1))         // x
+	a3 := b.Xor(a2, a2)                 // 0
+	a4 := b.Add(b.Param(0), a3)         // x
+	b.Ret(a4)
+	m.Finalize()
+	o, res := Optimize(m)
+	if res.Simplified == 0 {
+		t.Fatalf("no simplifications: %+v", res)
+	}
+	if o.NumInstrs() != 0 {
+		t.Fatalf("identities should fully cancel, %d instrs remain", o.NumInstrs())
+	}
+	p, _ := interp.Compile(o)
+	r := interp.Run(p, []uint64{42}, interp.Options{})
+	if r.Ret != 42 {
+		t.Fatalf("ret = %d", r.Ret)
+	}
+}
+
+func TestCSE(t *testing.T) {
+	m := ir.NewModule("cse")
+	f := m.NewFunc("main", ir.I64, &ir.Param{Name: "x", Ty: ir.I64})
+	b := ir.NewBuilder(f)
+	s1 := b.Mul(b.Param(0), b.Param(0))
+	s2 := b.Mul(b.Param(0), b.Param(0)) // duplicate
+	b.Ret(b.Add(s1, s2))
+	m.Finalize()
+	o, res := Optimize(m)
+	if res.CSE != 1 {
+		t.Fatalf("CSE = %d, want 1", res.CSE)
+	}
+	p, _ := interp.Compile(o)
+	r := interp.Run(p, []uint64{6}, interp.Options{})
+	if int64(r.Ret) != 72 {
+		t.Fatalf("ret = %d", int64(r.Ret))
+	}
+}
+
+func TestDCEKeepsSideEffects(t *testing.T) {
+	m := ir.NewModule("dce")
+	f := m.NewFunc("main", ir.Void)
+	b := ir.NewBuilder(f)
+	b.Call(ir.F64, "sqrt", ir.F64c(2)) // pure, unused -> dead
+	b.Call(ir.Void, "print_i64", ir.I64c(9))
+	b.Ret(nil)
+	m.Finalize()
+	o, res := Optimize(m)
+	if res.Eliminated != 1 {
+		t.Fatalf("eliminated = %d, want 1 (the sqrt)", res.Eliminated)
+	}
+	p, _ := interp.Compile(o)
+	r := interp.Run(p, nil, interp.Options{})
+	if len(r.Output) != 1 || r.Output[0].Int() != 9 {
+		t.Fatalf("print survived wrongly: %v", r.Output)
+	}
+}
+
+// The critical property: optimization must preserve program output on all
+// seven benchmarks across many inputs.
+func TestOptimizePreservesBenchmarkSemantics(t *testing.T) {
+	rng := xrand.New(3)
+	for _, name := range prog.Names() {
+		b := prog.Build(name)
+		o, res := Optimize(b.Module)
+		p2, err := interp.Compile(o)
+		if err != nil {
+			t.Fatalf("%s: optimized module invalid: %v", name, err)
+		}
+		inputs := [][]float64{b.RefInput()}
+		for i := 0; i < 8; i++ {
+			inputs = append(inputs, b.RandomInput(rng))
+		}
+		for _, in := range inputs {
+			args := b.Encode(in)
+			r1 := interp.Run(b.Prog, args, interp.Options{MaxDyn: b.MaxDyn})
+			r2 := interp.Run(p2, args, interp.Options{MaxDyn: b.MaxDyn})
+			if (r1.Trap == nil) != (r2.Trap == nil) {
+				t.Fatalf("%s %v: trap behaviour changed", name, in)
+			}
+			if r1.Trap == nil && !interp.OutputEqual(r1.Output, r2.Output) {
+				t.Fatalf("%s %v: optimization changed output", name, in)
+			}
+		}
+		orig := interp.Run(b.Prog, b.Encode(b.RefInput()), interp.Options{MaxDyn: b.MaxDyn})
+		opt := interp.Run(p2, b.Encode(b.RefInput()), interp.Options{MaxDyn: b.MaxDyn})
+		t.Logf("%s: %d -> %d static instrs (fold %d, simplify %d, cse %d, dce %d); %d -> %d dyn",
+			name, b.Prog.NumInstrs(), p2.NumInstrs(),
+			res.Folded, res.Simplified, res.CSE, res.Eliminated,
+			orig.DynCount, opt.DynCount)
+		if opt.DynCount > orig.DynCount {
+			t.Fatalf("%s: optimization increased dynamic count", name)
+		}
+	}
+}
+
+// Differential fuzzing: optimization must preserve randomly generated
+// programs' behaviour too.
+func TestOptimizePreservesRandomModules(t *testing.T) {
+	rng := xrand.New(21)
+	for i := 0; i < 150; i++ {
+		m := irtest.RandomModule(rng)
+		o, _ := Optimize(m)
+		if err := ir.Verify(o); err != nil {
+			t.Fatalf("case %d: optimized module invalid: %v\n%s", i, err, ir.Print(m))
+		}
+		p1, err := interp.Compile(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p2, err := interp.Compile(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		args := []uint64{uint64(rng.IntRange(-40, 40)), uint64(rng.IntRange(-40, 40)), ir.Float64Bits(rng.Range(-4, 4))}
+		r1 := interp.Run(p1, args, interp.Options{MaxDyn: 100000})
+		r2 := interp.Run(p2, args, interp.Options{MaxDyn: 100000})
+		if (r1.Trap == nil) != (r2.Trap == nil) {
+			t.Fatalf("case %d: trap behaviour changed\n%s\nvs\n%s", i, ir.Print(m), ir.Print(o))
+		}
+		if r1.Trap == nil && (r1.Ret != r2.Ret || !interp.OutputEqual(r1.Output, r2.Output)) {
+			t.Fatalf("case %d: behaviour changed\n%s\nvs\n%s", i, ir.Print(m), ir.Print(o))
+		}
+	}
+}
+
+func TestLoadForwarding(t *testing.T) {
+	m := ir.NewModule("fw")
+	f := m.NewFunc("main", ir.I64, &ir.Param{Name: "x", Ty: ir.I64})
+	b := ir.NewBuilder(f)
+	buf := b.AllocaN(2)
+	b.Store(b.Param(0), buf)
+	l1 := b.Load(ir.I64, buf) // forwarded from the store
+	l2 := b.Load(ir.I64, buf) // forwarded from l1
+	b.Ret(b.Add(l1, l2))
+	m.Finalize()
+	o, res := Optimize(m)
+	if res.Forwarded < 2 {
+		t.Fatalf("forwarded = %d, want >= 2", res.Forwarded)
+	}
+	p, err := interp.Compile(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := interp.Run(p, []uint64{21}, interp.Options{})
+	if int64(r.Ret) != 42 {
+		t.Fatalf("ret = %d", int64(r.Ret))
+	}
+	// Both loads must be gone.
+	for _, in := range o.Instrs() {
+		if in.Op == ir.OpLoad {
+			t.Fatal("a load survived forwarding")
+		}
+	}
+}
+
+func TestForwardingInvalidatedByStore(t *testing.T) {
+	m := ir.NewModule("fwinval")
+	f := m.NewFunc("main", ir.I64, &ir.Param{Name: "x", Ty: ir.I64}, &ir.Param{Name: "i", Ty: ir.I64})
+	b := ir.NewBuilder(f)
+	buf := b.AllocaN(4)
+	b.Store(b.Param(0), buf)
+	// A store through a data-dependent pointer may alias buf.
+	other := b.GEP(buf, b.Param(1))
+	b.Store(ir.I64c(99), other)
+	l := b.Load(ir.I64, buf) // must NOT be forwarded from the first store
+	b.Ret(l)
+	m.Finalize()
+	o, _ := Optimize(m)
+	p, err := interp.Compile(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// i=0 makes the second store alias buf: the load must see 99.
+	r := interp.Run(p, []uint64{7, 0}, interp.Options{})
+	if int64(r.Ret) != 99 {
+		t.Fatalf("aliasing store lost: ret = %d", int64(r.Ret))
+	}
+	// i=1 leaves buf intact: the load must see 7.
+	r = interp.Run(p, []uint64{7, 1}, interp.Options{})
+	if int64(r.Ret) != 7 {
+		t.Fatalf("ret = %d", int64(r.Ret))
+	}
+}

@@ -1,0 +1,57 @@
+package prog
+
+import (
+	"testing"
+
+	"repro/internal/interp"
+)
+
+// BenchmarkGoldenRuns measures interpreter throughput on each benchmark's
+// reference input — the unit cost every FI campaign multiplies.
+func BenchmarkGoldenRuns(b *testing.B) {
+	for _, name := range Names() {
+		bench := Build(name)
+		in := bench.Encode(bench.RefInput())
+		b.Run(name, func(b *testing.B) {
+			var dyn int64
+			for i := 0; i < b.N; i++ {
+				r := interp.Run(bench.Prog, in, interp.Options{MaxDyn: bench.MaxDyn})
+				if r.Trap != nil {
+					b.Fatal(r.Trap)
+				}
+				dyn = r.DynCount
+			}
+			b.ReportMetric(float64(dyn), "dyn-instrs")
+			b.ReportMetric(float64(dyn)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mdyn/s")
+		})
+	}
+}
+
+// BenchmarkProfiledRuns measures the profiling overhead PEPPA-X's fitness
+// evaluation pays per candidate.
+func BenchmarkProfiledRuns(b *testing.B) {
+	bench := Build("pathfinder")
+	in := bench.Encode(bench.RefInput())
+	b.Run("plain", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			interp.Run(bench.Prog, in, interp.Options{})
+		}
+	})
+	b.Run("profiled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			interp.Run(bench.Prog, in, interp.Options{Profile: true})
+		}
+	})
+	b.Run("tainted", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			interp.Run(bench.Prog, in, interp.Options{TrackPropagation: true})
+		}
+	})
+}
+
+// BenchmarkBuild measures benchmark construction + compilation cost.
+func BenchmarkBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Build("comd")
+	}
+}

@@ -1,0 +1,259 @@
+package prog
+
+import (
+	"math"
+
+	"repro/internal/interp"
+	"repro/internal/ir"
+)
+
+// CoMD (Mantevo): a miniature classical molecular-dynamics kernel. Atoms on
+// a jittered cubic lattice interact through a cutoff Lennard-Jones
+// potential; velocity-Verlet-style integration advances positions. The
+// cutoff comparison in the O(N²) force loop masks faults in far-pair
+// arithmetic, while corrupted positions/velocities persist across steps —
+// the paper measures CoMD's SDC probability in a comparatively narrow
+// 9.55-12.58 % band across inputs.
+//
+// Inputs: nx (atoms per lattice edge; N = nx³), steps, dt, cutoff, seed.
+// Output: potential energy per step, then kinetic energy and a position
+// checksum.
+
+func init() { register("comd", buildCoMD) }
+
+func comdArgs() []ArgSpec {
+	return []ArgSpec{
+		{Name: "nx", Kind: ArgInt, Min: 2, Max: 3, SmallMin: 2, SmallMax: 2, Ref: 3},
+		{Name: "steps", Kind: ArgInt, Min: 1, Max: 8, SmallMin: 1, SmallMax: 2, Ref: 2},
+		{Name: "dt", Kind: ArgFloat, Min: 0.001, Max: 0.02, SmallMin: 0.004, SmallMax: 0.006, Ref: 0.004},
+		{Name: "cutoff", Kind: ArgFloat, Min: 1.2, Max: 2.5, SmallMin: 1.5, SmallMax: 1.9, Ref: 1.6},
+		{Name: "seed", Kind: ArgInt, Min: 1, Max: 1 << 20, SmallMin: 1, SmallMax: 64, Ref: 13},
+	}
+}
+
+func buildCoMD() (*ir.Module, []ArgSpec, string, string, int64) {
+	m := ir.NewModule("comd")
+	f := m.NewFunc("main", ir.Void,
+		&ir.Param{Name: "nx", Ty: ir.I64},
+		&ir.Param{Name: "steps", Ty: ir.I64},
+		&ir.Param{Name: "dt", Ty: ir.F64},
+		&ir.Param{Name: "cutoff", Ty: ir.F64},
+		&ir.Param{Name: "seed", Ty: ir.I64},
+	)
+	b := ir.NewBuilder(f)
+	h := v{b}
+
+	nx := b.Param(0)
+	steps := b.Param(1)
+	dt := b.Param(2)
+	cutoff := b.Param(3)
+	seed := b.Param(4)
+
+	natoms := b.Mul(b.Mul(nx, nx), nx)
+	state := h.newVar(ir.I64, seed)
+
+	x := b.Alloca(natoms)
+	y := b.Alloca(natoms)
+	z := b.Alloca(natoms)
+	vx := b.Alloca(natoms)
+	vy := b.Alloca(natoms)
+	vz := b.Alloca(natoms)
+	fx := b.Alloca(natoms)
+	fy := b.Alloca(natoms)
+	fz := b.Alloca(natoms)
+
+	// Lattice with spacing 1.2 and small positional jitter; small random
+	// initial velocities.
+	spacing := ir.F64c(1.2)
+	idx := h.newVar(ir.I64, ir.I64c(0))
+	h.loop("lat.i", ir.I64c(0), nx, func(i ir.Value) {
+		h.loop("lat.j", ir.I64c(0), nx, func(j ir.Value) {
+			h.loop("lat.k", ir.I64c(0), nx, func(k ir.Value) {
+				a := h.get(idx)
+				jit := func() *ir.Instr {
+					return b.FMul(b.FSub(h.lcgF64(state), ir.F64c(0.5)), ir.F64c(0.1))
+				}
+				b.Store(b.FAdd(b.FMul(b.SIToFP(i), spacing), jit()), b.GEP(x, a))
+				b.Store(b.FAdd(b.FMul(b.SIToFP(j), spacing), jit()), b.GEP(y, a))
+				b.Store(b.FAdd(b.FMul(b.SIToFP(k), spacing), jit()), b.GEP(z, a))
+				vel := func() *ir.Instr {
+					return b.FMul(b.FSub(h.lcgF64(state), ir.F64c(0.5)), ir.F64c(0.2))
+				}
+				b.Store(vel(), b.GEP(vx, a))
+				b.Store(vel(), b.GEP(vy, a))
+				b.Store(vel(), b.GEP(vz, a))
+				h.addVar(idx, ir.I64c(1))
+			})
+		})
+	})
+
+	cutoff2 := b.FMul(cutoff, cutoff)
+	h.loop("step", ir.I64c(0), steps, func(s ir.Value) {
+		_ = s
+		// Zero forces.
+		h.loop("zero", ir.I64c(0), natoms, func(i ir.Value) {
+			b.Store(ir.F64c(0), b.GEP(fx, i))
+			b.Store(ir.F64c(0), b.GEP(fy, i))
+			b.Store(ir.F64c(0), b.GEP(fz, i))
+		})
+		pe := h.newVar(ir.F64, ir.F64c(0))
+		// Pairwise Lennard-Jones with cutoff.
+		h.loop("force.i", ir.I64c(0), natoms, func(i ir.Value) {
+			h.loop("force.j", b.Add(i, ir.I64c(1)), natoms, func(j ir.Value) {
+				dx := b.FSub(b.Load(ir.F64, b.GEP(x, i)), b.Load(ir.F64, b.GEP(x, j)))
+				dy := b.FSub(b.Load(ir.F64, b.GEP(y, i)), b.Load(ir.F64, b.GEP(y, j)))
+				dz := b.FSub(b.Load(ir.F64, b.GEP(z, i)), b.Load(ir.F64, b.GEP(z, j)))
+				r2 := b.FAdd(b.FAdd(b.FMul(dx, dx), b.FMul(dy, dy)), b.FMul(dz, dz))
+				inRange := b.FCmp(ir.OpFCmpOLT, r2, cutoff2)
+				nonZero := b.FCmp(ir.OpFCmpOGT, r2, ir.F64c(1e-12))
+				h.ifThen("lj", b.And(inRange, nonZero), func() {
+					r2i := b.FDiv(ir.F64c(1), r2)
+					r6i := b.FMul(b.FMul(r2i, r2i), r2i)
+					// force scalar: 24 r6i (2 r6i - 1) r2i
+					ff := b.FMul(b.FMul(b.FMul(ir.F64c(24), r6i),
+						b.FSub(b.FMul(ir.F64c(2), r6i), ir.F64c(1))), r2i)
+					for _, axis := range []struct {
+						d ir.Value
+						f *ir.Instr
+					}{{dx, fx}, {dy, fy}, {dz, fz}} {
+						fi := b.GEP(axis.f, i)
+						fj := b.GEP(axis.f, j)
+						fd := b.FMul(ff, axis.d)
+						b.Store(b.FAdd(b.Load(ir.F64, fi), fd), fi)
+						b.Store(b.FSub(b.Load(ir.F64, fj), fd), fj)
+					}
+					h.faddVar(pe, b.FMul(b.FMul(ir.F64c(4), r6i), b.FSub(r6i, ir.F64c(1))))
+				})
+			})
+		})
+		h.printF64(h.get(pe))
+		// Hot configurations (net-repulsive potential: atoms inside the LJ
+		// core, which depends on cutoff/seed) trigger a periodic-boundary
+		// wrap of all coordinates — an input-dependent code region whose
+		// execution shifts the program's dynamic footprint.
+		boxL := b.FMul(b.SIToFP(nx), spacing)
+		h.ifThen("wrap", b.FCmp(ir.OpFCmpOGT, h.get(pe), ir.F64c(0)), func() {
+			h.loop("wrap.i", ir.I64c(0), natoms, func(i ir.Value) {
+				for _, axis := range []*ir.Instr{x, y, z} {
+					pp := b.GEP(axis, i)
+					val := b.Load(ir.F64, pp)
+					n := b.Call(ir.F64, "floor", b.FDiv(val, boxL))
+					b.Store(b.FSub(val, b.FMul(n, boxL)), pp)
+				}
+			})
+		})
+		// Integrate: v += f dt; x += v dt.
+		h.loop("integ", ir.I64c(0), natoms, func(i ir.Value) {
+			for _, axis := range []struct {
+				p, vp, fp *ir.Instr
+			}{{x, vx, fx}, {y, vy, fy}, {z, vz, fz}} {
+				vp := b.GEP(axis.vp, i)
+				nv := b.FAdd(b.Load(ir.F64, vp), b.FMul(b.Load(ir.F64, b.GEP(axis.fp, i)), dt))
+				b.Store(nv, vp)
+				pp := b.GEP(axis.p, i)
+				b.Store(b.FAdd(b.Load(ir.F64, pp), b.FMul(nv, dt)), pp)
+			}
+		})
+	})
+
+	// Kinetic energy and position checksum.
+	ke := h.newVar(ir.F64, ir.F64c(0))
+	cs := h.newVar(ir.F64, ir.F64c(0))
+	h.loop("final", ir.I64c(0), natoms, func(i ir.Value) {
+		vxi := b.Load(ir.F64, b.GEP(vx, i))
+		vyi := b.Load(ir.F64, b.GEP(vy, i))
+		vzi := b.Load(ir.F64, b.GEP(vz, i))
+		sq := b.FAdd(b.FAdd(b.FMul(vxi, vxi), b.FMul(vyi, vyi)), b.FMul(vzi, vzi))
+		h.faddVar(ke, b.FMul(ir.F64c(0.5), sq))
+		pos := b.FAdd(b.FAdd(b.Load(ir.F64, b.GEP(x, i)), b.Load(ir.F64, b.GEP(y, i))), b.Load(ir.F64, b.GEP(z, i)))
+		h.faddVar(cs, pos)
+	})
+	h.printF64(h.get(ke))
+	h.printF64(h.get(cs))
+	b.Ret(nil)
+
+	return m, comdArgs(), "Mantevo",
+		"molecular dynamics with cutoff Lennard-Jones forces on a jittered lattice", 900000
+}
+
+// oracleCoMD mirrors the IR program in Go with identical operation order.
+func oracleCoMD(nx, steps int64, dt, cutoff float64, seed int64) []float64 {
+	natoms := nx * nx * nx
+	lcg := newGoLCG(seed)
+	x := make([]float64, natoms)
+	y := make([]float64, natoms)
+	z := make([]float64, natoms)
+	vx := make([]float64, natoms)
+	vy := make([]float64, natoms)
+	vz := make([]float64, natoms)
+	fx := make([]float64, natoms)
+	fy := make([]float64, natoms)
+	fz := make([]float64, natoms)
+	const spacing = 1.2
+	a := int64(0)
+	for i := int64(0); i < nx; i++ {
+		for j := int64(0); j < nx; j++ {
+			for k := int64(0); k < nx; k++ {
+				x[a] = float64(i)*spacing + (lcg.f64()-0.5)*0.1
+				y[a] = float64(j)*spacing + (lcg.f64()-0.5)*0.1
+				z[a] = float64(k)*spacing + (lcg.f64()-0.5)*0.1
+				vx[a] = (lcg.f64() - 0.5) * 0.2
+				vy[a] = (lcg.f64() - 0.5) * 0.2
+				vz[a] = (lcg.f64() - 0.5) * 0.2
+				a++
+			}
+		}
+	}
+	cutoff2 := cutoff * cutoff
+	var out []float64
+	for s := int64(0); s < steps; s++ {
+		for i := int64(0); i < natoms; i++ {
+			fx[i], fy[i], fz[i] = 0, 0, 0
+		}
+		var pe float64
+		for i := int64(0); i < natoms; i++ {
+			for j := i + 1; j < natoms; j++ {
+				dx := x[i] - x[j]
+				dy := y[i] - y[j]
+				dz := z[i] - z[j]
+				r2 := dx*dx + dy*dy + dz*dz
+				if r2 < cutoff2 && r2 > 1e-12 {
+					r2i := 1 / r2
+					r6i := r2i * r2i * r2i
+					ff := 24 * r6i * (2*r6i - 1) * r2i
+					fx[i] += ff * dx
+					fx[j] -= ff * dx
+					fy[i] += ff * dy
+					fy[j] -= ff * dy
+					fz[i] += ff * dz
+					fz[j] -= ff * dz
+					pe += 4 * r6i * (r6i - 1)
+				}
+			}
+		}
+		out = append(out, interp.QuantizeOutput(pe))
+		if pe > 0 {
+			boxL := float64(nx) * spacing
+			for i := int64(0); i < natoms; i++ {
+				x[i] = x[i] - math.Floor(x[i]/boxL)*boxL
+				y[i] = y[i] - math.Floor(y[i]/boxL)*boxL
+				z[i] = z[i] - math.Floor(z[i]/boxL)*boxL
+			}
+		}
+		for i := int64(0); i < natoms; i++ {
+			vx[i] += fx[i] * dt
+			x[i] += vx[i] * dt
+			vy[i] += fy[i] * dt
+			y[i] += vy[i] * dt
+			vz[i] += fz[i] * dt
+			z[i] += vz[i] * dt
+		}
+	}
+	var ke, cs float64
+	for i := int64(0); i < natoms; i++ {
+		sq := vx[i]*vx[i] + vy[i]*vy[i] + vz[i]*vz[i]
+		ke += 0.5 * sq
+		cs += x[i] + y[i] + z[i]
+	}
+	return append(out, interp.QuantizeOutput(ke), interp.QuantizeOutput(cs))
+}

@@ -1,0 +1,127 @@
+package prog
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/interp"
+	"repro/internal/ir"
+)
+
+// This file provides the generic pathway the original tool offers: PEPPA-X
+// takes any user program plus an input description. Custom wraps an
+// arbitrary IR module (e.g., parsed from a textual .ir file) and a parsed
+// argument specification into a Benchmark the whole pipeline accepts.
+
+// defaultCustomMaxDyn bounds golden runs of custom programs.
+const defaultCustomMaxDyn = 5_000_000
+
+// Custom builds a Benchmark from an arbitrary module and argument specs.
+// The module's entry function signature must match the specs: one i64
+// parameter per int spec, one f64 per float spec, in order.
+func Custom(m *ir.Module, args []ArgSpec, maxDyn int64) (*Benchmark, error) {
+	p, err := interp.Compile(m)
+	if err != nil {
+		return nil, fmt.Errorf("prog: custom module: %w", err)
+	}
+	entry := m.Entry()
+	if len(entry.Params) != len(args) {
+		return nil, fmt.Errorf("prog: entry takes %d parameters, spec has %d", len(entry.Params), len(args))
+	}
+	for i, spec := range args {
+		want := ir.I64
+		if spec.Kind == ArgFloat {
+			want = ir.F64
+		}
+		if entry.Params[i].Ty != want {
+			return nil, fmt.Errorf("prog: parameter %d (%s) is %v, spec says %v",
+				i, entry.Params[i].Name, entry.Params[i].Ty, want)
+		}
+		if spec.Max < spec.Min || spec.Ref < spec.Min || spec.Ref > spec.Max {
+			return nil, fmt.Errorf("prog: spec %q has inconsistent range", spec.Name)
+		}
+	}
+	if maxDyn <= 0 {
+		maxDyn = defaultCustomMaxDyn
+	}
+	return &Benchmark{
+		Name:        m.Name,
+		Suite:       "custom",
+		Description: "user-supplied program",
+		Module:      m,
+		Prog:        p,
+		Args:        args,
+		MaxDyn:      maxDyn,
+	}, nil
+}
+
+// ParseArgSpecs parses a comma-separated argument specification:
+//
+//	name:kind:min:max:ref[:smallMin:smallMax]
+//
+// kind is "int" or "float". When the small range is omitted it defaults to
+// the bottom tenth of the full range (the small-FI-input fuzzer's starting
+// window).
+func ParseArgSpecs(s string) ([]ArgSpec, error) {
+	var out []ArgSpec
+	for _, entry := range strings.Split(s, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		parts := strings.Split(entry, ":")
+		if len(parts) != 5 && len(parts) != 7 {
+			return nil, fmt.Errorf("prog: bad arg spec %q (want name:kind:min:max:ref[:smallMin:smallMax])", entry)
+		}
+		spec := ArgSpec{Name: parts[0]}
+		switch parts[1] {
+		case "int":
+			spec.Kind = ArgInt
+		case "float":
+			spec.Kind = ArgFloat
+		default:
+			return nil, fmt.Errorf("prog: bad kind %q in spec %q", parts[1], entry)
+		}
+		nums := make([]float64, 0, 5)
+		for _, ns := range parts[2:] {
+			v, err := strconv.ParseFloat(strings.TrimSpace(ns), 64)
+			if err != nil {
+				return nil, fmt.Errorf("prog: bad number %q in spec %q", ns, entry)
+			}
+			nums = append(nums, v)
+		}
+		spec.Min, spec.Max, spec.Ref = nums[0], nums[1], nums[2]
+		if len(nums) == 5 {
+			spec.SmallMin, spec.SmallMax = nums[3], nums[4]
+		} else {
+			spec.SmallMin = spec.Min
+			spec.SmallMax = spec.Min + (spec.Max-spec.Min)*0.1
+		}
+		if spec.Max < spec.Min || spec.Ref < spec.Min || spec.Ref > spec.Max {
+			return nil, fmt.Errorf("prog: inconsistent range in spec %q", entry)
+		}
+		out = append(out, spec)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("prog: empty arg spec")
+	}
+	return out, nil
+}
+
+// LoadCustom parses a textual IR module and an argument spec string into a
+// Benchmark — the one-call entry point for cmd/peppax -file.
+func LoadCustom(irText, argSpec string, maxDyn int64) (*Benchmark, error) {
+	m, err := ir.Parse(irText)
+	if err != nil {
+		return nil, err
+	}
+	if err := ir.Verify(m); err != nil {
+		return nil, err
+	}
+	args, err := ParseArgSpecs(argSpec)
+	if err != nil {
+		return nil, err
+	}
+	return Custom(m, args, maxDyn)
+}

@@ -1,0 +1,186 @@
+package prog
+
+import (
+	"math"
+
+	"repro/internal/interp"
+	"repro/internal/ir"
+)
+
+// FFT (SPLASH-2): an iterative radix-2 Cooley-Tukey FFT over LCG-generated
+// complex data, with an explicit bit-reversal permutation (bit-manipulation
+// instructions) and per-butterfly twiddle factors via sin/cos. Every data
+// value mixes into every output bin, so corruptions rarely mask: its SDC
+// probability is high across the input space (a "dense" benchmark in the
+// paper's Figure 6 terms, like Hpccg).
+//
+// Inputs: log2n (transform size), seed, scale (data amplitude). Output: the
+// first four spectrum bins (re, im interleaved) and the total spectral
+// energy.
+
+func init() { register("fft", buildFFT) }
+
+func fftArgs() []ArgSpec {
+	return []ArgSpec{
+		{Name: "log2n", Kind: ArgInt, Min: 3, Max: 8, SmallMin: 3, SmallMax: 4, Ref: 6},
+		{Name: "seed", Kind: ArgInt, Min: 1, Max: 1 << 20, SmallMin: 1, SmallMax: 64, Ref: 11},
+		{Name: "scale", Kind: ArgFloat, Min: 0.1, Max: 100, SmallMin: 0.5, SmallMax: 2, Ref: 1.0},
+	}
+}
+
+func buildFFT() (*ir.Module, []ArgSpec, string, string, int64) {
+	m := ir.NewModule("fft")
+	f := m.NewFunc("main", ir.Void,
+		&ir.Param{Name: "log2n", Ty: ir.I64},
+		&ir.Param{Name: "seed", Ty: ir.I64},
+		&ir.Param{Name: "scale", Ty: ir.F64},
+	)
+	b := ir.NewBuilder(f)
+	h := v{b}
+
+	log2n := b.Param(0)
+	seed := b.Param(1)
+	scale := b.Param(2)
+
+	n := b.Shl(ir.I64c(1), log2n)
+	state := h.newVar(ir.I64, seed)
+	re := b.Alloca(n)
+	im := b.Alloca(n)
+
+	// Data: centred uniform values scaled by the amplitude input.
+	h.loop("gen", ir.I64c(0), n, func(i ir.Value) {
+		rv := b.FMul(b.FSub(b.FMul(h.lcgF64(state), ir.F64c(2)), ir.F64c(1)), scale)
+		b.Store(rv, b.GEP(re, i))
+		iv := b.FMul(b.FSub(b.FMul(h.lcgF64(state), ir.F64c(2)), ir.F64c(1)), scale)
+		b.Store(iv, b.GEP(im, i))
+	})
+
+	// Bit-reversal permutation: for each i, compute rev(i) and swap once.
+	h.loop("rev", ir.I64c(0), n, func(i ir.Value) {
+		rev := h.newVar(ir.I64, ir.I64c(0))
+		h.loop("rev.bit", ir.I64c(0), log2n, func(bit ir.Value) {
+			bitVal := b.And(b.LShr(i, bit), ir.I64c(1))
+			h.set(rev, b.Or(b.Shl(h.get(rev), ir.I64c(1)), bitVal))
+		})
+		r := h.get(rev)
+		h.ifThen("rev.swap", b.ICmp(ir.OpICmpSLT, i, r), func() {
+			pi := b.GEP(re, i)
+			pr := b.GEP(re, r)
+			t1 := b.Load(ir.F64, pi)
+			b.Store(b.Load(ir.F64, pr), pi)
+			b.Store(t1, pr)
+			qi := b.GEP(im, i)
+			qr := b.GEP(im, r)
+			t2 := b.Load(ir.F64, qi)
+			b.Store(b.Load(ir.F64, qr), qi)
+			b.Store(t2, qr)
+		})
+	})
+
+	// Iterative butterflies. For stage s (len = 2^s): for each block and
+	// each butterfly j, twiddle angle = -2*pi*j/len.
+	h.loop("stage", ir.I64c(1), b.Add(log2n, ir.I64c(1)), func(s ir.Value) {
+		lenV := b.Shl(ir.I64c(1), s)
+		half := b.AShr(lenV, ir.I64c(1))
+		angStep := b.FDiv(ir.F64c(-2*math.Pi), b.SIToFP(lenV))
+		blocks := b.SDiv(n, lenV)
+		h.loop("blk", ir.I64c(0), blocks, func(blk ir.Value) {
+			base := b.Mul(blk, lenV)
+			h.loop("bf", ir.I64c(0), half, func(j ir.Value) {
+				ang := b.FMul(angStep, b.SIToFP(j))
+				wr := b.Call(ir.F64, "cos", ang)
+				wi := b.Call(ir.F64, "sin", ang)
+				idx1 := b.Add(base, j)
+				idx2 := b.Add(idx1, half)
+				p1r := b.GEP(re, idx1)
+				p1i := b.GEP(im, idx1)
+				p2r := b.GEP(re, idx2)
+				p2i := b.GEP(im, idx2)
+				ar := b.Load(ir.F64, p1r)
+				ai := b.Load(ir.F64, p1i)
+				br := b.Load(ir.F64, p2r)
+				bi := b.Load(ir.F64, p2i)
+				// t = w * b
+				tr := b.FSub(b.FMul(wr, br), b.FMul(wi, bi))
+				ti := b.FAdd(b.FMul(wr, bi), b.FMul(wi, br))
+				b.Store(b.FAdd(ar, tr), p1r)
+				b.Store(b.FAdd(ai, ti), p1i)
+				b.Store(b.FSub(ar, tr), p2r)
+				b.Store(b.FSub(ai, ti), p2i)
+			})
+		})
+	})
+
+	// Output: first four bins and total spectral energy.
+	h.loop("out", ir.I64c(0), h.minI64(n, ir.I64c(4)), func(i ir.Value) {
+		h.printF64(b.Load(ir.F64, b.GEP(re, i)))
+		h.printF64(b.Load(ir.F64, b.GEP(im, i)))
+	})
+	energy := h.newVar(ir.F64, ir.F64c(0))
+	h.loop("energy", ir.I64c(0), n, func(i ir.Value) {
+		rv := b.Load(ir.F64, b.GEP(re, i))
+		iv := b.Load(ir.F64, b.GEP(im, i))
+		h.faddVar(energy, b.FAdd(b.FMul(rv, rv), b.FMul(iv, iv)))
+	})
+	h.printF64(h.get(energy))
+	b.Ret(nil)
+
+	return m, fftArgs(), "SPLASH-2",
+		"1-D radix-2 fast Fourier transform with bit-reversal permutation", 600000
+}
+
+// oracleFFT mirrors the IR program in Go with identical operation order, so
+// float outputs match bit-exactly.
+func oracleFFT(log2n, seed int64, scale float64) []float64 {
+	n := int64(1) << log2n
+	lcg := newGoLCG(seed)
+	re := make([]float64, n)
+	im := make([]float64, n)
+	for i := int64(0); i < n; i++ {
+		re[i] = (lcg.f64()*2 - 1) * scale
+		im[i] = (lcg.f64()*2 - 1) * scale
+	}
+	for i := int64(0); i < n; i++ {
+		var rev int64
+		for bit := int64(0); bit < log2n; bit++ {
+			rev = rev<<1 | (i>>bit)&1
+		}
+		if i < rev {
+			re[i], re[rev] = re[rev], re[i]
+			im[i], im[rev] = im[rev], im[i]
+		}
+	}
+	for s := int64(1); s <= log2n; s++ {
+		length := int64(1) << s
+		half := length >> 1
+		angStep := -2 * math.Pi / float64(length)
+		blocks := n / length
+		for blk := int64(0); blk < blocks; blk++ {
+			base := blk * length
+			for j := int64(0); j < half; j++ {
+				ang := angStep * float64(j)
+				wr, wi := math.Cos(ang), math.Sin(ang)
+				i1, i2 := base+j, base+j+half
+				ar, ai := re[i1], im[i1]
+				br, bi := re[i2], im[i2]
+				tr := wr*br - wi*bi
+				ti := wr*bi + wi*br
+				re[i1], im[i1] = ar+tr, ai+ti
+				re[i2], im[i2] = ar-tr, ai-ti
+			}
+		}
+	}
+	var out []float64
+	lim := int64(4)
+	if n < lim {
+		lim = n
+	}
+	for i := int64(0); i < lim; i++ {
+		out = append(out, interp.QuantizeOutput(re[i]), interp.QuantizeOutput(im[i]))
+	}
+	var energy float64
+	for i := int64(0); i < n; i++ {
+		energy += re[i]*re[i] + im[i]*im[i]
+	}
+	return append(out, interp.QuantizeOutput(energy))
+}

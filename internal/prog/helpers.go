@@ -1,0 +1,177 @@
+package prog
+
+import "repro/internal/ir"
+
+// This file holds the small construction DSL the benchmark builders share:
+// mutable variables backed by allocas (the shape clang -O0 gives C locals,
+// which is what LLFI-instrumented studies analyze), counted loops, and the
+// in-IR LCG used to derive benchmark data from seed arguments.
+
+// word is the LCG multiplier/increment pair (PCG64's default stream).
+const (
+	lcgMul = 6364136223846793005
+	lcgInc = 1442695040888963407
+)
+
+// v wraps ir.Builder with benchmark-construction helpers.
+type v struct {
+	b *ir.Builder
+}
+
+// variable is a single mutable i64/f64/ptr cell in memory.
+type variable struct {
+	ptr *ir.Instr
+	ty  ir.Type
+}
+
+// newVar allocates a cell and initializes it.
+func (h v) newVar(ty ir.Type, init ir.Value) variable {
+	p := h.b.AllocaN(1)
+	h.b.Store(init, p)
+	return variable{ptr: p, ty: ty}
+}
+
+// get loads the variable.
+func (h v) get(va variable) *ir.Instr { return h.b.Load(va.ty, va.ptr) }
+
+// set stores val into the variable.
+func (h v) set(va variable, val ir.Value) { h.b.Store(val, va.ptr) }
+
+// add increments an i64 variable by delta.
+func (h v) addVar(va variable, delta ir.Value) { h.set(va, h.b.Add(h.get(va), delta)) }
+
+// fadd increments an f64 variable by delta.
+func (h v) faddVar(va variable, delta ir.Value) { h.set(va, h.b.FAdd(h.get(va), delta)) }
+
+// loop emits: for i = lo; i < hi; i++ { body(i) }. The induction variable is
+// a phi; the body may create its own blocks and must leave the builder in
+// the block that falls through to the loop latch. After loop returns the
+// builder is positioned in the exit block.
+func (h v) loop(name string, lo, hi ir.Value, body func(i ir.Value)) {
+	b := h.b
+	pre := b.Cur
+	head := b.Block(name + ".head")
+	bodyB := b.Block(name + ".body")
+	exit := b.Block(name + ".exit")
+
+	b.Br(head)
+	b.SetBlock(head)
+	i := b.Phi(ir.I64)
+	cond := b.ICmp(ir.OpICmpSLT, i, hi)
+	b.CondBr(cond, bodyB, exit)
+
+	b.SetBlock(bodyB)
+	body(i)
+	i2 := b.Add(i, ir.I64c(1))
+	latch := b.Cur
+	b.Br(head)
+
+	ir.AddIncoming(i, lo, pre)
+	ir.AddIncoming(i, i2, latch)
+	b.SetBlock(exit)
+}
+
+// while emits: while cond() { body() }. cond is re-evaluated in the head
+// block each iteration (it may emit instructions); state must flow through
+// memory (variables), not SSA values. The builder resumes in the exit block.
+func (h v) while(name string, cond func() ir.Value, body func()) {
+	b := h.b
+	head := b.Block(name + ".head")
+	bodyB := b.Block(name + ".body")
+	exit := b.Block(name + ".exit")
+	b.Br(head)
+	b.SetBlock(head)
+	c := cond()
+	b.CondBr(c, bodyB, exit)
+	b.SetBlock(bodyB)
+	body()
+	b.Br(head)
+	b.SetBlock(exit)
+}
+
+// ifThen emits: if cond { then() }. The then-body may create blocks; the
+// builder resumes in the join block.
+func (h v) ifThen(name string, cond ir.Value, then func()) {
+	b := h.b
+	thenB := b.Block(name + ".then")
+	join := b.Block(name + ".join")
+	b.CondBr(cond, thenB, join)
+	b.SetBlock(thenB)
+	then()
+	b.Br(join)
+	b.SetBlock(join)
+}
+
+// ifElse emits: if cond { then() } else { els() }.
+func (h v) ifElse(name string, cond ir.Value, then, els func()) {
+	b := h.b
+	thenB := b.Block(name + ".then")
+	elseB := b.Block(name + ".else")
+	join := b.Block(name + ".join")
+	b.CondBr(cond, thenB, elseB)
+	b.SetBlock(thenB)
+	then()
+	b.Br(join)
+	b.SetBlock(elseB)
+	els()
+	b.Br(join)
+	b.SetBlock(join)
+}
+
+// lcgNext advances the LCG state variable and returns a non-negative i64
+// with 31 random bits: state = state*mul + inc; value = state >> 33.
+func (h v) lcgNext(state variable) *ir.Instr {
+	b := h.b
+	s := h.get(state)
+	s2 := b.Add(b.Mul(s, ir.I64c(lcgMul)), ir.I64c(lcgInc))
+	h.set(state, s2)
+	return b.LShr(s2, ir.I64c(33))
+}
+
+// lcgMod returns lcgNext % m (m a positive i64 value).
+func (h v) lcgMod(state variable, m ir.Value) *ir.Instr {
+	return h.b.SRem(h.lcgNext(state), m)
+}
+
+// lcgF64 returns a uniform f64 in [0,1) derived from the LCG.
+func (h v) lcgF64(state variable) *ir.Instr {
+	b := h.b
+	r := h.lcgNext(state) // 31 random bits, non-negative
+	return b.FMul(b.SIToFP(r), ir.F64c(1.0/(1<<31)))
+}
+
+// minI64 emits min(a, b) via select.
+func (h v) minI64(a, b ir.Value) *ir.Instr {
+	lt := h.b.ICmp(ir.OpICmpSLT, a, b)
+	return h.b.Select(lt, a, b)
+}
+
+// maxI64 emits max(a, b) via select.
+func (h v) maxI64(a, b ir.Value) *ir.Instr {
+	gt := h.b.ICmp(ir.OpICmpSGT, a, b)
+	return h.b.Select(gt, a, b)
+}
+
+// idx2 computes base + (i*stride + j) for 2-D indexing.
+func (h v) idx2(base ir.Value, i, stride, j ir.Value) *ir.Instr {
+	off := h.b.Add(h.b.Mul(i, stride), j)
+	return h.b.GEP(base, off)
+}
+
+// printI64 and printF64 append to the program output.
+func (h v) printI64(x ir.Value) { h.b.Call(ir.Void, "print_i64", x) }
+func (h v) printF64(x ir.Value) { h.b.Call(ir.Void, "print_f64", x) }
+
+// goLCG mirrors the in-IR LCG for the Go oracles used in tests.
+type goLCG struct{ state uint64 }
+
+func newGoLCG(seed int64) *goLCG { return &goLCG{state: uint64(seed)} }
+
+func (l *goLCG) next() int64 {
+	l.state = l.state*6364136223846793005 + 1442695040888963407
+	return int64(l.state >> 33)
+}
+
+func (l *goLCG) mod(m int64) int64 { return l.next() % m }
+
+func (l *goLCG) f64() float64 { return float64(l.next()) * (1.0 / (1 << 31)) }

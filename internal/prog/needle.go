@@ -1,0 +1,123 @@
+package prog
+
+import "repro/internal/ir"
+
+// Needle (Rodinia): Needleman-Wunsch global sequence alignment. A quadratic
+// DP over two LCG-generated 4-letter sequences with max-of-three recurrence
+// and affine gap penalty. Like Pathfinder, the max-selection masks many
+// corrupted lanes, and only the DP boundary reaches the output.
+//
+// Inputs: n (sequence length), penalty (gap cost), match (match reward),
+// seed. Output: the final alignment score.
+
+func init() { register("needle", buildNeedle) }
+
+func needleArgs() []ArgSpec {
+	return []ArgSpec{
+		{Name: "n", Kind: ArgInt, Min: 4, Max: 48, SmallMin: 4, SmallMax: 8, Ref: 16},
+		{Name: "penalty", Kind: ArgInt, Min: 1, Max: 20, SmallMin: 1, SmallMax: 4, Ref: 10},
+		{Name: "match", Kind: ArgInt, Min: 1, Max: 10, SmallMin: 1, SmallMax: 3, Ref: 5},
+		{Name: "seed", Kind: ArgInt, Min: 1, Max: 1 << 20, SmallMin: 1, SmallMax: 64, Ref: 3},
+	}
+}
+
+func buildNeedle() (*ir.Module, []ArgSpec, string, string, int64) {
+	m := ir.NewModule("needle")
+	f := m.NewFunc("main", ir.Void,
+		&ir.Param{Name: "n", Ty: ir.I64},
+		&ir.Param{Name: "penalty", Ty: ir.I64},
+		&ir.Param{Name: "match", Ty: ir.I64},
+		&ir.Param{Name: "seed", Ty: ir.I64},
+	)
+	b := ir.NewBuilder(f)
+	h := v{b}
+
+	n := b.Param(0)
+	penalty := b.Param(1)
+	match := b.Param(2)
+	seed := b.Param(3)
+
+	state := h.newVar(ir.I64, seed)
+	seq1 := b.Alloca(n)
+	seq2 := b.Alloca(n)
+	np1 := b.Add(n, ir.I64c(1))
+	dp := b.Alloca(b.Mul(np1, np1))
+
+	four := ir.I64c(4)
+	h.loop("gen1", ir.I64c(0), n, func(i ir.Value) {
+		b.Store(h.lcgMod(state, four), b.GEP(seq1, i))
+	})
+	h.loop("gen2", ir.I64c(0), n, func(i ir.Value) {
+		b.Store(h.lcgMod(state, four), b.GEP(seq2, i))
+	})
+
+	// DP boundary: dp[0][j] = -j*penalty, dp[i][0] = -i*penalty.
+	h.loop("b0", ir.I64c(0), np1, func(j ir.Value) {
+		b.Store(b.Sub(ir.I64c(0), b.Mul(j, penalty)), h.idx2(dp, ir.I64c(0), np1, j))
+	})
+	h.loop("b1", ir.I64c(1), np1, func(i ir.Value) {
+		b.Store(b.Sub(ir.I64c(0), b.Mul(i, penalty)), h.idx2(dp, i, np1, ir.I64c(0)))
+	})
+
+	negMatch := h.newVar(ir.I64, b.Sub(ir.I64c(0), match))
+	h.loop("dp.i", ir.I64c(1), np1, func(i ir.Value) {
+		h.loop("dp.j", ir.I64c(1), np1, func(j ir.Value) {
+			a := b.Load(ir.I64, b.GEP(seq1, b.Sub(i, ir.I64c(1))))
+			c := b.Load(ir.I64, b.GEP(seq2, b.Sub(j, ir.I64c(1))))
+			eq := b.ICmp(ir.OpICmpEQ, a, c)
+			sim := b.Select(eq, match, h.get(negMatch))
+			diag := b.Add(b.Load(ir.I64, h.idx2(dp, b.Sub(i, ir.I64c(1)), np1, b.Sub(j, ir.I64c(1)))), sim)
+			up := b.Sub(b.Load(ir.I64, h.idx2(dp, b.Sub(i, ir.I64c(1)), np1, j)), penalty)
+			leftv := b.Sub(b.Load(ir.I64, h.idx2(dp, i, np1, b.Sub(j, ir.I64c(1)))), penalty)
+			b.Store(h.maxI64(h.maxI64(diag, up), leftv), h.idx2(dp, i, np1, j))
+		})
+	})
+
+	// Output: the final alignment score only — faults must survive the
+	// max-of-three recurrence to reach it.
+	h.printI64(b.Load(ir.I64, h.idx2(dp, n, np1, n)))
+	b.Ret(nil)
+
+	return m, needleArgs(), "Rodinia",
+		"Needleman-Wunsch DNA sequence alignment (nonlinear global optimization)", 600000
+}
+
+// oracleNeedle mirrors the IR program in Go.
+func oracleNeedle(n, penalty, match, seed int64) []int64 {
+	lcg := newGoLCG(seed)
+	seq1 := make([]int64, n)
+	seq2 := make([]int64, n)
+	for i := range seq1 {
+		seq1[i] = lcg.mod(4)
+	}
+	for i := range seq2 {
+		seq2[i] = lcg.mod(4)
+	}
+	np1 := n + 1
+	dp := make([]int64, np1*np1)
+	for j := int64(0); j < np1; j++ {
+		dp[j] = -j * penalty
+	}
+	for i := int64(1); i < np1; i++ {
+		dp[i*np1] = -i * penalty
+	}
+	max2 := func(a, b int64) int64 {
+		if a > b {
+			return a
+		}
+		return b
+	}
+	for i := int64(1); i < np1; i++ {
+		for j := int64(1); j < np1; j++ {
+			sim := -match
+			if seq1[i-1] == seq2[j-1] {
+				sim = match
+			}
+			diag := dp[(i-1)*np1+(j-1)] + sim
+			up := dp[(i-1)*np1+j] - penalty
+			left := dp[i*np1+(j-1)] - penalty
+			dp[i*np1+j] = max2(max2(diag, up), left)
+		}
+	}
+	return []int64{dp[n*np1+n]}
+}

@@ -1,0 +1,239 @@
+package prog
+
+import (
+	"math"
+
+	"repro/internal/interp"
+	"repro/internal/ir"
+)
+
+// Particlefilter (Rodinia): a Bayesian particle filter tracking an object
+// moving with constant velocity through noisy observations. Each frame
+// propagates particles with process noise, weights them by a Gaussian
+// likelihood of the noisy measurement, normalizes, estimates the posterior
+// mean, and systematically resamples. The weight normalization partially
+// masks corrupted weights, while corrupted positions flow into the printed
+// per-frame estimates.
+//
+// Inputs: np (particles), frames, seed, sigma (noise scale). Output: the
+// estimated (x, y) per frame.
+
+func init() { register("particlefilter", buildParticlefilter) }
+
+func particlefilterArgs() []ArgSpec {
+	return []ArgSpec{
+		{Name: "np", Kind: ArgInt, Min: 8, Max: 128, SmallMin: 8, SmallMax: 16, Ref: 64},
+		{Name: "frames", Kind: ArgInt, Min: 2, Max: 16, SmallMin: 2, SmallMax: 4, Ref: 4},
+		{Name: "seed", Kind: ArgInt, Min: 1, Max: 1 << 20, SmallMin: 1, SmallMax: 64, Ref: 5},
+		{Name: "sigma", Kind: ArgFloat, Min: 0.2, Max: 5, SmallMin: 0.5, SmallMax: 1.5, Ref: 1.5},
+	}
+}
+
+func buildParticlefilter() (*ir.Module, []ArgSpec, string, string, int64) {
+	m := ir.NewModule("particlefilter")
+	f := m.NewFunc("main", ir.Void,
+		&ir.Param{Name: "np", Ty: ir.I64},
+		&ir.Param{Name: "frames", Ty: ir.I64},
+		&ir.Param{Name: "seed", Ty: ir.I64},
+		&ir.Param{Name: "sigma", Ty: ir.F64},
+	)
+	b := ir.NewBuilder(f)
+	h := v{b}
+
+	np := b.Param(0)
+	frames := b.Param(1)
+	seed := b.Param(2)
+	sigma := b.Param(3)
+
+	state := h.newVar(ir.I64, seed)
+	px := b.Alloca(np)
+	py := b.Alloca(np)
+	w := b.Alloca(np)
+	npx := b.Alloca(np)
+	npy := b.Alloca(np)
+
+	// Initialize particles around the origin.
+	h.loop("init", ir.I64c(0), np, func(i ir.Value) {
+		b.Store(b.FSub(b.FMul(h.lcgF64(state), ir.F64c(2)), ir.F64c(1)), b.GEP(px, i))
+		b.Store(b.FSub(b.FMul(h.lcgF64(state), ir.F64c(2)), ir.F64c(1)), b.GEP(py, i))
+	})
+
+	tx := h.newVar(ir.F64, ir.F64c(0))
+	ty := h.newVar(ir.F64, ir.F64c(0))
+	npf := b.SIToFP(np)
+	twoSigma2 := b.FMul(b.FMul(sigma, sigma), ir.F64c(2))
+
+	h.loop("frame", ir.I64c(0), frames, func(fr ir.Value) {
+		_ = fr
+		// True object motion.
+		h.set(tx, b.FAdd(h.get(tx), ir.F64c(1)))
+		h.set(ty, b.FAdd(h.get(ty), ir.F64c(0.5)))
+
+		// Propagate particles with process noise.
+		h.loop("prop", ir.I64c(0), np, func(i ir.Value) {
+			nx := b.FMul(b.FSub(h.lcgF64(state), ir.F64c(0.5)), sigma)
+			pxp := b.GEP(px, i)
+			b.Store(b.FAdd(b.FAdd(b.Load(ir.F64, pxp), ir.F64c(1)), nx), pxp)
+			ny := b.FMul(b.FSub(h.lcgF64(state), ir.F64c(0.5)), sigma)
+			pyp := b.GEP(py, i)
+			b.Store(b.FAdd(b.FAdd(b.Load(ir.F64, pyp), ir.F64c(0.5)), ny), pyp)
+		})
+
+		// Noisy observation of the true position.
+		ox := b.FAdd(h.get(tx), b.FMul(b.FSub(h.lcgF64(state), ir.F64c(0.5)), b.FMul(sigma, ir.F64c(0.5))))
+		oy := b.FAdd(h.get(ty), b.FMul(b.FSub(h.lcgF64(state), ir.F64c(0.5)), b.FMul(sigma, ir.F64c(0.5))))
+
+		// Gaussian likelihood weights.
+		wsum := h.newVar(ir.F64, ir.F64c(0))
+		h.loop("weight", ir.I64c(0), np, func(i ir.Value) {
+			dx := b.FSub(b.Load(ir.F64, b.GEP(px, i)), ox)
+			dy := b.FSub(b.Load(ir.F64, b.GEP(py, i)), oy)
+			d2 := b.FAdd(b.FMul(dx, dx), b.FMul(dy, dy))
+			wi := b.Call(ir.F64, "exp", b.FDiv(b.FSub(ir.F64c(0), d2), twoSigma2))
+			b.Store(wi, b.GEP(w, i))
+			h.faddVar(wsum, wi)
+		})
+
+		// Normalize (guard against total weight underflow: fall back to
+		// uniform weights, as the reference implementation does).
+		total := h.get(wsum)
+		h.ifElse("norm", b.FCmp(ir.OpFCmpOGT, total, ir.F64c(1e-300)),
+			func() {
+				h.loop("norm.div", ir.I64c(0), np, func(i ir.Value) {
+					wp := b.GEP(w, i)
+					b.Store(b.FDiv(b.Load(ir.F64, wp), total), wp)
+				})
+			},
+			func() {
+				uni := b.FDiv(ir.F64c(1), npf)
+				h.loop("norm.uni", ir.I64c(0), np, func(i ir.Value) {
+					b.Store(uni, b.GEP(w, i))
+				})
+			})
+
+		// Posterior mean estimate.
+		xe := h.newVar(ir.F64, ir.F64c(0))
+		ye := h.newVar(ir.F64, ir.F64c(0))
+		h.loop("est", ir.I64c(0), np, func(i ir.Value) {
+			wi := b.Load(ir.F64, b.GEP(w, i))
+			h.faddVar(xe, b.FMul(wi, b.Load(ir.F64, b.GEP(px, i))))
+			h.faddVar(ye, b.FMul(wi, b.Load(ir.F64, b.GEP(py, i))))
+		})
+		h.printF64(h.get(xe))
+		h.printF64(h.get(ye))
+
+		// Adaptive systematic resampling: only when the effective sample
+		// size 1/Σwᵢ² falls below half the particle count (degenerate
+		// weights), as production particle filters do. Which frames
+		// resample — and hence the dynamic footprint and static coverage —
+		// depends on the noise input.
+		ess2 := h.newVar(ir.F64, ir.F64c(0))
+		h.loop("ess", ir.I64c(0), np, func(i ir.Value) {
+			wi := b.Load(ir.F64, b.GEP(w, i))
+			h.faddVar(ess2, b.FMul(wi, wi))
+		})
+		ess := b.FDiv(ir.F64c(1), h.get(ess2))
+		degenerate := b.FCmp(ir.OpFCmpOLT, ess, b.FMul(npf, ir.F64c(0.5)))
+		h.ifThen("resample", degenerate, func() {
+			u0 := b.FDiv(h.lcgF64(state), npf)
+			cw := h.newVar(ir.F64, b.Load(ir.F64, b.GEP(w, ir.I64c(0))))
+			idx := h.newVar(ir.I64, ir.I64c(0))
+			npM1 := b.Sub(np, ir.I64c(1))
+			h.loop("resample.j", ir.I64c(0), np, func(j ir.Value) {
+				u := b.FAdd(u0, b.FDiv(b.SIToFP(j), npf))
+				h.while("walk", func() ir.Value {
+					below := b.FCmp(ir.OpFCmpOGT, u, h.get(cw))
+					notLast := b.ICmp(ir.OpICmpSLT, h.get(idx), npM1)
+					return b.And(below, notLast)
+				}, func() {
+					h.addVar(idx, ir.I64c(1))
+					h.faddVar(cw, b.Load(ir.F64, b.GEP(w, h.get(idx))))
+				})
+				b.Store(b.Load(ir.F64, b.GEP(px, h.get(idx))), b.GEP(npx, j))
+				b.Store(b.Load(ir.F64, b.GEP(py, h.get(idx))), b.GEP(npy, j))
+			})
+			h.loop("copyback", ir.I64c(0), np, func(i ir.Value) {
+				b.Store(b.Load(ir.F64, b.GEP(npx, i)), b.GEP(px, i))
+				b.Store(b.Load(ir.F64, b.GEP(npy, i)), b.GEP(py, i))
+			})
+		})
+	})
+	b.Ret(nil)
+
+	return m, particlefilterArgs(), "Rodinia",
+		"Bayesian particle filter estimating a target location from noisy measurements", 800000
+}
+
+// oracleParticlefilter mirrors the IR program in Go.
+func oracleParticlefilter(np, frames, seed int64, sigma float64) []float64 {
+	lcg := newGoLCG(seed)
+	px := make([]float64, np)
+	py := make([]float64, np)
+	w := make([]float64, np)
+	npx := make([]float64, np)
+	npy := make([]float64, np)
+	for i := range px {
+		px[i] = lcg.f64()*2 - 1
+		py[i] = lcg.f64()*2 - 1
+	}
+	var tx, ty float64
+	npf := float64(np)
+	twoSigma2 := sigma * sigma * 2
+	var out []float64
+	for fr := int64(0); fr < frames; fr++ {
+		tx += 1
+		ty += 0.5
+		for i := range px {
+			nx := (lcg.f64() - 0.5) * sigma
+			px[i] = px[i] + 1 + nx
+			ny := (lcg.f64() - 0.5) * sigma
+			py[i] = py[i] + 0.5 + ny
+		}
+		ox := tx + (lcg.f64()-0.5)*(sigma*0.5)
+		oy := ty + (lcg.f64()-0.5)*(sigma*0.5)
+		var wsum float64
+		for i := range px {
+			dx := px[i] - ox
+			dy := py[i] - oy
+			d2 := dx*dx + dy*dy
+			w[i] = math.Exp(-d2 / twoSigma2)
+			wsum += w[i]
+		}
+		if wsum > 1e-300 {
+			for i := range w {
+				w[i] /= wsum
+			}
+		} else {
+			for i := range w {
+				w[i] = 1 / npf
+			}
+		}
+		var xe, ye float64
+		for i := range px {
+			xe += w[i] * px[i]
+			ye += w[i] * py[i]
+		}
+		out = append(out, interp.QuantizeOutput(xe), interp.QuantizeOutput(ye))
+		var ess2 float64
+		for i := range w {
+			ess2 += w[i] * w[i]
+		}
+		if 1/ess2 < npf*0.5 {
+			u0 := lcg.f64() / npf
+			cw := w[0]
+			idx := int64(0)
+			for j := int64(0); j < np; j++ {
+				u := u0 + float64(j)/npf
+				for u > cw && idx < np-1 {
+					idx++
+					cw += w[idx]
+				}
+				npx[j] = px[idx]
+				npy[j] = py[idx]
+			}
+			copy(px, npx)
+			copy(py, npy)
+		}
+	}
+	return out
+}

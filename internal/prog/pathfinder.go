@@ -1,0 +1,148 @@
+package prog
+
+import "repro/internal/ir"
+
+// Pathfinder (Rodinia): dynamic programming over a 2-D grid of wall costs,
+// finding the cheapest bottom-up path. Each DP cell takes the minimum of
+// three neighbours, so min-selection masks most corrupted lanes; its SDC
+// probability is strongly input-dependent (the paper's Figure 6 shows its
+// SDC-bound inputs are sparse in the input space).
+//
+// Inputs: rows, cols (grid shape), seed (wall contents), amp (wall cost
+// amplitude). Output: the minimum path cost over the final DP row.
+
+func init() { register("pathfinder", buildPathfinder) }
+
+func pathfinderArgs() []ArgSpec {
+	return []ArgSpec{
+		{Name: "rows", Kind: ArgInt, Min: 4, Max: 64, SmallMin: 4, SmallMax: 8, Ref: 20},
+		{Name: "cols", Kind: ArgInt, Min: 4, Max: 64, SmallMin: 4, SmallMax: 8, Ref: 20},
+		{Name: "seed", Kind: ArgInt, Min: 1, Max: 1 << 20, SmallMin: 1, SmallMax: 64, Ref: 7},
+		{Name: "amp", Kind: ArgInt, Min: 2, Max: 1000, SmallMin: 2, SmallMax: 16, Ref: 10},
+	}
+}
+
+func buildPathfinder() (*ir.Module, []ArgSpec, string, string, int64) {
+	m := ir.NewModule("pathfinder")
+	f := m.NewFunc("main", ir.Void,
+		&ir.Param{Name: "rows", Ty: ir.I64},
+		&ir.Param{Name: "cols", Ty: ir.I64},
+		&ir.Param{Name: "seed", Ty: ir.I64},
+		&ir.Param{Name: "amp", Ty: ir.I64},
+	)
+	b := ir.NewBuilder(f)
+	h := v{b}
+
+	rows := b.Param(0)
+	cols := b.Param(1)
+	seed := b.Param(2)
+	amp := b.Param(3)
+
+	state := h.newVar(ir.I64, seed)
+	wall := b.Alloca(b.Mul(rows, cols))
+	src := b.Alloca(cols)
+	dst := b.Alloca(cols)
+
+	// Fill the wall grid row-major: wall[r][c] = lcg % amp.
+	h.loop("fill.r", ir.I64c(0), rows, func(r ir.Value) {
+		h.loop("fill.c", ir.I64c(0), cols, func(c ir.Value) {
+			b.Store(h.lcgMod(state, amp), h.idx2(wall, r, cols, c))
+		})
+	})
+
+	// Large-amplitude walls get a smoothing pass (averaging each cell with
+	// its right neighbour) before the DP — an input-gated code region, so
+	// static coverage and the dynamic footprint vary with the amp argument.
+	h.ifThen("smooth", b.ICmp(ir.OpICmpSGE, amp, ir.I64c(512)), func() {
+		colsM1s := b.Sub(cols, ir.I64c(1))
+		h.loop("sm.r", ir.I64c(0), rows, func(r ir.Value) {
+			h.loop("sm.c", ir.I64c(0), colsM1s, func(c ir.Value) {
+				p0 := h.idx2(wall, r, cols, c)
+				p1 := h.idx2(wall, r, cols, b.Add(c, ir.I64c(1)))
+				avg := b.SDiv(b.Add(b.Load(ir.I64, p0), b.Load(ir.I64, p1)), ir.I64c(2))
+				b.Store(avg, p0)
+			})
+		})
+	})
+
+	// First DP row is the first wall row.
+	h.loop("init", ir.I64c(0), cols, func(c ir.Value) {
+		b.Store(b.Load(ir.I64, b.GEP(wall, c)), b.GEP(src, c))
+	})
+
+	colsM1 := b.Sub(cols, ir.I64c(1))
+	h.loop("dp.r", ir.I64c(1), rows, func(r ir.Value) {
+		h.loop("dp.c", ir.I64c(0), cols, func(c ir.Value) {
+			left := h.maxI64(b.Sub(c, ir.I64c(1)), ir.I64c(0))
+			right := h.minI64(b.Add(c, ir.I64c(1)), colsM1)
+			a := b.Load(ir.I64, b.GEP(src, left))
+			mid := b.Load(ir.I64, b.GEP(src, c))
+			rr := b.Load(ir.I64, b.GEP(src, right))
+			m3 := h.minI64(h.minI64(a, mid), rr)
+			w := b.Load(ir.I64, h.idx2(wall, r, cols, c))
+			b.Store(b.Add(w, m3), b.GEP(dst, c))
+		})
+		h.loop("dp.copy", ir.I64c(0), cols, func(c ir.Value) {
+			b.Store(b.Load(ir.I64, b.GEP(dst, c)), b.GEP(src, c))
+		})
+	})
+
+	// Output: the minimum path cost only (the DP row collapses through the
+	// min-reduction, so most corrupted lanes mask — the sparse landscape of
+	// the paper's Figure 6).
+	best := h.newVar(ir.I64, b.Load(ir.I64, b.GEP(src, ir.I64c(0))))
+	h.loop("best", ir.I64c(1), cols, func(c ir.Value) {
+		h.set(best, h.minI64(h.get(best), b.Load(ir.I64, b.GEP(src, c))))
+	})
+	h.printI64(h.get(best))
+	b.Ret(nil)
+
+	return m, pathfinderArgs(), "Rodinia",
+		"dynamic programming shortest path on a 2-D grid", 600000
+}
+
+// oraclePathfinder is the reference Go implementation used to validate the
+// IR program: it must produce exactly the printed output sequence.
+func oraclePathfinder(rows, cols, seed, amp int64) []int64 {
+	lcg := newGoLCG(seed)
+	wall := make([]int64, rows*cols)
+	for i := range wall {
+		wall[i] = lcg.mod(amp)
+	}
+	if amp >= 512 {
+		for r := int64(0); r < rows; r++ {
+			for c := int64(0); c < cols-1; c++ {
+				wall[r*cols+c] = (wall[r*cols+c] + wall[r*cols+c+1]) / 2
+			}
+		}
+	}
+	src := make([]int64, cols)
+	dst := make([]int64, cols)
+	copy(src, wall[:cols])
+	min2 := func(a, b int64) int64 {
+		if a < b {
+			return a
+		}
+		return b
+	}
+	max2 := func(a, b int64) int64 {
+		if a > b {
+			return a
+		}
+		return b
+	}
+	for r := int64(1); r < rows; r++ {
+		for c := int64(0); c < cols; c++ {
+			left := max2(c-1, 0)
+			right := min2(c+1, cols-1)
+			m3 := min2(min2(src[left], src[c]), src[right])
+			dst[c] = wall[r*cols+c] + m3
+		}
+		copy(src, dst)
+	}
+	best := src[0]
+	for c := int64(1); c < cols; c++ {
+		best = min2(best, src[c])
+	}
+	return []int64{best}
+}

@@ -1,0 +1,95 @@
+package prog
+
+import (
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/xrand"
+)
+
+// runOutputs executes a benchmark on an input and returns the printed
+// values as int64s (for integer-output programs).
+func runInts(t testing.TB, b *Benchmark, input []float64) []int64 {
+	t.Helper()
+	r := interp.Run(b.Prog, b.Encode(input), interp.Options{MaxDyn: b.MaxDyn})
+	if r.Trap != nil {
+		t.Fatalf("%s trapped on %v: %v", b.Name, input, r.Trap)
+	}
+	if r.BudgetExceeded {
+		t.Fatalf("%s exceeded budget on %v", b.Name, input)
+	}
+	out := make([]int64, len(r.Output))
+	for i, o := range r.Output {
+		out[i] = o.Int()
+	}
+	return out
+}
+
+func runFloats(t testing.TB, b *Benchmark, input []float64) []float64 {
+	t.Helper()
+	r := interp.Run(b.Prog, b.Encode(input), interp.Options{MaxDyn: b.MaxDyn})
+	if r.Trap != nil {
+		t.Fatalf("%s trapped on %v: %v", b.Name, input, r.Trap)
+	}
+	if r.BudgetExceeded {
+		t.Fatalf("%s exceeded budget on %v", b.Name, input)
+	}
+	out := make([]float64, len(r.Output))
+	for i, o := range r.Output {
+		out[i] = o.Float()
+	}
+	return out
+}
+
+func eqInts(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func eqFloats(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] { // exact: oracle mirrors operation order
+			return false
+		}
+	}
+	return true
+}
+
+func TestPathfinderMatchesOracle(t *testing.T) {
+	b := Build("pathfinder")
+	rng := xrand.New(1)
+	// Reference input plus random inputs.
+	inputs := [][]float64{b.RefInput()}
+	for i := 0; i < 20; i++ {
+		inputs = append(inputs, b.RandomInput(rng))
+	}
+	for _, in := range inputs {
+		got := runInts(t, b, in)
+		want := oraclePathfinder(int64(in[0]), int64(in[1]), int64(in[2]), int64(in[3]))
+		if !eqInts(got, want) {
+			t.Fatalf("input %v: got %v want %v", in, got, want)
+		}
+	}
+}
+
+func TestPathfinderOutputShape(t *testing.T) {
+	b := Build("pathfinder")
+	out := runInts(t, b, []float64{5, 7, 3, 10})
+	if len(out) != 1 {
+		t.Fatalf("output length %d, want 1 (min path cost)", len(out))
+	}
+	// A 5-row path sums 5 non-negative wall costs below amp each.
+	if out[0] < 0 || out[0] >= 5*10 {
+		t.Fatalf("min path cost %d out of plausible range", out[0])
+	}
+}

@@ -1,0 +1,178 @@
+// Package prog re-implements, in the repository's LLVM-like IR, the seven
+// HPC benchmark kernels the paper evaluates (Table 1): Pathfinder, Needle,
+// Particlefilter (Rodinia), CoMD, HPCCG (Mantevo), XSBench (CESAR) and FFT
+// (SPLASH-2). Each benchmark takes only numeric scalar inputs (§3.1.2 — the
+// paper selects benchmarks this way for input generation), carries a default
+// reference input standing in for the benchmark suite's provided input, and
+// generates its internal data (grids, sequences, particles, lattices)
+// deterministically from a seed argument with an in-IR LCG, so program
+// behaviour is a pure function of the numeric input vector.
+//
+// Workload sizes are scaled down from the paper's multi-billion-instruction
+// runs so that thousand-trial fault-injection campaigns finish in seconds;
+// the input-dependent control-flow and data-flow structure that PEPPA-X
+// exploits is preserved.
+package prog
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/xrand"
+)
+
+// ArgKind distinguishes integer and floating program arguments.
+type ArgKind uint8
+
+// Argument kinds.
+const (
+	ArgInt ArgKind = iota
+	ArgFloat
+)
+
+// ArgSpec describes one scalar input argument: its generation range for
+// random inputs (the paper's random input study, §3.1.2), the narrow range
+// the small-FI-input fuzzer starts from (§4.2.1), and the benchmark's
+// default reference value (the "default reference input", §3.2.1).
+type ArgSpec struct {
+	Name string
+	Kind ArgKind
+	// Min and Max bound the full input space (inclusive).
+	Min, Max float64
+	// SmallMin and SmallMax bound the initial small-workload fuzzing range.
+	SmallMin, SmallMax float64
+	// Ref is the argument's value in the default reference input.
+	Ref float64
+}
+
+// Clamp forces v into the argument's valid range, rounding integers.
+func (a ArgSpec) Clamp(v float64) float64 {
+	if a.Kind == ArgInt {
+		v = math.Round(v)
+	}
+	if v < a.Min {
+		v = a.Min
+	}
+	if v > a.Max {
+		v = a.Max
+	}
+	return v
+}
+
+// Benchmark bundles a compiled program with its input specification.
+type Benchmark struct {
+	Name        string
+	Suite       string
+	Description string
+	Module      *ir.Module
+	Prog        *interp.Program
+	Args        []ArgSpec
+
+	// MaxDyn is the per-run dynamic-instruction validity bound: inputs whose
+	// golden run exceeds it are rejected, mirroring the paper's 40-billion
+	// dynamic-instruction cap on generated inputs (§3.1.2), scaled down.
+	MaxDyn int64
+}
+
+// Encode converts an input vector (one float64 per argument, integers
+// pre-rounded) into interpreter argument slots.
+func (b *Benchmark) Encode(input []float64) []uint64 {
+	if len(input) != len(b.Args) {
+		panic(fmt.Sprintf("prog: %s takes %d args, got %d", b.Name, len(b.Args), len(input)))
+	}
+	out := make([]uint64, len(input))
+	for i, v := range input {
+		if b.Args[i].Kind == ArgInt {
+			out[i] = uint64(int64(math.Round(v)))
+		} else {
+			out[i] = math.Float64bits(v)
+		}
+	}
+	return out
+}
+
+// RefInput returns the default reference input vector.
+func (b *Benchmark) RefInput() []float64 {
+	in := make([]float64, len(b.Args))
+	for i, a := range b.Args {
+		in[i] = a.Ref
+	}
+	return in
+}
+
+// RandomInput draws a uniform input from the full input space.
+func (b *Benchmark) RandomInput(rng *xrand.RNG) []float64 {
+	in := make([]float64, len(b.Args))
+	for i, a := range b.Args {
+		in[i] = a.Clamp(rng.Range(a.Min, a.Max))
+	}
+	return in
+}
+
+// RandomInputScaled draws an input where each argument is sampled from the
+// small range linearly widened toward the full range by frac in [0,1] —
+// the expanding-range procedure of the small-FI-input fuzzer (§4.2.1).
+func (b *Benchmark) RandomInputScaled(rng *xrand.RNG, frac float64) []float64 {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	in := make([]float64, len(b.Args))
+	for i, a := range b.Args {
+		lo := a.SmallMin + (a.Min-a.SmallMin)*frac
+		hi := a.SmallMax + (a.Max-a.SmallMax)*frac
+		in[i] = a.Clamp(rng.Range(lo, hi))
+	}
+	return in
+}
+
+// ClampInput clamps every argument of input in place and returns it.
+func (b *Benchmark) ClampInput(input []float64) []float64 {
+	for i := range input {
+		input[i] = b.Args[i].Clamp(input[i])
+	}
+	return input
+}
+
+// builderFunc constructs one benchmark module.
+type builderFunc func() (*ir.Module, []ArgSpec, string, string, int64)
+
+var builders = map[string]builderFunc{}
+
+var benchOrder = []string{"pathfinder", "needle", "particlefilter", "comd", "hpccg", "xsbench", "fft"}
+
+func register(name string, fn builderFunc) { builders[name] = fn }
+
+// Build constructs and compiles the named benchmark. It panics on unknown
+// names and on internal build errors (which indicate a bug, not bad input).
+func Build(name string) *Benchmark {
+	fn, ok := builders[name]
+	if !ok {
+		panic(fmt.Sprintf("prog: unknown benchmark %q", name))
+	}
+	mod, args, suite, desc, maxDyn := fn()
+	p, err := interp.Compile(mod)
+	if err != nil {
+		panic(fmt.Sprintf("prog: %s failed to compile: %v", name, err))
+	}
+	return &Benchmark{
+		Name: name, Suite: suite, Description: desc,
+		Module: mod, Prog: p, Args: args, MaxDyn: maxDyn,
+	}
+}
+
+// Names returns the benchmark names in the paper's Table 1 order.
+func Names() []string { return append([]string(nil), benchOrder...) }
+
+// All builds every benchmark in Table 1 order.
+func All() []*Benchmark {
+	out := make([]*Benchmark, 0, len(benchOrder))
+	for _, n := range benchOrder {
+		out = append(out, Build(n))
+	}
+	return out
+}

@@ -1,0 +1,407 @@
+package prog
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/xrand"
+)
+
+// runOutVals executes a benchmark and returns the raw output values.
+func runOutVals(t testing.TB, b *Benchmark, input []float64) []interp.OutVal {
+	t.Helper()
+	r := interp.Run(b.Prog, b.Encode(input), interp.Options{MaxDyn: b.MaxDyn})
+	if r.Trap != nil {
+		t.Fatalf("%s trapped on %v: %v", b.Name, input, r.Trap)
+	}
+	if r.BudgetExceeded {
+		t.Fatalf("%s exceeded budget on %v", b.Name, input)
+	}
+	return r.Output
+}
+
+// asFloats converts an output sequence to float64s (I64 outputs become
+// exact small floats).
+func asFloats(out []interp.OutVal) []float64 {
+	fs := make([]float64, len(out))
+	for i, o := range out {
+		if o.Ty == ir.I64 {
+			fs[i] = float64(o.Int())
+		} else {
+			fs[i] = o.Float()
+		}
+	}
+	return fs
+}
+
+func TestAllBenchmarksRegistered(t *testing.T) {
+	names := Names()
+	if len(names) != 7 {
+		t.Fatalf("want 7 benchmarks, have %d", len(names))
+	}
+	for _, b := range All() {
+		if b.Prog == nil || len(b.Args) == 0 || b.Suite == "" || b.Description == "" {
+			t.Fatalf("%s incompletely described", b.Name)
+		}
+	}
+}
+
+func TestBenchmarkModulesVerifyAndRoundTrip(t *testing.T) {
+	for _, b := range All() {
+		if err := ir.Verify(b.Module); err != nil {
+			t.Fatalf("%s: verify: %v", b.Name, err)
+		}
+		text := ir.Print(b.Module)
+		m2, err := ir.Parse(text)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", b.Name, err)
+		}
+		if err := ir.Verify(m2); err != nil {
+			t.Fatalf("%s: verify parsed: %v", b.Name, err)
+		}
+		if ir.Print(m2) != text {
+			t.Fatalf("%s: print/parse round-trip mismatch", b.Name)
+		}
+		// The parsed module must compile and execute identically.
+		p2, err := interp.Compile(m2)
+		if err != nil {
+			t.Fatalf("%s: compile parsed: %v", b.Name, err)
+		}
+		in := b.Encode(b.RefInput())
+		r1 := interp.Run(b.Prog, in, interp.Options{})
+		r2 := interp.Run(p2, in, interp.Options{})
+		if !interp.OutputEqual(r1.Output, r2.Output) {
+			t.Fatalf("%s: parsed module output differs", b.Name)
+		}
+	}
+}
+
+func TestReferenceInputsAreValid(t *testing.T) {
+	for _, b := range All() {
+		r := interp.Run(b.Prog, b.Encode(b.RefInput()), interp.Options{MaxDyn: b.MaxDyn, Profile: true})
+		if r.Trap != nil {
+			t.Fatalf("%s ref input traps: %v", b.Name, r.Trap)
+		}
+		if r.BudgetExceeded {
+			t.Fatalf("%s ref input exceeds MaxDyn", b.Name)
+		}
+		if len(r.Output) == 0 {
+			t.Fatalf("%s produces no output", b.Name)
+		}
+		if r.DynCount < 1000 {
+			t.Fatalf("%s ref workload suspiciously small: %d dyn instrs", b.Name, r.DynCount)
+		}
+		t.Logf("%s: %d static instrs, %d dyn instrs, coverage %.2f",
+			b.Name, b.Prog.NumInstrs(), r.DynCount, r.Coverage(b.Prog.NumInstrs()))
+	}
+}
+
+func TestRandomInputsAreValid(t *testing.T) {
+	rng := xrand.New(99)
+	for _, b := range All() {
+		for i := 0; i < 15; i++ {
+			in := b.RandomInput(rng)
+			r := interp.Run(b.Prog, b.Encode(in), interp.Options{MaxDyn: b.MaxDyn})
+			if r.Trap != nil {
+				t.Fatalf("%s traps on random input %v: %v", b.Name, in, r.Trap)
+			}
+			if r.BudgetExceeded {
+				t.Fatalf("%s exceeds budget on random input %v", b.Name, in)
+			}
+		}
+	}
+}
+
+func TestSmallScaledInputsAreValid(t *testing.T) {
+	rng := xrand.New(7)
+	for _, b := range All() {
+		in := b.RandomInputScaled(rng, 0)
+		r := interp.Run(b.Prog, b.Encode(in), interp.Options{MaxDyn: b.MaxDyn})
+		if r.Trap != nil || r.BudgetExceeded {
+			t.Fatalf("%s small input %v failed: %v", b.Name, in, r.Trap)
+		}
+		// Small inputs should be cheaper than the reference input.
+		ref := interp.Run(b.Prog, b.Encode(b.RefInput()), interp.Options{MaxDyn: b.MaxDyn})
+		if r.DynCount > ref.DynCount*3 {
+			t.Fatalf("%s small input (%d dyn) much larger than ref (%d dyn)",
+				b.Name, r.DynCount, ref.DynCount)
+		}
+	}
+}
+
+func TestNeedleMatchesOracle(t *testing.T) {
+	b := Build("needle")
+	rng := xrand.New(2)
+	inputs := [][]float64{b.RefInput()}
+	for i := 0; i < 15; i++ {
+		inputs = append(inputs, b.RandomInput(rng))
+	}
+	for _, in := range inputs {
+		got := asFloats(runOutVals(t, b, in))
+		wantInts := oracleNeedle(int64(in[0]), int64(in[1]), int64(in[2]), int64(in[3]))
+		if len(got) != len(wantInts) {
+			t.Fatalf("needle %v: length %d vs %d", in, len(got), len(wantInts))
+		}
+		for i := range got {
+			if got[i] != float64(wantInts[i]) {
+				t.Fatalf("needle %v: out[%d] = %v, want %d", in, i, got[i], wantInts[i])
+			}
+		}
+	}
+}
+
+func TestNeedleScoreBound(t *testing.T) {
+	// The alignment score can never exceed n*match.
+	b := Build("needle")
+	rng := xrand.New(5)
+	for i := 0; i < 10; i++ {
+		in := b.RandomInput(rng)
+		out := runOutVals(t, b, in)
+		score := out[0].Int()
+		if score > int64(in[0])*int64(in[2]) {
+			t.Fatalf("score %d exceeds n*match for %v", score, in)
+		}
+	}
+}
+
+func TestFFTMatchesOracle(t *testing.T) {
+	b := Build("fft")
+	rng := xrand.New(3)
+	inputs := [][]float64{b.RefInput()}
+	for i := 0; i < 15; i++ {
+		inputs = append(inputs, b.RandomInput(rng))
+	}
+	for _, in := range inputs {
+		got := asFloats(runOutVals(t, b, in))
+		want := oracleFFT(int64(in[0]), int64(in[1]), in[2])
+		if !eqFloats(got, want) {
+			t.Fatalf("fft %v: got %v want %v", in, got, want)
+		}
+	}
+}
+
+func TestFFTParseval(t *testing.T) {
+	// Parseval: spectral energy = n * time-domain energy. Compare loosely —
+	// the identity validates the transform itself.
+	b := Build("fft")
+	in := []float64{5, 77, 1.0}
+	out := asFloats(runOutVals(t, b, in))
+	specEnergy := out[len(out)-1]
+	n := int64(1) << 5
+	lcg := newGoLCG(77)
+	var timeEnergy float64
+	for i := int64(0); i < n; i++ {
+		re := lcg.f64()*2 - 1
+		im := lcg.f64()*2 - 1
+		timeEnergy += re*re + im*im
+	}
+	ratio := specEnergy / (float64(n) * timeEnergy)
+	if ratio < 0.999999 || ratio > 1.000001 {
+		t.Fatalf("Parseval violated: ratio %v", ratio)
+	}
+}
+
+func TestParticlefilterMatchesOracle(t *testing.T) {
+	b := Build("particlefilter")
+	rng := xrand.New(4)
+	inputs := [][]float64{b.RefInput()}
+	for i := 0; i < 10; i++ {
+		inputs = append(inputs, b.RandomInput(rng))
+	}
+	for _, in := range inputs {
+		got := asFloats(runOutVals(t, b, in))
+		want := oracleParticlefilter(int64(in[0]), int64(in[1]), int64(in[2]), in[3])
+		if !eqFloats(got, want) {
+			t.Fatalf("particlefilter %v mismatch", in)
+		}
+	}
+}
+
+func TestParticlefilterTracks(t *testing.T) {
+	// With low noise the estimate should roughly follow the object
+	// (x grows ~1/frame, y ~0.5/frame).
+	b := Build("particlefilter")
+	out := asFloats(runOutVals(t, b, []float64{64, 10, 3, 0.5}))
+	lastX := out[len(out)-2]
+	lastY := out[len(out)-1]
+	if lastX < 5 || lastX > 15 {
+		t.Fatalf("estimate x = %v after 10 frames, want ~10", lastX)
+	}
+	if lastY < 2 || lastY > 8 {
+		t.Fatalf("estimate y = %v after 10 frames, want ~5", lastY)
+	}
+}
+
+func TestCoMDMatchesOracle(t *testing.T) {
+	b := Build("comd")
+	rng := xrand.New(6)
+	inputs := [][]float64{b.RefInput()}
+	for i := 0; i < 8; i++ {
+		inputs = append(inputs, b.RandomInput(rng))
+	}
+	for _, in := range inputs {
+		got := asFloats(runOutVals(t, b, in))
+		want := oracleCoMD(int64(in[0]), int64(in[1]), in[2], in[3], int64(in[4]))
+		if !eqFloats(got, want) {
+			t.Fatalf("comd %v mismatch:\n got %v\nwant %v", in, got, want)
+		}
+	}
+}
+
+func TestCoMDEnergyFinite(t *testing.T) {
+	b := Build("comd")
+	out := asFloats(runOutVals(t, b, b.RefInput()))
+	for i, v := range out {
+		if v != v || v > 1e15 || v < -1e15 {
+			t.Fatalf("comd output %d non-finite or exploded: %v", i, v)
+		}
+	}
+	ke := out[len(out)-2]
+	if ke < 0 {
+		t.Fatalf("kinetic energy %v negative", ke)
+	}
+}
+
+func TestHPCCGMatchesOracle(t *testing.T) {
+	b := Build("hpccg")
+	rng := xrand.New(8)
+	inputs := [][]float64{b.RefInput()}
+	for i := 0; i < 10; i++ {
+		inputs = append(inputs, b.RandomInput(rng))
+	}
+	for _, in := range inputs {
+		got := asFloats(runOutVals(t, b, in))
+		want := oracleHPCCG(int64(in[0]), int64(in[1]), int64(in[2]), int64(in[3]), int64(in[4]))
+		if !eqFloats(got, want) {
+			t.Fatalf("hpccg %v mismatch:\n got %v\nwant %v", in, got, want)
+		}
+	}
+}
+
+func TestHPCCGConverges(t *testing.T) {
+	// With enough iterations the residual should drop far below the initial
+	// norm (the system is symmetric positive definite).
+	b := Build("hpccg")
+	out := asFloats(runOutVals(t, b, []float64{4, 4, 4, 40, 9}))
+	residual := out[0]
+	if residual > 1e-6 {
+		t.Fatalf("CG residual %v did not converge", residual)
+	}
+}
+
+func TestXSBenchMatchesOracle(t *testing.T) {
+	b := Build("xsbench")
+	rng := xrand.New(10)
+	inputs := [][]float64{b.RefInput()}
+	for i := 0; i < 10; i++ {
+		inputs = append(inputs, b.RandomInput(rng))
+	}
+	for _, in := range inputs {
+		got := asFloats(runOutVals(t, b, in))
+		want := oracleXSBench(int64(in[0]), int64(in[1]), int64(in[2]), int64(in[3]), in[4])
+		if !eqFloats(got, want) {
+			t.Fatalf("xsbench %v mismatch:\n got %v\nwant %v", in, got, want)
+		}
+	}
+}
+
+func TestXSBenchAccumulatorsPositive(t *testing.T) {
+	b := Build("xsbench")
+	out := asFloats(runOutVals(t, b, b.RefInput()))
+	if len(out) != xsChannels {
+		t.Fatalf("want %d channels, got %d", xsChannels, len(out))
+	}
+	for c, vFl := range out {
+		if vFl <= 0 {
+			t.Fatalf("channel %d accumulator %v not positive", c, vFl)
+		}
+	}
+}
+
+func TestEncodeRejectsWrongArity(t *testing.T) {
+	b := Build("pathfinder")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for wrong arity")
+		}
+	}()
+	b.Encode([]float64{1, 2})
+}
+
+func TestClampInput(t *testing.T) {
+	b := Build("pathfinder")
+	in := []float64{1e9, -5, 3.7, 2.2}
+	b.ClampInput(in)
+	if in[0] != 64 || in[1] != 4 || in[2] != 4 || in[3] != 2 {
+		t.Fatalf("clamped = %v", in)
+	}
+}
+
+func TestArgSpecClamp(t *testing.T) {
+	a := ArgSpec{Kind: ArgInt, Min: 2, Max: 10}
+	if a.Clamp(3.6) != 4 {
+		t.Fatal("int rounding")
+	}
+	if a.Clamp(-1) != 2 || a.Clamp(99) != 10 {
+		t.Fatal("bounds")
+	}
+	fa := ArgSpec{Kind: ArgFloat, Min: 0.5, Max: 1.5}
+	if fa.Clamp(0.7) != 0.7 {
+		t.Fatal("float passthrough")
+	}
+}
+
+func TestDeterministicAcrossBuilds(t *testing.T) {
+	// Two independent Build calls must produce identical behaviour.
+	a := Build("fft")
+	b := Build("fft")
+	in := a.Encode(a.RefInput())
+	ra := interp.Run(a.Prog, in, interp.Options{})
+	rb := interp.Run(b.Prog, in, interp.Options{})
+	if !interp.OutputEqual(ra.Output, rb.Output) || ra.DynCount != rb.DynCount {
+		t.Fatal("rebuild changed program behaviour")
+	}
+}
+
+func TestWorkloadScalesWithInput(t *testing.T) {
+	// Larger inputs must execute more dynamic instructions — the N_i terms
+	// of the PEPPA-X fitness depend on this.
+	cases := map[string][2][]float64{
+		"pathfinder":     {{8, 8, 5, 10}, {48, 48, 5, 10}},
+		"needle":         {{8, 5, 3, 3}, {40, 5, 3, 3}},
+		"particlefilter": {{8, 2, 5, 1}, {96, 12, 5, 1}},
+		"comd":           {{2, 1, 0.005, 1.8, 13}, {3, 8, 0.005, 1.8, 13}},
+		"hpccg":          {{2, 2, 2, 5, 17}, {5, 5, 5, 40, 17}},
+		"xsbench":        {{50, 20, 2, 19, 0.3}, {800, 200, 6, 19, 0.3}},
+		"fft":            {{3, 11, 1}, {8, 11, 1}},
+	}
+	for name, pair := range cases {
+		b := Build(name)
+		small := interp.Run(b.Prog, b.Encode(pair[0]), interp.Options{MaxDyn: b.MaxDyn})
+		large := interp.Run(b.Prog, b.Encode(pair[1]), interp.Options{MaxDyn: b.MaxDyn})
+		if small.Trap != nil || large.Trap != nil || small.BudgetExceeded || large.BudgetExceeded {
+			t.Fatalf("%s: runs failed (%v, %v)", name, small.Trap, large.Trap)
+		}
+		if large.DynCount <= small.DynCount*2 {
+			t.Fatalf("%s: large input %d dyn not >> small %d dyn", name, large.DynCount, small.DynCount)
+		}
+	}
+}
+
+// TestNeedleIRGolden pins the textual IR of the needle benchmark to a
+// committed golden file, protecting both the builder output and the printer
+// format from accidental drift. Regenerate with:
+//
+//	go run ./cmd/irdump -bench needle > internal/prog/testdata/needle.ir.golden
+func TestNeedleIRGolden(t *testing.T) {
+	want, err := os.ReadFile("testdata/needle.ir.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := ir.Print(Build("needle").Module)
+	if got != string(want) {
+		t.Fatal("needle IR drifted from the golden file; regenerate it if the change is intentional")
+	}
+}

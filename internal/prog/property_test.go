@@ -1,0 +1,142 @@
+package prog
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+// Property tests over random valid inputs: each benchmark's output must
+// satisfy its algorithm's invariants, not just match the oracle.
+
+func qcfg() *quick.Config { return &quick.Config{MaxCount: 25} }
+
+func TestPathfinderPathCostBounds(t *testing.T) {
+	b := Build("pathfinder")
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		in := b.RandomInput(rng)
+		out := runInts(t, b, in)
+		rows := int64(in[0])
+		amp := int64(in[3])
+		// The min path sums exactly `rows` wall cells, each in [0, amp).
+		return out[0] >= 0 && out[0] <= rows*(amp-1)
+	}
+	if err := quick.Check(f, qcfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNeedleScoreBounds(t *testing.T) {
+	b := Build("needle")
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		in := b.RandomInput(rng)
+		out := runInts(t, b, in)
+		n, penalty, match := int64(in[0]), int64(in[1]), int64(in[2])
+		score := out[0]
+		// Upper bound: all matches. Lower bound: the all-gaps path.
+		return score <= n*match && score >= -2*n*penalty
+	}
+	if err := quick.Check(f, qcfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFFTParsevalProperty(t *testing.T) {
+	b := Build("fft")
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		in := b.RandomInput(rng)
+		out := runFloats(t, b, in)
+		spec := out[len(out)-1]
+		n := int64(1) << int64(in[0])
+		lcg := newGoLCG(int64(in[1]))
+		var timeE float64
+		for i := int64(0); i < n; i++ {
+			re := (lcg.f64()*2 - 1) * in[2]
+			im := (lcg.f64()*2 - 1) * in[2]
+			timeE += re*re + im*im
+		}
+		if timeE == 0 {
+			return spec == 0
+		}
+		ratio := spec / (float64(n) * timeE)
+		return ratio > 0.9999 && ratio < 1.0001
+	}
+	if err := quick.Check(f, qcfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParticlefilterEstimatesFinite(t *testing.T) {
+	b := Build("particlefilter")
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		in := b.RandomInput(rng)
+		out := runFloats(t, b, in)
+		frames := int(in[1])
+		if len(out) != 2*frames {
+			return false
+		}
+		for _, v := range out {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, qcfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoMDKineticEnergyNonNegative(t *testing.T) {
+	b := Build("comd")
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		in := b.RandomInput(rng)
+		out := runFloats(t, b, in)
+		ke := out[len(out)-2]
+		return ke >= 0 && !math.IsNaN(ke) && !math.IsInf(ke, 0)
+	}
+	if err := quick.Check(f, qcfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHPCCGResidualNonNegative(t *testing.T) {
+	b := Build("hpccg")
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		in := b.RandomInput(rng)
+		out := runFloats(t, b, in)
+		residual := out[0]
+		return residual >= 0 && !math.IsNaN(residual)
+	}
+	if err := quick.Check(f, qcfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestXSBenchHistogramSumsToLookups(t *testing.T) {
+	b := Build("xsbench")
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		in := b.RandomInput(rng)
+		out := runInts(t, b, in)
+		var total int64
+		for _, c := range out {
+			if c < 0 {
+				return false
+			}
+			total += c
+		}
+		return total == int64(in[0]) // every lookup picks exactly one winner
+	}
+	if err := quick.Check(f, qcfg()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,207 @@
+package prog
+
+import "repro/internal/ir"
+
+// XSBench (CESAR): the macroscopic-cross-section lookup kernel of a Monte
+// Carlo neutronics app. Each lookup samples an energy, binary-searches a
+// sorted unionized energy grid (compare-heavy, strongly masking), linearly
+// interpolates five reaction-channel cross-sections per nuclide, and
+// accumulates density-weighted macroscopic cross-sections. Index faults
+// either mask entirely (same grid cell) or disappear into the five
+// accumulators — the paper finds XSBench's default input shows only ~1 %
+// SDC while its SDC-bound input reaches ~38 %.
+//
+// Inputs: lookups, gridpoints, nuclides, seed, enrichment (mix weight of
+// even-indexed nuclides). Output: the five macroscopic XS accumulators.
+
+func init() { register("xsbench", buildXSBench) }
+
+const xsChannels = 5
+
+func xsbenchArgs() []ArgSpec {
+	return []ArgSpec{
+		{Name: "lookups", Kind: ArgInt, Min: 50, Max: 1000, SmallMin: 50, SmallMax: 100, Ref: 300},
+		{Name: "gridpoints", Kind: ArgInt, Min: 20, Max: 300, SmallMin: 20, SmallMax: 40, Ref: 100},
+		{Name: "nuclides", Kind: ArgInt, Min: 2, Max: 6, SmallMin: 2, SmallMax: 3, Ref: 4},
+		{Name: "seed", Kind: ArgInt, Min: 1, Max: 1 << 20, SmallMin: 1, SmallMax: 64, Ref: 19},
+		{Name: "enrichment", Kind: ArgFloat, Min: 0.01, Max: 0.99, SmallMin: 0.2, SmallMax: 0.4, Ref: 0.12},
+	}
+}
+
+func buildXSBench() (*ir.Module, []ArgSpec, string, string, int64) {
+	m := ir.NewModule("xsbench")
+	f := m.NewFunc("main", ir.Void,
+		&ir.Param{Name: "lookups", Ty: ir.I64},
+		&ir.Param{Name: "gridpoints", Ty: ir.I64},
+		&ir.Param{Name: "nuclides", Ty: ir.I64},
+		&ir.Param{Name: "seed", Ty: ir.I64},
+		&ir.Param{Name: "enrichment", Ty: ir.F64},
+	)
+	b := ir.NewBuilder(f)
+	h := v{b}
+
+	lookups := b.Param(0)
+	gp := b.Param(1)
+	nuc := b.Param(2)
+	seed := b.Param(3)
+	enrich := b.Param(4)
+
+	state := h.newVar(ir.I64, seed)
+	egrid := b.Alloca(gp)
+	xs := b.Alloca(b.Mul(b.Mul(nuc, gp), ir.I64c(xsChannels)))
+	macro := b.AllocaN(xsChannels)   // per-lookup macro XS, rebuilt each lookup
+	winners := b.AllocaN(xsChannels) // histogram of per-lookup argmax channels
+
+	// Sorted energy grid via positive increments.
+	e := h.newVar(ir.F64, ir.F64c(0))
+	h.loop("grid", ir.I64c(0), gp, func(g ir.Value) {
+		h.set(e, b.FAdd(h.get(e), b.FAdd(ir.F64c(0.01), h.lcgF64(state))))
+		b.Store(h.get(e), b.GEP(egrid, g))
+	})
+
+	// Cross-section table, nuclide-major.
+	chans := ir.I64c(xsChannels)
+	xsIdx := func(n, g, c ir.Value) *ir.Instr {
+		return b.GEP(xs, b.Add(b.Mul(b.Add(b.Mul(n, gp), g), chans), c))
+	}
+	h.loop("tbl.n", ir.I64c(0), nuc, func(n ir.Value) {
+		h.loop("tbl.g", ir.I64c(0), gp, func(g ir.Value) {
+			h.loop("tbl.c", ir.I64c(0), chans, func(c ir.Value) {
+				b.Store(h.lcgF64(state), xsIdx(n, g, c))
+			})
+		})
+	})
+
+	// Zero the winner histogram.
+	h.loop("zwin", ir.I64c(0), chans, func(c ir.Value) {
+		b.Store(ir.I64c(0), b.GEP(winners, c))
+	})
+
+	e0 := b.Load(ir.F64, b.GEP(egrid, ir.I64c(0)))
+	eTop := b.Load(ir.F64, b.GEP(egrid, b.Sub(gp, ir.I64c(1))))
+	span := b.FSub(eTop, e0)
+	gpM2 := b.Sub(gp, ir.I64c(2))
+	oneMinus := b.FSub(ir.F64c(1), enrich)
+
+	h.loop("lookup", ir.I64c(0), lookups, func(l ir.Value) {
+		_ = l
+		energy := b.FAdd(e0, b.FMul(h.lcgF64(state), span))
+		// Binary search: largest g with egrid[g] <= energy.
+		lo := h.newVar(ir.I64, ir.I64c(0))
+		hi := h.newVar(ir.I64, b.Sub(gp, ir.I64c(1)))
+		h.while("bs", func() ir.Value {
+			return b.ICmp(ir.OpICmpSGT, b.Sub(h.get(hi), h.get(lo)), ir.I64c(1))
+		}, func() {
+			mid := b.SDiv(b.Add(h.get(lo), h.get(hi)), ir.I64c(2))
+			below := b.FCmp(ir.OpFCmpOLE, b.Load(ir.F64, b.GEP(egrid, mid)), energy)
+			h.ifElse("bs.pick", below,
+				func() { h.set(lo, mid) },
+				func() { h.set(hi, mid) })
+		})
+		g := h.minI64(h.get(lo), gpM2)
+		eg := b.Load(ir.F64, b.GEP(egrid, g))
+		eg1 := b.Load(ir.F64, b.GEP(egrid, b.Add(g, ir.I64c(1))))
+		frac := b.FDiv(b.FSub(energy, eg), b.FSub(eg1, eg))
+		fracC := b.FSub(ir.F64c(1), frac)
+
+		// Per-lookup macro XS across nuclides, then record which reaction
+		// channel wins — real XSBench's verification reduces each lookup to
+		// the index of its maximum cross-section, so most value corruption
+		// masks unless it flips an argmax.
+		h.loop("zmac", ir.I64c(0), chans, func(c ir.Value) {
+			b.Store(ir.F64c(0), b.GEP(macro, c))
+		})
+		h.loop("mix", ir.I64c(0), nuc, func(n ir.Value) {
+			even := b.ICmp(ir.OpICmpEQ, b.And(n, ir.I64c(1)), ir.I64c(0))
+			den := b.Select(even, enrich, oneMinus)
+			h.loop("chan", ir.I64c(0), chans, func(c ir.Value) {
+				lov := b.Load(ir.F64, xsIdx(n, g, c))
+				hiv := b.Load(ir.F64, xsIdx(n, b.Add(g, ir.I64c(1)), c))
+				val := b.FAdd(b.FMul(lov, fracC), b.FMul(hiv, frac))
+				mp := b.GEP(macro, c)
+				b.Store(b.FAdd(b.Load(ir.F64, mp), b.FMul(den, val)), mp)
+			})
+		})
+		bestC := h.newVar(ir.I64, ir.I64c(0))
+		bestV := h.newVar(ir.F64, b.Load(ir.F64, b.GEP(macro, ir.I64c(0))))
+		h.loop("argmax", ir.I64c(1), chans, func(c ir.Value) {
+			val := b.Load(ir.F64, b.GEP(macro, c))
+			h.ifThen("better", b.FCmp(ir.OpFCmpOGT, val, h.get(bestV)), func() {
+				h.set(bestV, val)
+				h.set(bestC, c)
+			})
+		})
+		wp := b.GEP(winners, h.get(bestC))
+		b.Store(b.Add(b.Load(ir.I64, wp), ir.I64c(1)), wp)
+	})
+
+	h.loop("out", ir.I64c(0), chans, func(c ir.Value) {
+		h.printI64(b.Load(ir.I64, b.GEP(winners, c)))
+	})
+	b.Ret(nil)
+
+	return m, xsbenchArgs(), "CESAR",
+		"Monte Carlo neutronics macroscopic cross-section lookup kernel", 2500000
+}
+
+// oracleXSBench mirrors the IR program in Go.
+func oracleXSBench(lookups, gridpoints, nuclides, seed int64, enrichment float64) []float64 {
+	lcg := newGoLCG(seed)
+	egrid := make([]float64, gridpoints)
+	e := 0.0
+	for g := range egrid {
+		e = e + (0.01 + lcg.f64())
+		egrid[g] = e
+	}
+	xs := make([]float64, nuclides*gridpoints*xsChannels)
+	for i := range xs {
+		xs[i] = lcg.f64()
+	}
+	macro := make([]float64, xsChannels)
+	winners := make([]float64, xsChannels)
+	e0 := egrid[0]
+	span := egrid[gridpoints-1] - e0
+	oneMinus := 1 - enrichment
+	for l := int64(0); l < lookups; l++ {
+		energy := e0 + lcg.f64()*span
+		lo, hi := int64(0), gridpoints-1
+		for hi-lo > 1 {
+			mid := (lo + hi) / 2
+			if egrid[mid] <= energy {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		g := lo
+		if g > gridpoints-2 {
+			g = gridpoints - 2
+		}
+		frac := (energy - egrid[g]) / (egrid[g+1] - egrid[g])
+		fracC := 1 - frac
+		for c := range macro {
+			macro[c] = 0
+		}
+		for n := int64(0); n < nuclides; n++ {
+			den := oneMinus
+			if n&1 == 0 {
+				den = enrichment
+			}
+			for c := int64(0); c < xsChannels; c++ {
+				lov := xs[(n*gridpoints+g)*xsChannels+c]
+				hiv := xs[(n*gridpoints+g+1)*xsChannels+c]
+				val := lov*fracC + hiv*frac
+				macro[c] += den * val
+			}
+		}
+		bestC, bestV := 0, macro[0]
+		for c := 1; c < xsChannels; c++ {
+			if macro[c] > bestV {
+				bestV = macro[c]
+				bestC = c
+			}
+		}
+		winners[bestC]++
+	}
+	return winners
+}

@@ -1,0 +1,128 @@
+package propagation
+
+import (
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/fault"
+	"repro/internal/interp"
+	"repro/internal/prog"
+	"repro/internal/xrand"
+)
+
+func golden(t testing.TB, name string) (*prog.Benchmark, *campaign.Golden) {
+	t.Helper()
+	b := prog.Build(name)
+	g, err := campaign.NewGolden(b.Prog, b.Encode(b.RefInput()), b.MaxDyn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b, g
+}
+
+func TestTaintTrackingBasics(t *testing.T) {
+	b, g := golden(t, "needle")
+	rng := xrand.New(5)
+	plan := fault.SampleDynamic(rng, g.DynCount)
+	r := interp.Run(b.Prog, g.Input, interp.Options{
+		Plan: &plan, FaultRNG: rng, MaxDyn: g.DynCount * 3,
+		TrackPropagation: true,
+	})
+	if r.Propagation == nil {
+		t.Fatal("no propagation stats")
+	}
+	if !r.Injected {
+		t.Fatal("fault not injected")
+	}
+	// The injection site itself counts as corrupted.
+	if r.Propagation.TaintedDyn < 1 || r.Propagation.TaintedStatic < 1 {
+		t.Fatalf("injection site not tainted: %+v", r.Propagation)
+	}
+}
+
+func TestNoTaintWithoutTracking(t *testing.T) {
+	b, g := golden(t, "needle")
+	r := interp.Run(b.Prog, g.Input, interp.Options{})
+	if r.Propagation != nil {
+		t.Fatal("stats without tracking")
+	}
+}
+
+func TestTaintTrackingDoesNotPerturbExecution(t *testing.T) {
+	b, g := golden(t, "fft")
+	rng1, rng2 := xrand.New(3), xrand.New(3)
+	for trial := 0; trial < 50; trial++ {
+		plan1 := fault.SampleDynamic(rng1, g.DynCount)
+		plan2 := fault.SampleDynamic(rng2, g.DynCount)
+		r1 := interp.Run(b.Prog, g.Input, interp.Options{Plan: &plan1, FaultRNG: rng1, MaxDyn: g.DynCount * 3})
+		r2 := interp.Run(b.Prog, g.Input, interp.Options{Plan: &plan2, FaultRNG: rng2, MaxDyn: g.DynCount * 3, TrackPropagation: true})
+		if r1.DynCount != r2.DynCount || !interp.OutputEqual(r1.Output, r2.Output) {
+			t.Fatalf("trial %d: tracking changed execution", trial)
+		}
+		if (r1.Trap == nil) != (r2.Trap == nil) {
+			t.Fatalf("trial %d: tracking changed trap outcome", trial)
+		}
+	}
+}
+
+// The soundness invariant: an SDC means the printed output changed, so the
+// corruption must have reached an output value, steered a branch, or made
+// a wild store (a store through a corrupted pointer, whose damage forward
+// taint cannot trace). The converse does not hold: corrupted outputs can
+// quantize back to the golden value.
+func TestSDCImpliesTaintReachedOutputOrBranch(t *testing.T) {
+	for _, name := range []string{"needle", "pathfinder", "fft", "xsbench"} {
+		b, g := golden(t, name)
+		rng := xrand.New(11)
+		sdcSeen := 0
+		for trial := 0; trial < 300; trial++ {
+			plan := fault.SampleDynamic(rng, g.DynCount)
+			r := interp.Run(b.Prog, g.Input, interp.Options{
+				Plan: &plan, FaultRNG: rng, MaxDyn: g.DynCount*3 + 10000,
+				TrackPropagation: true,
+			})
+			if !r.Injected || r.Trap != nil || r.BudgetExceeded {
+				continue
+			}
+			if interp.OutputEqual(g.Output, r.Output) {
+				continue // benign
+			}
+			sdcSeen++
+			ps := r.Propagation
+			if ps.TaintedOutputs == 0 && ps.TaintedBranches == 0 && ps.WildStores == 0 {
+				t.Fatalf("%s: SDC with no tainted output or branch (plan %v, stats %+v)",
+					name, plan, ps)
+			}
+		}
+		if sdcSeen == 0 {
+			t.Fatalf("%s: no SDCs observed in 300 trials", name)
+		}
+	}
+}
+
+func TestAnalyzeProfile(t *testing.T) {
+	b, g := golden(t, "needle")
+	prof, err := Analyze(b.Prog, g, 300, xrand.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prof.Trials) != 300 {
+		t.Fatalf("trials = %d", len(prof.Trials))
+	}
+	if _, ok := prof.MeanTaintedDyn[campaign.SDC]; !ok {
+		t.Fatal("no SDC trials profiled")
+	}
+	// SDC faults must, on average, corrupt at least as much state as
+	// benign faults (benign faults die early by masking/overwrite).
+	if prof.MeanTaintedDyn[campaign.SDC] < prof.MeanTaintedDyn[campaign.Benign] {
+		t.Fatalf("SDC faults spread less than benign ones: %+v", prof.MeanTaintedDyn)
+	}
+	// Every SDC trial's corruption reached the output or a branch.
+	if prof.OutputReached[campaign.SDC] < 1.0 {
+		t.Fatalf("some SDC trials never reached output: %v", prof.OutputReached[campaign.SDC])
+	}
+	if prof.Render() == "" {
+		t.Fatal("empty render")
+	}
+	t.Logf("\n%s", prof.Render())
+}

@@ -1,0 +1,108 @@
+// Package sensitivity derives a program's SDC sensitivity distribution —
+// the per-static-instruction SDC scores that drive the PEPPA-X genetic
+// search (§4.2.3) — and quantifies the distribution's stability across
+// inputs (the §3.2.3 observation, Table 3, that justifies the whole
+// approach).
+package sensitivity
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/campaign"
+	"repro/internal/interp"
+	"repro/internal/stats"
+	"repro/internal/xrand"
+)
+
+// DefaultTrialsPerRepresentative is the reduced FI-trial count PEPPA-X uses
+// per pruning-group representative (§4.2.3: "We inject 30 random faults").
+const DefaultTrialsPerRepresentative = 30
+
+// Distribution is a program's SDC sensitivity distribution.
+type Distribution struct {
+	// Scores[id] is the normalized SDC score of static instruction id in
+	// [0,1] — the Pᵢ proxy of Equation 2.
+	Scores []float64
+	// RawProb[id] is the measured (or group-propagated) SDC probability.
+	RawProb []float64
+	// FITrials is the number of fault-injection trials spent.
+	FITrials int
+	// FIDynInstrs is the total dynamic instructions executed by those
+	// trials — the cost model behind Table 5.
+	FIDynInstrs int64
+	// Representatives is the pruned FI-space size used.
+	Representatives int
+}
+
+// Options configures the derivation.
+type Options struct {
+	// TrialsPerRep is the FI trial count per representative (default 30).
+	TrialsPerRep int
+	// UsePruning selects the §4.2.2 grouping heuristic; when false every
+	// instruction is injected individually (the "without heuristics"
+	// column of Table 5).
+	UsePruning bool
+}
+
+// Derive measures the SDC sensitivity distribution of the program on input
+// g (normally the small FI input from the step-① fuzzer). Representatives
+// of each pruning group receive TrialsPerRep targeted faults; the measured
+// SDC probability is propagated to all group members and min-max normalized
+// into scores.
+func Derive(p *interp.Program, g *campaign.Golden, opts Options, rng *xrand.RNG) *Distribution {
+	trials := opts.TrialsPerRep
+	if trials <= 0 {
+		trials = DefaultTrialsPerRepresentative
+	}
+	n := p.NumInstrs()
+
+	var groups []analysis.Group
+	if opts.UsePruning {
+		pr := analysis.Prune(p.Mod)
+		groups = pr.Groups
+	} else {
+		groups = make([]analysis.Group, n)
+		for id := 0; id < n; id++ {
+			groups[id] = analysis.Group{Members: []int{id}, Representative: id}
+		}
+	}
+
+	d := &Distribution{
+		RawProb:         make([]float64, n),
+		Representatives: len(groups),
+	}
+	for _, grp := range groups {
+		rep := grp.Representative
+		// If the representative never executes under this input but some
+		// member does, fall back to an executed member so the group is
+		// still measured.
+		if g.InstrCounts[rep] == 0 {
+			for _, mID := range grp.Members {
+				if g.InstrCounts[mID] > 0 {
+					rep = mID
+					break
+				}
+			}
+		}
+		var prob float64
+		if g.InstrCounts[rep] > 0 {
+			res := campaign.PerInstruction(p, g, []int{rep}, trials, rng)
+			prob = res[0].Counts.SDCProbability()
+			d.FITrials += res[0].Counts.Trials
+			// Each trial costs roughly one golden-length execution.
+			d.FIDynInstrs += int64(res[0].Counts.Trials) * g.DynCount
+		}
+		for _, mID := range grp.Members {
+			d.RawProb[mID] = prob
+		}
+	}
+	d.Scores = stats.Normalize(d.RawProb)
+	return d
+}
+
+// Stability measures how stationary the per-instruction SDC probability
+// ranking is across inputs: given one per-instruction SDC probability
+// vector per input, it returns the mean pairwise Spearman rank correlation
+// — the per-benchmark statistic of Table 3.
+func Stability(vectors [][]float64) (float64, error) {
+	return stats.PairwiseMeanSpearman(vectors)
+}

@@ -1,0 +1,143 @@
+package sensitivity
+
+import (
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/prog"
+	"repro/internal/xrand"
+)
+
+func goldenFor(t testing.TB, b *prog.Benchmark, input []float64) *campaign.Golden {
+	t.Helper()
+	g, err := campaign.NewGolden(b.Prog, b.Encode(input), b.MaxDyn)
+	if err != nil {
+		t.Fatalf("%s golden: %v", b.Name, err)
+	}
+	return g
+}
+
+func TestDeriveProducesNormalizedScores(t *testing.T) {
+	b := prog.Build("pathfinder")
+	g := goldenFor(t, b, []float64{8, 8, 7, 10})
+	d := Derive(b.Prog, g, Options{TrialsPerRep: 10, UsePruning: true}, xrand.New(1))
+	if len(d.Scores) != b.Prog.NumInstrs() {
+		t.Fatalf("scores length %d", len(d.Scores))
+	}
+	lo, hi := 2.0, -1.0
+	for _, s := range d.Scores {
+		if s < 0 || s > 1 {
+			t.Fatalf("score %v out of [0,1]", s)
+		}
+		if s < lo {
+			lo = s
+		}
+		if s > hi {
+			hi = s
+		}
+	}
+	if hi != 1 || lo != 0 {
+		t.Fatalf("scores not min-max normalized: [%v, %v]", lo, hi)
+	}
+	if d.Representatives >= b.Prog.NumInstrs() {
+		t.Fatalf("pruning did not reduce FI space: %d reps", d.Representatives)
+	}
+	if d.FITrials == 0 || d.FIDynInstrs == 0 {
+		t.Fatal("no cost accounted")
+	}
+}
+
+func TestDeriveWithoutPruningCostsMore(t *testing.T) {
+	b := prog.Build("needle")
+	g := goldenFor(t, b, []float64{8, 5, 3, 3})
+	rng := xrand.New(2)
+	with := Derive(b.Prog, g, Options{TrialsPerRep: 5, UsePruning: true}, rng)
+	without := Derive(b.Prog, g, Options{TrialsPerRep: 5, UsePruning: false}, rng)
+	if with.FITrials >= without.FITrials {
+		t.Fatalf("pruned trials %d should be < unpruned %d", with.FITrials, without.FITrials)
+	}
+	if without.Representatives != b.Prog.NumInstrs() {
+		t.Fatalf("unpruned reps = %d", without.Representatives)
+	}
+}
+
+func TestGroupMembersShareProbability(t *testing.T) {
+	b := prog.Build("pathfinder")
+	g := goldenFor(t, b, []float64{8, 8, 7, 10})
+	d := Derive(b.Prog, g, Options{TrialsPerRep: 8, UsePruning: true}, xrand.New(3))
+	// With pruning, the distinct raw probability values cannot exceed the
+	// number of representatives.
+	distinct := map[float64]bool{}
+	for _, p := range d.RawProb {
+		distinct[p] = true
+	}
+	if len(distinct) > d.Representatives {
+		t.Fatalf("%d distinct probs > %d representatives", len(distinct), d.Representatives)
+	}
+}
+
+func TestDeriveDeterministic(t *testing.T) {
+	b := prog.Build("fft")
+	g := goldenFor(t, b, []float64{4, 11, 1})
+	d1 := Derive(b.Prog, g, Options{TrialsPerRep: 6, UsePruning: true}, xrand.New(9))
+	d2 := Derive(b.Prog, g, Options{TrialsPerRep: 6, UsePruning: true}, xrand.New(9))
+	for i := range d1.Scores {
+		if d1.Scores[i] != d2.Scores[i] {
+			t.Fatal("derivation not reproducible")
+		}
+	}
+}
+
+func TestStabilityAcrossInputs(t *testing.T) {
+	// The paper's core observation (Table 3): per-instruction SDC
+	// probability rankings correlate strongly across inputs. Verify our
+	// substrate reproduces it on a cheap benchmark.
+	if testing.Short() {
+		t.Skip("FI-heavy")
+	}
+	b := prog.Build("pathfinder")
+	rng := xrand.New(31)
+	inputs := [][]float64{
+		{8, 8, 7, 10},
+		{10, 8, 91, 25},
+		{8, 12, 1234, 6},
+		{12, 10, 555, 60},
+	}
+	var vectors [][]float64
+	ids := campaign.AllInstructionIDs(b.Prog)
+	for _, in := range inputs {
+		g := goldenFor(t, b, in)
+		res := campaign.PerInstruction(b.Prog, g, ids, 20, rng)
+		vectors = append(vectors, campaign.PerInstructionVector(b.Prog.NumInstrs(), res))
+	}
+	rho, err := Stability(vectors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("pathfinder rank stability rho = %.3f", rho)
+	if rho < 0.3 {
+		t.Fatalf("rank stability %.3f too low; paper reports 0.59-0.96", rho)
+	}
+}
+
+func TestScoresCorrelateWithDirectMeasurement(t *testing.T) {
+	// The pruned, 30-trial distribution should rank instructions similarly
+	// to a heavier unpruned measurement on the same input.
+	if testing.Short() {
+		t.Skip("FI-heavy")
+	}
+	b := prog.Build("needle")
+	g := goldenFor(t, b, []float64{8, 5, 3, 3})
+	d := Derive(b.Prog, g, Options{TrialsPerRep: 30, UsePruning: true}, xrand.New(5))
+	ids := campaign.AllInstructionIDs(b.Prog)
+	res := campaign.PerInstruction(b.Prog, g, ids, 40, xrand.New(6))
+	direct := campaign.PerInstructionVector(b.Prog.NumInstrs(), res)
+	rho, err := Stability([][]float64{d.RawProb, direct})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("pruned-vs-direct rho = %.3f", rho)
+	if rho < 0.4 {
+		t.Fatalf("pruned scores rank-correlate %.3f with direct measurement; too low", rho)
+	}
+}
