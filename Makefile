@@ -1,0 +1,37 @@
+# Tier-1 verification targets. `make ci` runs everything the GitHub CI
+# workflow runs (.github/workflows/ci.yml executes these same targets).
+
+GO ?= go
+
+.PHONY: build lint test test-short race bench-smoke bench-workers ci
+
+build:
+	$(GO) build ./...
+
+# vet plus gofmt gating: fail if any file needs reformatting.
+lint:
+	$(GO) vet ./...
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+# Race-detect the internal packages; -short skips the FI-heavy validity
+# tests but keeps every parallel-layer test (worker-count equivalence,
+# the shared-RNG tripwire) in the run.
+race:
+	$(GO) test -race -short ./internal/...
+
+# Compile and enter every benchmark once without measuring.
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+# Measure the Workers=1 vs Workers=4 pairs (meaningful on multi-core).
+bench-workers:
+	$(GO) test -bench=Workers -benchtime=3x -run='^$$' .
+
+ci: build lint test race bench-smoke

@@ -2,7 +2,8 @@
 //
 // Usage:
 //
-//	experiments [-exp table1,fig5,...] [-quick] [-seed N] [-benches a,b] [-out report.txt] [-list]
+//	experiments [-exp table1,fig5,...] [-quick] [-seed N] [-benches a,b]
+//	            [-workers N] [-out report.txt] [-list]
 //
 // Without -exp it runs the full evaluation (every table and figure in the
 // paper, §3/§5/§6). -quick shrinks trial counts so the whole suite runs in
@@ -28,6 +29,7 @@ func main() {
 		out     = flag.String("out", "", "also write the report to this file")
 		jsonOut = flag.String("json", "", "also write typed results as JSON to this file")
 		list    = flag.Bool("list", false, "list experiment IDs and exit")
+		workers = flag.Int("workers", 0, "worker count for experiments, GA evaluation and FI trials (0 = GOMAXPROCS, 1 = serial; same seed gives the same report for any value)")
 	)
 	flag.Parse()
 
@@ -48,6 +50,7 @@ func main() {
 	if *benches != "" {
 		cfg.Benches = splitList(*benches)
 	}
+	cfg.Workers = *workers
 
 	suite, err := experiments.NewSuite(cfg)
 	if err != nil {

@@ -7,7 +7,8 @@
 // Usage:
 //
 //	peppax -bench pathfinder [-generations 200] [-pop 16] [-trials 1000]
-//	       [-seed 1] [-baseline] [-checkpoints 50,100,200] [-max-sdc 0.2]
+//	       [-seed 1] [-workers N] [-baseline] [-checkpoints 50,100,200]
+//	       [-max-sdc 0.2]
 //	peppax -file prog.ir -spec "n:int:4:64:8,seed:int:1:100:7"
 package main
 
@@ -36,6 +37,7 @@ func main() {
 		baseline    = flag.Bool("baseline", false, "also run the random+FI baseline with the same budget")
 		checkpoints = flag.String("checkpoints", "", "comma-separated generations to FI-measure (e.g. 50,100,200)")
 		maxSDC      = flag.Float64("max-sdc", 0, "CI gate (§7.1.2): exit non-zero if the SDC bound exceeds this fraction (0 disables)")
+		workers     = flag.Int("workers", 0, "worker count for GA candidate evaluation and baseline FI trials (0 = GOMAXPROCS, 1 = serial; results are identical for any value)")
 	)
 	flag.Parse()
 
@@ -57,6 +59,7 @@ func main() {
 	opts.PopSize = *pop
 	opts.FinalTrials = *trials
 	opts.TrialsPerRep = *trialsRep
+	opts.Workers = *workers
 	for _, c := range strings.Split(*checkpoints, ",") {
 		if c = strings.TrimSpace(c); c != "" {
 			n, err := strconv.Atoi(c)
@@ -117,6 +120,7 @@ func main() {
 		base := core.RandomSearch(b, core.BaselineOptions{
 			TrialsPerInput: *trials,
 			DynBudget:      res.Cost.TotalDyn(),
+			Workers:        *workers,
 		}, xrand.New(*seed+1))
 		fmt.Printf("  evaluated %d inputs, best SDC %.2f%% with input %v\n",
 			base.Inputs, base.BestSDC*100, base.BestInput)

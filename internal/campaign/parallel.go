@@ -1,24 +1,23 @@
 package campaign
 
 import (
-	"runtime"
-	"sync"
-
 	"repro/internal/fault"
 	"repro/internal/interp"
+	"repro/internal/parallel"
 	"repro/internal/xrand"
 )
 
 // The paper notes (§5.2) that both PEPPA-X and the baseline parallelize
 // trivially — FI trials are independent — but reports unparallelized
 // numbers for fairness. This file provides the parallel campaign runner for
-// practical use. Determinism is preserved by deriving each trial's RNG from
-// (seed, trial index) rather than sharing a stream, so results are
+// practical use, built on the repository-wide deterministic worker pool
+// (internal/parallel). Determinism is preserved by deriving each trial's
+// RNG from (seed, trial index) rather than sharing a stream, so results are
 // independent of scheduling and worker count.
 
 // ParallelOptions configures a parallel campaign.
 type ParallelOptions struct {
-	// Workers is the goroutine count (default: GOMAXPROCS).
+	// Workers is the goroutine count (<= 0: GOMAXPROCS).
 	Workers int
 	// Seed derives each trial's private RNG stream.
 	Seed uint64
@@ -31,122 +30,49 @@ func trialRNG(seed uint64, trial int) *xrand.RNG {
 	return xrand.New(seed ^ (uint64(trial)+1)*0x9E3779B97F4A7C15)
 }
 
-// OverallParallel measures the whole-program SDC probability like Overall,
-// fanning trials across workers. For a fixed (seed, trials) configuration
-// the aggregate result is identical regardless of Workers.
-func OverallParallel(p *interp.Program, g *Golden, trials int, opts ParallelOptions) Counts {
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > trials {
-		workers = trials
-	}
-	if workers <= 1 {
-		// Degenerate case: still use per-trial seeding so results match the
-		// parallel variants.
-		var c Counts
-		for i := 0; i < trials; i++ {
-			rng := trialRNG(opts.Seed, i)
-			plan := fault.SampleDynamic(rng, g.DynCount)
-			o, _, dyn := Classify(p, g, plan, rng, opts.Detector)
-			c.Add(o)
-			c.DynInstrs += dyn
-		}
-		return c
-	}
+// trialOutcome is one trial's classification and cost.
+type trialOutcome struct {
+	o   Outcome
+	dyn int64
+}
 
-	var (
-		wg   sync.WaitGroup
-		mu   sync.Mutex
-		next int
-		agg  Counts
-	)
-	// Work-stealing over trial indices via a shared cursor; each trial's
-	// randomness depends only on its index, so scheduling cannot change the
-	// aggregate.
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			var local Counts
-			for {
-				mu.Lock()
-				i := next
-				next++
-				mu.Unlock()
-				if i >= trials {
-					break
-				}
-				rng := trialRNG(opts.Seed, i)
-				plan := fault.SampleDynamic(rng, g.DynCount)
-				o, _, dyn := Classify(p, g, plan, rng, opts.Detector)
-				local.Add(o)
-				local.DynInstrs += dyn
-			}
-			mu.Lock()
-			agg.Trials += local.Trials
-			agg.SDC += local.SDC
-			agg.Crash += local.Crash
-			agg.Hang += local.Hang
-			agg.Benign += local.Benign
-			agg.Detected += local.Detected
-			agg.DynInstrs += local.DynInstrs
-			mu.Unlock()
-		}()
+// OverallParallel measures the whole-program SDC probability like Overall,
+// fanning trials across workers. Each trial's randomness depends only on
+// (Seed, trial index), and trials are folded in index order, so for a fixed
+// (Seed, trials) configuration the result is identical regardless of
+// Workers — including the serial Workers=1 schedule.
+func OverallParallel(p *interp.Program, g *Golden, trials int, opts ParallelOptions) Counts {
+	outcomes := parallel.Map(opts.Workers, trials, func(i int) trialOutcome {
+		rng := trialRNG(opts.Seed, i)
+		plan := fault.SampleDynamic(rng, g.DynCount)
+		o, _, dyn := Classify(p, g, plan, rng, opts.Detector)
+		return trialOutcome{o: o, dyn: dyn}
+	})
+	var c Counts
+	for _, t := range outcomes {
+		c.Add(t.o)
+		c.DynInstrs += t.dyn
 	}
-	wg.Wait()
-	return agg
+	return c
 }
 
 // PerInstructionParallel is the parallel form of PerInstruction: the
 // instruction list is distributed across workers, each instruction's trials
 // seeded by its ID so the results match any worker count.
 func PerInstructionParallel(p *interp.Program, g *Golden, ids []int, trialsPerInstr int, opts ParallelOptions) []InstrResult {
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(ids) {
-		workers = len(ids)
-	}
-	out := make([]InstrResult, len(ids))
-	var (
-		wg   sync.WaitGroup
-		mu   sync.Mutex
-		next int
-	)
-	if workers < 1 {
-		workers = 1
-	}
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				mu.Lock()
-				k := next
-				next++
-				mu.Unlock()
-				if k >= len(ids) {
-					break
-				}
-				id := ids[k]
-				res := InstrResult{ID: id}
-				if execCount := g.InstrCounts[id]; execCount > 0 {
-					ty := p.InstrType(id)
-					rng := trialRNG(opts.Seed, id)
-					for t := 0; t < trialsPerInstr; t++ {
-						plan := fault.SampleStatic(rng, id, ty, execCount)
-						o, _, dyn := Classify(p, g, plan, rng, nil)
-						res.Counts.Add(o)
-						res.Counts.DynInstrs += dyn
-					}
-				}
-				out[k] = res
+	return parallel.Map(opts.Workers, len(ids), func(k int) InstrResult {
+		id := ids[k]
+		res := InstrResult{ID: id}
+		if execCount := g.InstrCounts[id]; execCount > 0 {
+			ty := p.InstrType(id)
+			rng := trialRNG(opts.Seed, id)
+			for t := 0; t < trialsPerInstr; t++ {
+				plan := fault.SampleStatic(rng, id, ty, execCount)
+				o, _, dyn := Classify(p, g, plan, rng, nil)
+				res.Counts.Add(o)
+				res.Counts.DynInstrs += dyn
 			}
-		}()
-	}
-	wg.Wait()
-	return out
+		}
+		return res
+	})
 }

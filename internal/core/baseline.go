@@ -22,6 +22,11 @@ type BaselineOptions struct {
 	DynBudget int64
 	// MaxInputs optionally caps the number of candidates (0 = unlimited).
 	MaxInputs int
+	// Workers fans each candidate's FI campaign across goroutines
+	// (0 = GOMAXPROCS, 1 = serial). Candidates are drawn and folded
+	// serially, and every trial's RNG is derived from (campaign seed,
+	// trial index), so the result is identical for every worker count.
+	Workers int
 }
 
 // BaselinePoint is one step of the baseline's progress curve.
@@ -46,6 +51,13 @@ type BaselineResult struct {
 // RandomSearch runs the baseline: draw uniform random inputs, measure each
 // with a statistical FI campaign, and keep the input with the highest SDC
 // probability, until the dynamic-instruction budget is exhausted.
+//
+// The paper notes (§5.2) that the baseline parallelizes trivially because
+// FI trials are independent; each candidate's 1000-trial campaign fans out
+// over campaign.OverallParallel. Candidate generation, budget accounting
+// and best-tracking stay serial on the caller's RNG, and the campaign seed
+// is drawn serially per candidate, so the search is deterministic and
+// independent of opts.Workers.
 func RandomSearch(b *prog.Benchmark, opts BaselineOptions, rng *xrand.RNG) *BaselineResult {
 	if opts.TrialsPerInput <= 0 {
 		opts.TrialsPerInput = 1000
@@ -65,7 +77,10 @@ func RandomSearch(b *prog.Benchmark, opts BaselineOptions, rng *xrand.RNG) *Base
 			continue // invalid input, excluded per §3.1.2
 		}
 		res.DynSpent += g.DynCount
-		c := campaign.Overall(b.Prog, g, opts.TrialsPerInput, rng)
+		c := campaign.OverallParallel(b.Prog, g, opts.TrialsPerInput, campaign.ParallelOptions{
+			Workers: opts.Workers,
+			Seed:    rng.Uint64(),
+		})
 		res.DynSpent += c.DynInstrs
 		res.Inputs++
 		sdc := c.SDCProbability()

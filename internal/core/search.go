@@ -3,11 +3,13 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/campaign"
 	"repro/internal/ga"
 	"repro/internal/interp"
+	"repro/internal/parallel"
 	"repro/internal/prog"
 	"repro/internal/sensitivity"
 	"repro/internal/xrand"
@@ -41,6 +43,12 @@ type Options struct {
 	// derivation; when false the reference input is used (the other half
 	// of Table 5's "without heuristics" cost).
 	UseSmallInput bool
+	// Workers fans each generation's candidate evaluations across
+	// goroutines (0 = GOMAXPROCS, 1 = serial). Candidate evaluation is
+	// RNG-free (one profiled execution), and breeding, checkpointing and
+	// the closing FI campaign always consume the search RNG serially, so
+	// the result is bit-identical for every worker count.
+	Workers int
 }
 
 // DefaultOptions returns the paper's configuration.
@@ -154,10 +162,13 @@ func Search(b *prog.Benchmark, opts Options, rng *xrand.RNG) (*Result, error) {
 
 	// Steps ④ and ⑤: genetic fuzzing with the dynamic-analysis fitness.
 	t0 = time.Now()
-	var searchDyn int64
+	// Candidates of one generation are evaluated concurrently; the cost
+	// accumulator is atomic and integer, so its per-generation totals are
+	// independent of evaluation order.
+	var searchDyn atomic.Int64
 	fitness := func(g ga.Genome) float64 {
 		f, dyn := Fitness(b, dist.Scores, g)
-		searchDyn += dyn
+		searchDyn.Add(dyn)
 		return f
 	}
 	// Seed with the small FI input, the reference input, and enough random
@@ -176,6 +187,7 @@ func Search(b *prog.Benchmark, opts Options, rng *xrand.RNG) (*Result, error) {
 		Clamp:         func(g ga.Genome) { b.ClampInput(g) },
 		Fitness:       fitness,
 		Seed:          seeds,
+		Workers:       parallel.Workers(opts.Workers),
 	}, rng.Split())
 	if err != nil {
 		return nil, err
@@ -188,7 +200,7 @@ func Search(b *prog.Benchmark, opts Options, rng *xrand.RNG) (*Result, error) {
 	for gen := 1; gen <= opts.Generations; gen++ {
 		engine.Step()
 		res.FitnessHistory = append(res.FitnessHistory, engine.Best().Fitness)
-		res.SearchDynHistory = append(res.SearchDynHistory, searchDyn)
+		res.SearchDynHistory = append(res.SearchDynHistory, searchDyn.Load())
 		for ci < len(checkpoints) && checkpoints[ci] == gen {
 			best := engine.Best()
 			cp := Checkpoint{Generation: gen, BestInput: best.Genome, Fitness: best.Fitness}
@@ -204,7 +216,7 @@ func Search(b *prog.Benchmark, opts Options, rng *xrand.RNG) (*Result, error) {
 	res.BestFitness = best.Fitness
 	res.Evaluations = engine.Evaluations
 	res.Cost.SearchTime = time.Since(t0)
-	res.Cost.SearchDyn = searchDyn
+	res.Cost.SearchDyn = searchDyn.Load()
 
 	// Closing statistical FI campaign on the reported SDC-bound input.
 	t0 = time.Now()

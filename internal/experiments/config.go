@@ -56,6 +56,12 @@ type Config struct {
 
 	// Benches restricts the benchmark set (nil = all seven).
 	Benches []string
+
+	// Workers is the worker count for every parallel stage: concurrent
+	// experiments in RunAll/RunAllStructured, GA candidate evaluation, and
+	// FI-trial fan-out in studies and baselines (0 = GOMAXPROCS,
+	// 1 = fully serial). Same seed, same report, for any value.
+	Workers int
 }
 
 // DefaultConfig returns the full-scale configuration.

@@ -76,12 +76,12 @@ func TestFigure1AndTable2ShareStudy(t *testing.T) {
 		}
 	}
 	// Table 2 must reuse the cached study (same points, no recompute).
-	before := len(s.studies)
+	before := s.studies.Len()
 	t2, err := Table2(s)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(s.studies) != before {
+	if s.studies.Len() != before {
 		t.Fatal("table2 recomputed studies")
 	}
 	if len(t2.Rows) != 2 {

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"runtime"
+	"testing"
+)
+
+// equivalenceIDs is the experiment subset whose renders are fully
+// deterministic — table6 is excluded because it reports wall-clock times.
+var equivalenceIDs = []string{
+	"table1", "fig1", "table2", "table3", "table4", "fig5", "fig7", "fig8",
+}
+
+// TestRunAllStructuredWorkerEquivalence runs the suite at several worker
+// counts and demands byte-identical renders: the concurrent experiment
+// runner, the memoized suite caches, and every parallel stage underneath
+// (GA evaluation, FI-trial fan-out) must not let scheduling leak into
+// results.
+func TestRunAllStructuredWorkerEquivalence(t *testing.T) {
+	counts := []int{1, 4}
+	if n := runtime.GOMAXPROCS(0); n != 1 && n != 4 {
+		counts = append(counts, n)
+	}
+	var want map[string]string
+	for _, w := range counts {
+		cfg := QuickConfig()
+		cfg.Benches = []string{"pathfinder"}
+		cfg.Workers = w
+		s, err := NewSuite(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results, err := RunAllStructured(s, equivalenceIDs)
+		if err != nil {
+			t.Fatalf("Workers=%d: %v", w, err)
+		}
+		renders := make(map[string]string, len(results))
+		for id, r := range results {
+			renders[id] = r.Render()
+		}
+		if want == nil {
+			want = renders
+			continue
+		}
+		for _, id := range equivalenceIDs {
+			if renders[id] != want[id] {
+				t.Errorf("Workers=%d: %s render diverged from Workers=1:\n%s\n--- want ---\n%s",
+					w, id, renders[id], want[id])
+			}
+		}
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"repro/internal/parallel"
 )
 
 // Renderable is any experiment result that can print itself.
@@ -98,59 +100,91 @@ func Run(s *Suite, id string) (Renderable, error) {
 		id, strings.Join(IDs(), ", "))
 }
 
-// RunAllStructured executes the requested experiments (all when ids is
-// empty) and returns the typed results keyed by experiment ID — the
-// machine-readable artifact behind cmd/experiments -json.
-func RunAllStructured(s *Suite, ids []string) (map[string]Renderable, error) {
+// resolveIDs validates the requested IDs (all when empty) and returns them
+// in the paper's presentation order. Unknown IDs fail before anything runs.
+func resolveIDs(ids []string) ([]string, error) {
 	if len(ids) == 0 {
-		ids = IDs()
+		return IDs(), nil
 	}
-	out := make(map[string]Renderable, len(ids))
-	for _, id := range ids {
-		r, err := Run(s, id)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: %s: %w", id, err)
-		}
-		out[id] = r
-	}
-	return out, nil
-}
-
-// RunAll executes the requested experiments (all when ids is empty) and
-// returns a combined report. Unknown IDs fail before anything runs.
-func RunAll(s *Suite, ids []string) (string, error) {
-	if len(ids) == 0 {
-		ids = IDs()
-	} else {
-		known := map[string]bool{}
-		for _, e := range Registry {
-			known[e.ID] = true
-		}
-		for _, id := range ids {
-			if !known[id] {
-				return "", fmt.Errorf("experiments: unknown experiment %q", id)
-			}
-		}
-	}
-	// Keep the paper's presentation order regardless of request order.
 	order := map[string]int{}
 	for i, e := range Registry {
 		order[e.ID] = i
 	}
-	sort.Slice(ids, func(a, b int) bool { return order[ids[a]] < order[ids[b]] })
+	for _, id := range ids {
+		if _, ok := order[id]; !ok {
+			return nil, fmt.Errorf("experiments: unknown experiment %q", id)
+		}
+	}
+	sorted := append([]string(nil), ids...)
+	sort.Slice(sorted, func(a, b int) bool { return order[sorted[a]] < order[sorted[b]] })
+	return sorted, nil
+}
 
+// timedResult is one experiment's outcome under the concurrent runner.
+type timedResult struct {
+	id      string
+	r       Renderable
+	elapsed time.Duration
+	err     error
+}
+
+// runConcurrent executes the (already validated) experiments across the
+// suite's worker pool. Experiments are independent apart from the suite's
+// memoized artifacts, which are compute-once and keyed by private RNG
+// streams, so the typed results are identical for any worker count; only
+// the per-experiment wall-clock times vary.
+func runConcurrent(s *Suite, ids []string) ([]timedResult, error) {
+	results := parallel.Map(s.Cfg.Workers, len(ids), func(i int) timedResult {
+		start := time.Now()
+		r, err := Run(s, ids[i])
+		return timedResult{id: ids[i], r: r, elapsed: time.Since(start), err: err}
+	})
+	for _, res := range results {
+		if res.err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", res.id, res.err)
+		}
+	}
+	return results, nil
+}
+
+// RunAllStructured executes the requested experiments (all when ids is
+// empty) concurrently and returns the typed results keyed by experiment ID
+// — the machine-readable artifact behind cmd/experiments -json.
+func RunAllStructured(s *Suite, ids []string) (map[string]Renderable, error) {
+	resolved, err := resolveIDs(ids)
+	if err != nil {
+		return nil, err
+	}
+	results, err := runConcurrent(s, resolved)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]Renderable, len(results))
+	for _, res := range results {
+		out[res.id] = res.r
+	}
+	return out, nil
+}
+
+// RunAll executes the requested experiments (all when ids is empty)
+// concurrently and returns a combined report in the paper's presentation
+// order. Unknown IDs fail before anything runs.
+func RunAll(s *Suite, ids []string) (string, error) {
+	resolved, err := resolveIDs(ids)
+	if err != nil {
+		return "", err
+	}
+	results, err := runConcurrent(s, resolved)
+	if err != nil {
+		return "", err
+	}
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "PEPPA-X reproduction report (seed %d)\n", s.Cfg.Seed)
 	fmt.Fprintf(&sb, "generated %s\n\n", time.Now().UTC().Format(time.RFC3339))
-	for _, id := range ids {
-		start := time.Now()
-		r, err := Run(s, id)
-		if err != nil {
-			return "", fmt.Errorf("experiments: %s: %w", id, err)
-		}
+	for _, res := range results {
 		fmt.Fprintf(&sb, "%s\n", strings.Repeat("=", 100))
-		sb.WriteString(r.Render())
-		fmt.Fprintf(&sb, "[%s completed in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+		sb.WriteString(res.r.Render())
+		fmt.Fprintf(&sb, "[%s completed in %v]\n\n", res.id, res.elapsed.Round(time.Millisecond))
 	}
 	return sb.String(), nil
 }

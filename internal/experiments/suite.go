@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/core"
+	"repro/internal/parallel"
 	"repro/internal/prog"
 	"repro/internal/xrand"
 )
@@ -14,14 +15,22 @@ import (
 // runs, the random-input study and the per-instruction study — so that
 // experiments that view the same data (Figure 1 and Table 2; Figures 5, 7
 // and 8) compute it once.
+//
+// Every cache is a compute-once-per-key memo, so experiments may run
+// concurrently (see RunAllStructured): the first experiment to need an
+// artifact computes it while later ones block on the same entry, and a full
+// RunAll still computes each per-benchmark artifact exactly once. Each
+// artifact's computation owns a private RNG stream derived from
+// (Cfg.Seed, purpose, benchmark), so results do not depend on which
+// experiment ran first or on how many ran at once.
 type Suite struct {
 	Cfg Config
 
-	benches   map[string]*prog.Benchmark
-	searches  map[string]*core.Result
-	baselines map[string]*core.BaselineResult
-	studies   map[string]*RandomStudy
-	perInstr  map[string]*PerInstrStudy
+	benches   parallel.Memo[*prog.Benchmark]
+	searches  parallel.Memo[*core.Result]
+	baselines parallel.Memo[*core.BaselineResult]
+	studies   parallel.Memo[*RandomStudy]
+	perInstr  parallel.Memo[*PerInstrStudy]
 }
 
 // NewSuite validates the config and returns an empty suite.
@@ -29,14 +38,7 @@ func NewSuite(cfg Config) (*Suite, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Suite{
-		Cfg:       cfg,
-		benches:   make(map[string]*prog.Benchmark),
-		searches:  make(map[string]*core.Result),
-		baselines: make(map[string]*core.BaselineResult),
-		studies:   make(map[string]*RandomStudy),
-		perInstr:  make(map[string]*PerInstrStudy),
-	}, nil
+	return &Suite{Cfg: cfg}, nil
 }
 
 // BenchNames returns the configured benchmark set in Table 1 order.
@@ -49,11 +51,9 @@ func (s *Suite) BenchNames() []string {
 
 // Bench returns (building once) the named benchmark.
 func (s *Suite) Bench(name string) *prog.Benchmark {
-	if b, ok := s.benches[name]; ok {
-		return b
-	}
-	b := prog.Build(name)
-	s.benches[name] = b
+	b, _ := s.benches.Get(name, func() (*prog.Benchmark, error) {
+		return prog.Build(name), nil
+	})
 	return b
 }
 
@@ -69,21 +69,20 @@ func (s *Suite) rng(purpose string, bench string) *xrand.RNG {
 // Search runs (once) the full PEPPA-X search for a benchmark, with the
 // configured checkpoints — the shared artifact behind Figures 5, 7, 8 and 9.
 func (s *Suite) Search(name string) (*core.Result, error) {
-	if r, ok := s.searches[name]; ok {
+	return s.searches.Get(name, func() (*core.Result, error) {
+		opts := core.DefaultOptions()
+		opts.Generations = s.Cfg.SearchGenerations
+		opts.PopSize = s.Cfg.SearchPop
+		opts.TrialsPerRep = s.Cfg.TrialsPerRep
+		opts.FinalTrials = s.Cfg.OverallTrials
+		opts.Checkpoints = append([]int(nil), s.Cfg.Checkpoints...)
+		opts.Workers = s.Cfg.Workers
+		r, err := core.Search(s.Bench(name), opts, s.rng("search", name))
+		if err != nil {
+			return nil, fmt.Errorf("experiments: search %s: %w", name, err)
+		}
 		return r, nil
-	}
-	opts := core.DefaultOptions()
-	opts.Generations = s.Cfg.SearchGenerations
-	opts.PopSize = s.Cfg.SearchPop
-	opts.TrialsPerRep = s.Cfg.TrialsPerRep
-	opts.FinalTrials = s.Cfg.OverallTrials
-	opts.Checkpoints = append([]int(nil), s.Cfg.Checkpoints...)
-	r, err := core.Search(s.Bench(name), opts, s.rng("search", name))
-	if err != nil {
-		return nil, fmt.Errorf("experiments: search %s: %w", name, err)
-	}
-	s.searches[name] = r
-	return r, nil
+	})
 }
 
 // maxBaselineBudget computes the largest baseline budget any figure needs:
@@ -113,19 +112,17 @@ func (s *Suite) cutoffGen() int {
 // Baseline runs (once) the random-search baseline for a benchmark, to the
 // largest budget any experiment needs; callers slice its history by budget.
 func (s *Suite) Baseline(name string) (*core.BaselineResult, error) {
-	if b, ok := s.baselines[name]; ok {
-		return b, nil
-	}
-	r, err := s.Search(name)
-	if err != nil {
-		return nil, err
-	}
-	res := core.RandomSearch(s.Bench(name), core.BaselineOptions{
-		TrialsPerInput: s.Cfg.OverallTrials,
-		DynBudget:      s.maxBaselineBudget(r),
-	}, s.rng("baseline", name))
-	s.baselines[name] = res
-	return res, nil
+	return s.baselines.Get(name, func() (*core.BaselineResult, error) {
+		r, err := s.Search(name)
+		if err != nil {
+			return nil, err
+		}
+		return core.RandomSearch(s.Bench(name), core.BaselineOptions{
+			TrialsPerInput: s.Cfg.OverallTrials,
+			DynBudget:      s.maxBaselineBudget(r),
+			Workers:        s.Cfg.Workers,
+		}, s.rng("baseline", name)), nil
+	})
 }
 
 // BaselineBestWithin returns the baseline's best SDC probability achieved
@@ -179,41 +176,45 @@ func (rs *RandomStudy) Coverages() []float64 {
 	return out
 }
 
-// Study runs (once) the random-input FI study for a benchmark.
+// Study runs (once) the random-input FI study for a benchmark. Inputs are
+// drawn serially from the study stream; each input's FI campaign fans out
+// over the configured workers with a serially drawn campaign seed, so the
+// study is identical for every worker count.
 func (s *Suite) Study(name string) (*RandomStudy, error) {
-	if st, ok := s.studies[name]; ok {
+	return s.studies.Get(name, func() (*RandomStudy, error) {
+		b := s.Bench(name)
+		rng := s.rng("study", name)
+		st := &RandomStudy{Bench: name}
+
+		measure := func(in []float64) (StudyPoint, error) {
+			g, err := campaign.NewGolden(b.Prog, b.Encode(in), b.MaxDyn)
+			if err != nil {
+				return StudyPoint{}, err
+			}
+			c := campaign.OverallParallel(b.Prog, g, s.Cfg.OverallTrials, campaign.ParallelOptions{
+				Workers: s.Cfg.Workers,
+				Seed:    rng.Uint64(),
+			})
+			return StudyPoint{
+				Input: in, SDC: c.SDCProbability(), Counts: c,
+				Coverage: g.Coverage(), DynCount: g.DynCount,
+			}, nil
+		}
+
+		ref, err := measure(b.RefInput())
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s reference input: %w", name, err)
+		}
+		st.Ref = ref
+		for len(st.Points) < s.Cfg.RandomInputs {
+			pt, err := measure(b.RandomInput(rng))
+			if err != nil {
+				continue // invalid input, redraw (§3.1.2)
+			}
+			st.Points = append(st.Points, pt)
+		}
 		return st, nil
-	}
-	b := s.Bench(name)
-	rng := s.rng("study", name)
-	st := &RandomStudy{Bench: name}
-
-	measure := func(in []float64) (StudyPoint, error) {
-		g, err := campaign.NewGolden(b.Prog, b.Encode(in), b.MaxDyn)
-		if err != nil {
-			return StudyPoint{}, err
-		}
-		c := campaign.Overall(b.Prog, g, s.Cfg.OverallTrials, rng)
-		return StudyPoint{
-			Input: in, SDC: c.SDCProbability(), Counts: c,
-			Coverage: g.Coverage(), DynCount: g.DynCount,
-		}, nil
-	}
-
-	ref, err := measure(b.RefInput())
-	if err != nil {
-		return nil, fmt.Errorf("experiments: %s reference input: %w", name, err)
-	}
-	st.Ref = ref
-	for len(st.Points) < s.Cfg.RandomInputs {
-		pt, err := measure(b.RandomInput(rng))
-		if err != nil {
-			continue // invalid input, redraw (§3.1.2)
-		}
-		st.Points = append(st.Points, pt)
-	}
-	s.studies[name] = st
-	return st, nil
+	})
 }
 
 // PerInstrStudy holds per-instruction SDC probability vectors for several
@@ -225,27 +226,30 @@ type PerInstrStudy struct {
 }
 
 // PerInstr runs (once) the per-instruction study for a benchmark. Moderate
-// workloads (scaled inputs) keep the all-instruction campaigns tractable.
+// workloads (scaled inputs) keep the all-instruction campaigns tractable;
+// the instruction list fans out over the configured workers, each
+// instruction's trials on a stream derived from its ID.
 func (s *Suite) PerInstr(name string) (*PerInstrStudy, error) {
-	if st, ok := s.perInstr[name]; ok {
-		return st, nil
-	}
-	b := s.Bench(name)
-	rng := s.rng("perinstr", name)
-	st := &PerInstrStudy{Bench: name}
-	ids := campaign.AllInstructionIDs(b.Prog)
-	for len(st.Vectors) < s.Cfg.PerInstrInputs {
-		in := b.RandomInputScaled(rng, 0.25)
-		g, err := campaign.NewGolden(b.Prog, b.Encode(in), b.MaxDyn)
-		if err != nil {
-			continue
+	return s.perInstr.Get(name, func() (*PerInstrStudy, error) {
+		b := s.Bench(name)
+		rng := s.rng("perinstr", name)
+		st := &PerInstrStudy{Bench: name}
+		ids := campaign.AllInstructionIDs(b.Prog)
+		for len(st.Vectors) < s.Cfg.PerInstrInputs {
+			in := b.RandomInputScaled(rng, 0.25)
+			g, err := campaign.NewGolden(b.Prog, b.Encode(in), b.MaxDyn)
+			if err != nil {
+				continue
+			}
+			res := campaign.PerInstructionParallel(b.Prog, g, ids, s.Cfg.PerInstrTrials, campaign.ParallelOptions{
+				Workers: s.Cfg.Workers,
+				Seed:    rng.Uint64(),
+			})
+			st.Inputs = append(st.Inputs, in)
+			st.Vectors = append(st.Vectors, campaign.PerInstructionVector(b.Prog.NumInstrs(), res))
 		}
-		res := campaign.PerInstruction(b.Prog, g, ids, s.Cfg.PerInstrTrials, rng)
-		st.Inputs = append(st.Inputs, in)
-		st.Vectors = append(st.Vectors, campaign.PerInstructionVector(b.Prog.NumInstrs(), res))
-	}
-	s.perInstr[name] = st
-	return st, nil
+		return st, nil
+	})
 }
 
 // sortedCheckpoints returns the configured checkpoints in ascending order.

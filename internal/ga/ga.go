@@ -9,6 +9,7 @@ package ga
 import (
 	"fmt"
 
+	"repro/internal/parallel"
 	"repro/internal/xrand"
 )
 
@@ -53,6 +54,13 @@ type Config struct {
 	// population from it (cycling if shorter than PopSize); required
 	// non-empty.
 	Seed []Genome
+	// Workers fans fitness evaluation across goroutines. Values <= 1
+	// evaluate serially (the default); opting in requires a Fitness that is
+	// safe for concurrent calls. Selection and recombination always run
+	// serially on the engine's RNG, and each generation's offspring are
+	// bred before any is evaluated, so results are bit-identical for every
+	// worker count.
+	Workers int
 }
 
 // Engine runs the genetic search.
@@ -87,21 +95,35 @@ func New(cfg Config, rng *xrand.RNG) (*Engine, error) {
 		cfg.CrossoverRate = DefaultCrossoverRate
 	}
 	e := &Engine{cfg: cfg, rng: rng}
-	e.pop = make([]Individual, cfg.PopSize)
-	for i := range e.pop {
+	genomes := make([]Genome, cfg.PopSize)
+	for i := range genomes {
 		g := cfg.Seed[i%len(cfg.Seed)].Clone()
 		cfg.Clamp(g)
-		e.pop[i] = e.eval(g)
-		if i == 0 || e.pop[i].Fitness > e.best.Fitness {
-			e.best = Individual{Genome: e.pop[i].Genome.Clone(), Fitness: e.pop[i].Fitness}
+		genomes[i] = g
+	}
+	e.pop = e.evalAll(genomes)
+	for i, ind := range e.pop {
+		if i == 0 || ind.Fitness > e.best.Fitness {
+			e.best = Individual{Genome: ind.Genome.Clone(), Fitness: ind.Fitness}
 		}
 	}
 	return e, nil
 }
 
-func (e *Engine) eval(g Genome) Individual {
-	e.Evaluations++
-	return Individual{Genome: g, Fitness: e.cfg.Fitness(g)}
+// evalAll evaluates a batch of genomes, fanning across cfg.Workers
+// goroutines when enabled. Results are returned in input order, so the
+// fold over them is schedule-independent.
+func (e *Engine) evalAll(genomes []Genome) []Individual {
+	workers := e.cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	out := make([]Individual, len(genomes))
+	parallel.ForEach(workers, len(genomes), func(i int) {
+		out[i] = Individual{Genome: genomes[i], Fitness: e.cfg.Fitness(genomes[i])}
+	})
+	e.Evaluations += len(genomes)
+	return out
 }
 
 // Best returns the best individual seen so far.
@@ -167,35 +189,40 @@ func (e *Engine) crossover(a, b Genome) {
 }
 
 // Step runs one generation: it breeds a full offspring population via
-// roulette selection plus mutation/crossover, evaluates it, and replaces
-// the old population with the offspring plus the elite best-so-far
-// individual.
+// roulette selection plus mutation/crossover, evaluates it — concurrently
+// when cfg.Workers allows — and replaces the old population with the
+// offspring plus the elite best-so-far individual.
+//
+// Breeding happens entirely before evaluation: selection draws only on the
+// previous generation's fitness, so deferring evaluation changes neither
+// the RNG stream nor the offspring, and the evaluation batch can fan out.
 func (e *Engine) Step() {
-	next := make([]Individual, 0, len(e.pop))
 	// Elitism: carry the best individual forward unchanged so the bound
 	// estimate never regresses.
-	next = append(next, Individual{Genome: e.best.Genome.Clone(), Fitness: e.best.Fitness})
+	elite := Individual{Genome: e.best.Genome.Clone(), Fitness: e.best.Fitness}
 
-	for len(next) < len(e.pop) {
+	offspring := make([]Genome, 0, len(e.pop)-1)
+	for len(offspring) < len(e.pop)-1 {
 		parent := e.pop[e.rouletteIndex()].Genome.Clone()
 		if e.rng.Bool(e.cfg.CrossoverRate) && len(e.pop) > 1 {
 			other := e.pop[e.rouletteIndex()].Genome.Clone()
 			e.crossover(parent, other)
 			// The second offspring of the swap joins too if there is room.
-			if len(next) < len(e.pop)-1 {
+			if len(offspring) < len(e.pop)-2 {
 				e.cfg.Clamp(other)
-				ind := e.eval(other)
-				next = append(next, ind)
-				if ind.Fitness > e.best.Fitness {
-					e.best = Individual{Genome: ind.Genome.Clone(), Fitness: ind.Fitness}
-				}
+				offspring = append(offspring, other)
 			}
 		}
 		if e.rng.Bool(e.cfg.MutationRate) {
 			e.mutate(parent)
 		}
 		e.cfg.Clamp(parent)
-		ind := e.eval(parent)
+		offspring = append(offspring, parent)
+	}
+
+	next := make([]Individual, 0, len(e.pop))
+	next = append(next, elite)
+	for _, ind := range e.evalAll(offspring) {
 		next = append(next, ind)
 		if ind.Fitness > e.best.Fitness {
 			e.best = Individual{Genome: ind.Genome.Clone(), Fitness: ind.Fitness}

@@ -239,6 +239,39 @@ func TestCrossoverSwapsOneGene(t *testing.T) {
 	}
 }
 
+// The parallel-evaluation contract: breeding draws on the engine RNG
+// serially and evaluation is deferred to a batch, so the search trajectory
+// is bit-identical for every worker count.
+func TestWorkerCountEquivalence(t *testing.T) {
+	run := func(workers int) (Individual, []Individual) {
+		cfg := sphereConfig()
+		cfg.Workers = workers
+		e, err := New(cfg, xrand.New(123))
+		if err != nil {
+			t.Fatal(err)
+		}
+		best := e.Run(60)
+		return best, e.Population()
+	}
+	baseBest, basePop := run(1)
+	for _, workers := range []int{2, 4, 16} {
+		best, pop := run(workers)
+		if best.Fitness != baseBest.Fitness {
+			t.Fatalf("workers=%d: best fitness %v != serial %v", workers, best.Fitness, baseBest.Fitness)
+		}
+		for i := range best.Genome {
+			if best.Genome[i] != baseBest.Genome[i] {
+				t.Fatalf("workers=%d: best genome differs at %d", workers, i)
+			}
+		}
+		for i := range pop {
+			if pop[i].Fitness != basePop[i].Fitness {
+				t.Fatalf("workers=%d: population slot %d differs", workers, i)
+			}
+		}
+	}
+}
+
 // Property: Run never returns a genome outside the clamped space.
 func TestRunRespectsBoundsProperty(t *testing.T) {
 	f := func(seed uint64) bool {

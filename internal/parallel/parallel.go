@@ -1,0 +1,155 @@
+// Package parallel is the repository's deterministic execution layer: a
+// worker-pool primitive shared by the FI campaign runner, the GA search,
+// the baseline and the experiment suite.
+//
+// The paper notes (§5.2) that PEPPA-X and the random-FI baseline both
+// parallelize trivially because FI trials and candidate evaluations are
+// independent. The contract that keeps parallel runs statistically — and in
+// this repository bit-for-bit — identical to serial ones is:
+//
+//  1. Work items are addressed by index, and each item's randomness is a
+//     private stream derived from (seed, index) via DeriveSeed, never a
+//     stream shared across goroutines.
+//  2. Each item writes only to its own result slot; aggregation happens
+//     after the pool drains, in index order.
+//
+// Under that contract ForEach and Map produce the same results for any
+// worker count, including the serial Workers=1 schedule.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/xrand"
+)
+
+// golden is the splitmix64 increment, the same constant xrand's core uses.
+const golden = 0x9E3779B97F4A7C15
+
+// Workers resolves a worker-count knob: values <= 0 mean GOMAXPROCS.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// ForEach runs fn(i) for every i in [0, n) across Workers(workers)
+// goroutines. With one worker (or one item) it degenerates to a plain
+// serial loop in index order, without spawning goroutines. Work is
+// distributed by an atomic cursor, so scheduling is dynamic; determinism is
+// fn's responsibility per the package contract.
+func ForEach(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		next int64
+		wg   sync.WaitGroup
+	)
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Map evaluates fn over [0, n) with ForEach and returns the results in
+// index order.
+func Map[T any](workers, n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	ForEach(workers, n, func(i int) {
+		out[i] = fn(i)
+	})
+	return out
+}
+
+// mix64 is the splitmix64 finalizer — a bijective 64-bit hash.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// DeriveSeed mixes a base seed with index coordinates — e.g. (generation,
+// candidate) or a trial number — into the seed of an independent stream.
+// Each coordinate is folded in with a golden-ratio multiply and a splitmix64
+// finalizer, so nearby coordinates yield uncorrelated streams and different
+// coordinate arities do not collide in practice.
+func DeriveSeed(seed uint64, coords ...uint64) uint64 {
+	h := seed
+	for _, c := range coords {
+		h ^= (c + 1) * golden
+		h = mix64(h)
+	}
+	return h
+}
+
+// DeriveRNG returns a fresh RNG on the stream DeriveSeed selects. The
+// caller owns it exclusively; handing each work item its own derived RNG is
+// what makes results independent of scheduling and worker count.
+func DeriveRNG(seed uint64, coords ...uint64) *xrand.RNG {
+	return xrand.New(DeriveSeed(seed, coords...))
+}
+
+// Memo is a concurrency-safe compute-once-per-key cache, the sync.Once-per-
+// key pattern. Concurrent Get calls for the same key block until the single
+// compute finishes and then share its result (including its error). The
+// zero value is ready to use.
+type Memo[V any] struct {
+	mu sync.Mutex
+	m  map[string]*memoEntry[V]
+}
+
+type memoEntry[V any] struct {
+	once sync.Once
+	val  V
+	err  error
+}
+
+// Get returns the cached value for key, computing it with compute exactly
+// once across all callers.
+func (c *Memo[V]) Get(key string, compute func() (V, error)) (V, error) {
+	c.mu.Lock()
+	if c.m == nil {
+		c.m = make(map[string]*memoEntry[V])
+	}
+	e, ok := c.m[key]
+	if !ok {
+		e = &memoEntry[V]{}
+		c.m[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		e.val, e.err = compute()
+	})
+	return e.val, e.err
+}
+
+// Len reports how many keys have been requested so far.
+func (c *Memo[V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
