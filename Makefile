@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build lint test test-short race bench-smoke bench-workers ci
+.PHONY: build lint test test-short race bench-smoke bench-workers test-telemetry ci
 
 build:
 	$(GO) build ./...
@@ -34,4 +34,18 @@ bench-smoke:
 bench-workers:
 	$(GO) test -bench=Workers -benchtime=3x -run='^$$' .
 
-ci: build lint test race bench-smoke
+# End-to-end trace determinism: the same small search, traced at 1 and 4
+# workers, must write byte-identical JSONL (the telemetry layer's contract;
+# the in-process version is cmd/peppax's TestTelemetryWorkerEquivalence).
+# Leaves trace-w1.jsonl behind as a sample artifact.
+test-telemetry:
+	$(GO) run ./cmd/peppax -bench pathfinder -generations 3 -pop 4 \
+		-trials 40 -rep-trials 4 -seed 7 -checkpoints 1,3 -baseline \
+		-workers 1 -trace trace-w1.jsonl > /dev/null
+	$(GO) run ./cmd/peppax -bench pathfinder -generations 3 -pop 4 \
+		-trials 40 -rep-trials 4 -seed 7 -checkpoints 1,3 -baseline \
+		-workers 4 -trace trace-w4.jsonl > /dev/null
+	cmp trace-w1.jsonl trace-w4.jsonl
+	@echo "telemetry traces byte-identical across worker counts"
+
+ci: build lint test race bench-smoke test-telemetry

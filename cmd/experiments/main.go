@@ -4,40 +4,66 @@
 //
 //	experiments [-exp table1,fig5,...] [-quick] [-seed N] [-benches a,b]
 //	            [-workers N] [-out report.txt] [-list]
+//	            [-trace out.jsonl] [-metrics]
 //
 // Without -exp it runs the full evaluation (every table and figure in the
 // paper, §3/§5/§6). -quick shrinks trial counts so the whole suite runs in
 // seconds; the default configuration takes minutes.
+//
+// -trace writes a deterministic JSONL telemetry trace: every memoized suite
+// artifact (search, baseline, study, per-instruction study) emits into its
+// own keyed stream on the virtual dynamic-instruction clock, and streams are
+// flushed in key order, so the file is byte-identical for any -workers value
+// even though experiments run concurrently. -metrics prints the end-of-run
+// counter/gauge summary (memo hits/misses, wall times, pool utilization).
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/parallel"
+	"repro/internal/telemetry"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		expList = flag.String("exp", "", "comma-separated experiment IDs (default: all)")
-		quick   = flag.Bool("quick", false, "use the reduced quick configuration")
-		seed    = flag.Uint64("seed", 0, "override the RNG seed (0 = config default)")
-		benches = flag.String("benches", "", "comma-separated benchmark subset (default: all seven)")
-		out     = flag.String("out", "", "also write the report to this file")
-		jsonOut = flag.String("json", "", "also write typed results as JSON to this file")
-		list    = flag.Bool("list", false, "list experiment IDs and exit")
-		workers = flag.Int("workers", 0, "worker count for experiments, GA evaluation and FI trials (0 = GOMAXPROCS, 1 = serial; same seed gives the same report for any value)")
+		expList   = fs.String("exp", "", "comma-separated experiment IDs (default: all)")
+		quick     = fs.Bool("quick", false, "use the reduced quick configuration")
+		seed      = fs.Uint64("seed", 0, "override the RNG seed (0 = config default)")
+		benches   = fs.String("benches", "", "comma-separated benchmark subset (default: all seven)")
+		out       = fs.String("out", "", "also write the report to this file")
+		jsonOut   = fs.String("json", "", "also write typed results as JSON to this file")
+		list      = fs.Bool("list", false, "list experiment IDs and exit")
+		workers   = fs.Int("workers", 0, "worker count for experiments, GA evaluation and FI trials (0 = GOMAXPROCS, 1 = serial; same seed gives the same report for any value)")
+		tracePath = fs.String("trace", "", "write a deterministic JSONL telemetry trace to this file (byte-identical for any -workers)")
+		metrics   = fs.Bool("metrics", false, "print an end-of-run telemetry summary (counters, gauges, memo hits/misses)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "experiments:", err)
+		return 1
+	}
 
 	if *list {
 		for _, e := range experiments.Registry {
-			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+			fmt.Fprintf(stdout, "%-8s %s\n", e.ID, e.Title)
 		}
-		return
+		return 0
 	}
 
 	cfg := experiments.DefaultConfig()
@@ -52,9 +78,34 @@ func main() {
 	}
 	cfg.Workers = *workers
 
+	var rec *telemetry.Recorder
+	if *tracePath != "" || *metrics {
+		var sink io.Writer
+		if *tracePath != "" {
+			f, err := os.Create(*tracePath)
+			if err != nil {
+				return fail(err)
+			}
+			defer f.Close()
+			sink = f
+		}
+		rec = telemetry.New(telemetry.Options{Sink: sink})
+		cfg.Recorder = rec
+		parallel.SetObserver(telemetry.PoolObserver(rec))
+		defer parallel.SetObserver(nil)
+		defer func() {
+			if err := rec.Close(); err != nil {
+				fmt.Fprintln(stderr, "experiments: trace:", err)
+			}
+			if *metrics {
+				fmt.Fprint(stdout, rec.Summary())
+			}
+		}()
+	}
+
 	suite, err := experiments.NewSuite(cfg)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	var ids []string
 	if *expList != "" {
@@ -62,30 +113,32 @@ func main() {
 	}
 	report, err := experiments.RunAll(suite, ids)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
-	fmt.Print(report)
+	fmt.Fprint(stdout, report)
 	if *out != "" {
 		if err := os.WriteFile(*out, []byte(report), 0o644); err != nil {
-			fatal(err)
+			return fail(err)
 		}
-		fmt.Fprintf(os.Stderr, "report written to %s\n", *out)
+		fmt.Fprintf(stderr, "report written to %s\n", *out)
 	}
 	if *jsonOut != "" {
 		// Re-running is cheap: the suite caches every expensive artifact.
 		results, err := experiments.RunAllStructured(suite, ids)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		blob, err := json.MarshalIndent(results, "", "  ")
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		if err := os.WriteFile(*jsonOut, blob, 0o644); err != nil {
-			fatal(err)
+			return fail(err)
 		}
-		fmt.Fprintf(os.Stderr, "JSON results written to %s\n", *jsonOut)
+		fmt.Fprintf(stderr, "JSON results written to %s\n", *jsonOut)
 	}
+	suite.EmitMemoStats()
+	return 0
 }
 
 func splitList(s string) []string {
@@ -96,9 +149,4 @@ func splitList(s string) []string {
 		}
 	}
 	return out
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "experiments:", err)
-	os.Exit(1)
 }

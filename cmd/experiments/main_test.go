@@ -1,0 +1,107 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCmd(t *testing.T, args []string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func checkJSONL(t *testing.T, path string) []string {
+	t.Helper()
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read trace: %v", err)
+	}
+	lines := strings.Split(strings.TrimRight(string(blob), "\n"), "\n")
+	if len(lines) == 0 {
+		t.Fatal("empty trace")
+	}
+	for i, line := range lines {
+		if !json.Valid([]byte(line)) {
+			t.Fatalf("trace line %d is not valid JSON: %q", i+1, line)
+		}
+	}
+	return lines
+}
+
+func TestList(t *testing.T) {
+	code, out, errOut := runCmd(t, []string{"-list"})
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	if !strings.Contains(out, "fig5") {
+		t.Fatalf("-list output missing fig5:\n%s", out)
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	if code, _, _ := runCmd(t, []string{"-no-such-flag"}); code != 2 {
+		t.Fatalf("unknown flag: exit %d, want 2", code)
+	}
+	if code, _, _ := runCmd(t, []string{"-exp", "nonsense"}); code != 1 {
+		t.Fatalf("unknown experiment: exit %d, want 1", code)
+	}
+}
+
+func TestRunSmokeWithMetrics(t *testing.T) {
+	trace := filepath.Join(t.TempDir(), "trace.jsonl")
+	code, out, errOut := runCmd(t, []string{
+		"-quick", "-benches", "pathfinder", "-exp", "fig5",
+		"-trace", trace, "-metrics",
+	})
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	if !strings.Contains(out, "telemetry summary") {
+		t.Fatalf("-metrics did not print a summary:\n%s", out)
+	}
+	lines := checkJSONL(t, trace)
+	var sawSearch, sawBaseline, sawMemo bool
+	for _, l := range lines {
+		sawSearch = sawSearch || strings.Contains(l, `"s":"search/pathfinder"`)
+		sawBaseline = sawBaseline || strings.Contains(l, `"s":"baseline/pathfinder"`)
+		sawMemo = sawMemo || strings.Contains(l, `"s":"suite/memo"`)
+	}
+	if !sawSearch || !sawBaseline || !sawMemo {
+		t.Fatalf("trace missing expected streams (search=%v baseline=%v memo=%v):\n%s",
+			sawSearch, sawBaseline, sawMemo, strings.Join(lines, "\n"))
+	}
+}
+
+// TestTelemetryWorkerEquivalence checks the suite-level determinism contract:
+// even though experiments run concurrently and share memoized artifacts, each
+// artifact emits into its own stream on the cost clock and streams flush in
+// key order, so the trace is byte-identical for any -workers value.
+func TestTelemetryWorkerEquivalence(t *testing.T) {
+	dir := t.TempDir()
+	traces := make([][]byte, 0, 2)
+	for _, w := range []string{"1", "2"} {
+		trace := filepath.Join(dir, "trace-w"+w+".jsonl")
+		code, _, errOut := runCmd(t, []string{
+			"-quick", "-benches", "pathfinder", "-exp", "fig5",
+			"-workers", w, "-trace", trace,
+		})
+		if code != 0 {
+			t.Fatalf("workers=%s: exit %d, stderr: %s", w, code, errOut)
+		}
+		checkJSONL(t, trace)
+		blob, err := os.ReadFile(trace)
+		if err != nil {
+			t.Fatal(err)
+		}
+		traces = append(traces, blob)
+	}
+	if !bytes.Equal(traces[0], traces[1]) {
+		t.Fatal("traces differ between -workers 1 and -workers 2")
+	}
+}

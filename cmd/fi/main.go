@@ -4,14 +4,20 @@
 //
 // Usage:
 //
-//	fi -bench hpccg [-input "3,3,3,15,17"] [-trials 1000] [-perinstr] [-top 10] [-seed 1]
+//	fi -bench hpccg [-input "3,3,3,15,17"] [-trials 1000] [-perinstr]
+//	   [-top 10] [-seed 1] [-trace out.jsonl] [-metrics]
 //
-// Without -input the benchmark's default reference input is used.
+// Without -input the benchmark's default reference input is used. -trace
+// writes a deterministic JSONL trace (golden-run profile plus the campaign
+// tally) on the dynamic-instruction cost clock; with -parallel N ≥ 1 the
+// trace is byte-identical for every worker count. -metrics prints the
+// end-of-run counter summary.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strconv"
@@ -19,35 +25,77 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/fault"
+	"repro/internal/parallel"
 	"repro/internal/prog"
+	"repro/internal/telemetry"
 	"repro/internal/xrand"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("fi", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		bench    = flag.String("bench", "pathfinder", "benchmark: "+strings.Join(prog.Names(), ", "))
-		input    = flag.String("input", "", "comma-separated input values (default: reference input)")
-		trials   = flag.Int("trials", 1000, "FI trials (whole-program mode) or trials per instruction")
-		perInstr = flag.Bool("perinstr", false, "measure per-instruction SDC probabilities")
-		top      = flag.Int("top", 15, "how many most-SDC-prone instructions to list (per-instruction mode)")
-		seed     = flag.Uint64("seed", 1, "RNG seed")
-		workers  = flag.Int("parallel", 0, "fan trials across N workers (0 = serial; §5.2 parallelization)")
-		multibit = flag.Bool("multibit", false, "use the double-bit-flip fault model")
+		bench     = fs.String("bench", "pathfinder", "benchmark: "+strings.Join(prog.Names(), ", "))
+		input     = fs.String("input", "", "comma-separated input values (default: reference input)")
+		trials    = fs.Int("trials", 1000, "FI trials (whole-program mode) or trials per instruction")
+		perInstr  = fs.Bool("perinstr", false, "measure per-instruction SDC probabilities")
+		top       = fs.Int("top", 15, "how many most-SDC-prone instructions to list (per-instruction mode)")
+		seed      = fs.Uint64("seed", 1, "RNG seed")
+		workers   = fs.Int("parallel", 0, "fan trials across N workers (0 = serial; §5.2 parallelization)")
+		multibit  = fs.Bool("multibit", false, "use the double-bit-flip fault model")
+		tracePath = fs.String("trace", "", "write a deterministic JSONL telemetry trace to this file (byte-identical for any -parallel)")
+		metrics   = fs.Bool("metrics", false, "print an end-of-run telemetry summary (counters, gauges, worker-pool utilization)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "fi:", err)
+		return 1
+	}
+
+	var rec *telemetry.Recorder
+	if *tracePath != "" || *metrics {
+		var sink io.Writer
+		if *tracePath != "" {
+			f, err := os.Create(*tracePath)
+			if err != nil {
+				return fail(err)
+			}
+			defer f.Close()
+			sink = f
+		}
+		rec = telemetry.New(telemetry.Options{Sink: sink})
+		parallel.SetObserver(telemetry.PoolObserver(rec))
+		defer parallel.SetObserver(nil)
+		defer func() {
+			if err := rec.Close(); err != nil {
+				fmt.Fprintln(stderr, "fi: trace:", err)
+			}
+			if *metrics {
+				fmt.Fprint(stdout, rec.Summary())
+			}
+		}()
+	}
 
 	b := prog.Build(*bench)
+	tr := rec.Stream("fi/" + b.Name)
 	in := b.RefInput()
 	if *input != "" {
 		parts := strings.Split(*input, ",")
 		if len(parts) != len(b.Args) {
-			fatal(fmt.Errorf("%s takes %d arguments, got %d", b.Name, len(b.Args), len(parts)))
+			return fail(fmt.Errorf("%s takes %d arguments, got %d", b.Name, len(b.Args), len(parts)))
 		}
 		in = make([]float64, len(parts))
 		for i, p := range parts {
 			v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
 			if err != nil {
-				fatal(fmt.Errorf("bad input value %q", p))
+				return fail(fmt.Errorf("bad input value %q", p))
 			}
 			in[i] = v
 		}
@@ -57,32 +105,48 @@ func main() {
 	rng := xrand.New(*seed)
 	g, err := campaign.NewGolden(b.Prog, b.Encode(in), b.MaxDyn)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
-	fmt.Printf("%s with input %v\n", b.Name, in)
-	fmt.Printf("golden run: %d dynamic instructions, coverage %.2f, %d output values\n\n",
+	tr.Advance(g.DynCount)
+	tr.Emit("fi.golden",
+		telemetry.F("dyn", g.DynCount),
+		telemetry.F("coverage", g.Coverage()),
+		telemetry.F("outputs", len(g.Output)))
+	fmt.Fprintf(stdout, "%s with input %v\n", b.Name, in)
+	fmt.Fprintf(stdout, "golden run: %d dynamic instructions, coverage %.2f, %d output values\n\n",
 		g.DynCount, g.Coverage(), len(g.Output))
 
 	if *perInstr {
 		ids := campaign.AllInstructionIDs(b.Prog)
 		results := campaign.PerInstruction(b.Prog, g, ids, *trials, rng)
+		var dyn int64
+		var total int
+		for _, r := range results {
+			dyn += r.Counts.DynInstrs
+			total += r.Counts.Trials
+		}
+		tr.Advance(dyn)
+		tr.Emit("fi.perinstr",
+			telemetry.F("instrs", len(ids)),
+			telemetry.F("trials", total),
+			telemetry.F("dyn", dyn))
 		sort.Slice(results, func(a, c int) bool {
 			return results[a].Counts.SDCProbability() > results[c].Counts.SDCProbability()
 		})
 		instrs := b.Module.Instrs()
-		fmt.Printf("top %d most SDC-prone static instructions (%d trials each):\n", *top, *trials)
-		fmt.Printf("%-8s %-10s %-10s %-8s %-8s %s\n", "ID", "SDC", "Crash", "Hang", "Execs", "Op")
+		fmt.Fprintf(stdout, "top %d most SDC-prone static instructions (%d trials each):\n", *top, *trials)
+		fmt.Fprintf(stdout, "%-8s %-10s %-10s %-8s %-8s %s\n", "ID", "SDC", "Crash", "Hang", "Execs", "Op")
 		for i, r := range results {
 			if i >= *top {
 				break
 			}
 			c := r.Counts
-			fmt.Printf("ID%-6d %-10s %-10s %-8d %-8d %s\n",
+			fmt.Fprintf(stdout, "ID%-6d %-10s %-10s %-8d %-8d %s\n",
 				r.ID, pctS(c.SDCProbability()),
 				pctS(float64(c.Crash)/float64(maxi(c.Trials, 1))),
 				c.Hang, g.InstrCounts[r.ID], instrs[r.ID].Op)
 		}
-		return
+		return 0
 	}
 
 	var c campaign.Counts
@@ -96,18 +160,25 @@ func main() {
 			c.Add(o)
 			c.DynInstrs += dyn
 		}
-	case *workers > 1:
+	case *workers >= 1:
+		// Per-trial RNG streams derived from (seed, trial index): the tally
+		// and the trace are identical for every worker count ≥ 1.
 		c = campaign.OverallParallel(b.Prog, g, *trials, campaign.ParallelOptions{
 			Workers: *workers, Seed: *seed,
 		})
 	default:
 		c = campaign.Overall(b.Prog, g, *trials, rng)
 	}
-	fmt.Printf("%d fault-injection trials (%s in random dynamic instruction results):\n", c.Trials, model)
-	fmt.Printf("  SDC:    %4d  (%.2f%% ±%.2f%%)\n", c.SDC, c.SDCProbability()*100, c.CI95()*100)
-	fmt.Printf("  crash:  %4d  (%.2f%%)\n", c.Crash, float64(c.Crash)/float64(c.Trials)*100)
-	fmt.Printf("  hang:   %4d  (%.2f%%)\n", c.Hang, float64(c.Hang)/float64(c.Trials)*100)
-	fmt.Printf("  benign: %4d  (%.2f%%)\n", c.Benign, float64(c.Benign)/float64(c.Trials)*100)
+	tr.Advance(c.DynInstrs)
+	tr.Emit("fi.campaign", append([]telemetry.Field{
+		telemetry.F("model", model),
+	}, c.Fields()...)...)
+	fmt.Fprintf(stdout, "%d fault-injection trials (%s in random dynamic instruction results):\n", c.Trials, model)
+	fmt.Fprintf(stdout, "  SDC:    %4d  (%.2f%% ±%.2f%%)\n", c.SDC, c.SDCProbability()*100, c.CI95()*100)
+	fmt.Fprintf(stdout, "  crash:  %4d  (%.2f%%)\n", c.Crash, float64(c.Crash)/float64(c.Trials)*100)
+	fmt.Fprintf(stdout, "  hang:   %4d  (%.2f%%)\n", c.Hang, float64(c.Hang)/float64(c.Trials)*100)
+	fmt.Fprintf(stdout, "  benign: %4d  (%.2f%%)\n", c.Benign, float64(c.Benign)/float64(c.Trials)*100)
+	return 0
 }
 
 func pctS(p float64) string { return fmt.Sprintf("%.1f%%", p*100) }
@@ -117,9 +188,4 @@ func maxi(a, b int) int {
 		return a
 	}
 	return b
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "fi:", err)
-	os.Exit(1)
 }

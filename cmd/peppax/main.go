@@ -8,48 +8,96 @@
 //
 //	peppax -bench pathfinder [-generations 200] [-pop 16] [-trials 1000]
 //	       [-seed 1] [-workers N] [-baseline] [-checkpoints 50,100,200]
-//	       [-max-sdc 0.2]
+//	       [-max-sdc 0.2] [-trace out.jsonl] [-metrics]
 //	peppax -file prog.ir -spec "n:int:4:64:8,seed:int:1:100:7"
+//
+// -trace writes a deterministic JSONL event trace (per-generation GA
+// progress, pipeline phase costs, FI tallies) timestamped on the virtual
+// dynamic-instruction clock: the file is byte-identical for any -workers
+// value. -metrics prints an end-of-run counter/gauge summary (wall times,
+// worker-pool utilization), which IS schedule-dependent.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/parallel"
 	"repro/internal/prog"
+	"repro/internal/telemetry"
 	"repro/internal/xrand"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("peppax", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		bench       = flag.String("bench", "pathfinder", "benchmark: "+strings.Join(prog.Names(), ", "))
-		file        = flag.String("file", "", "textual IR file of a custom program (overrides -bench; requires -spec)")
-		spec        = flag.String("spec", "", "argument spec for -file: name:kind:min:max:ref[:smallMin:smallMax],...")
-		generations = flag.Int("generations", 200, "GA generations")
-		pop         = flag.Int("pop", 16, "GA population size")
-		trials      = flag.Int("trials", 1000, "FI trials for the final SDC measurement")
-		trialsRep   = flag.Int("rep-trials", 30, "FI trials per pruning representative")
-		seed        = flag.Uint64("seed", 1, "RNG seed")
-		baseline    = flag.Bool("baseline", false, "also run the random+FI baseline with the same budget")
-		checkpoints = flag.String("checkpoints", "", "comma-separated generations to FI-measure (e.g. 50,100,200)")
-		maxSDC      = flag.Float64("max-sdc", 0, "CI gate (§7.1.2): exit non-zero if the SDC bound exceeds this fraction (0 disables)")
-		workers     = flag.Int("workers", 0, "worker count for GA candidate evaluation and baseline FI trials (0 = GOMAXPROCS, 1 = serial; results are identical for any value)")
+		bench       = fs.String("bench", "pathfinder", "benchmark: "+strings.Join(prog.Names(), ", "))
+		file        = fs.String("file", "", "textual IR file of a custom program (overrides -bench; requires -spec)")
+		spec        = fs.String("spec", "", "argument spec for -file: name:kind:min:max:ref[:smallMin:smallMax],...")
+		generations = fs.Int("generations", 200, "GA generations")
+		pop         = fs.Int("pop", 16, "GA population size")
+		trials      = fs.Int("trials", 1000, "FI trials for the final SDC measurement")
+		trialsRep   = fs.Int("rep-trials", 30, "FI trials per pruning representative")
+		seed        = fs.Uint64("seed", 1, "RNG seed")
+		baseline    = fs.Bool("baseline", false, "also run the random+FI baseline with the same budget")
+		checkpoints = fs.String("checkpoints", "", "comma-separated generations to FI-measure (e.g. 50,100,200)")
+		maxSDC      = fs.Float64("max-sdc", 0, "CI gate (§7.1.2): exit non-zero if the SDC bound exceeds this fraction (0 disables)")
+		workers     = fs.Int("workers", 0, "worker count for GA candidate evaluation and baseline FI trials (0 = GOMAXPROCS, 1 = serial; results are identical for any value)")
+		tracePath   = fs.String("trace", "", "write a deterministic JSONL telemetry trace to this file (byte-identical for any -workers)")
+		metrics     = fs.Bool("metrics", false, "print an end-of-run telemetry summary (counters, gauges, worker-pool utilization)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "peppax:", err)
+		return 1
+	}
+
+	var rec *telemetry.Recorder
+	if *tracePath != "" || *metrics {
+		var sink io.Writer
+		if *tracePath != "" {
+			f, err := os.Create(*tracePath)
+			if err != nil {
+				return fail(err)
+			}
+			defer f.Close()
+			sink = f
+		}
+		rec = telemetry.New(telemetry.Options{Sink: sink})
+		parallel.SetObserver(telemetry.PoolObserver(rec))
+		defer parallel.SetObserver(nil)
+		defer func() {
+			if err := rec.Close(); err != nil {
+				fmt.Fprintln(stderr, "peppax: trace:", err)
+			}
+			if *metrics {
+				fmt.Fprint(stdout, rec.Summary())
+			}
+		}()
+	}
 
 	var b *prog.Benchmark
 	if *file != "" {
 		src, err := os.ReadFile(*file)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		b, err = prog.LoadCustom(string(src), *spec, 0)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 	} else {
 		b = prog.Build(*bench)
@@ -60,46 +108,64 @@ func main() {
 	opts.FinalTrials = *trials
 	opts.TrialsPerRep = *trialsRep
 	opts.Workers = *workers
+	opts.Trace = rec.Stream("search/" + b.Name)
 	for _, c := range strings.Split(*checkpoints, ",") {
 		if c = strings.TrimSpace(c); c != "" {
 			n, err := strconv.Atoi(c)
 			if err != nil {
-				fatal(fmt.Errorf("bad checkpoint %q", c))
+				return fail(fmt.Errorf("bad checkpoint %q", c))
 			}
 			opts.Checkpoints = append(opts.Checkpoints, n)
 		}
 	}
 
 	rng := xrand.New(*seed)
-	fmt.Printf("PEPPA-X search on %s (%s): %d generations, population %d\n\n",
+	fmt.Fprintf(stdout, "PEPPA-X search on %s (%s): %d generations, population %d\n\n",
 		b.Name, b.Description, opts.Generations, opts.PopSize)
 
 	res, err := core.Search(b, opts, rng)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 
-	fmt.Printf("step 1  small FI input:        %v\n", res.SmallInput.Input)
-	fmt.Printf("        coverage %.2f (target %.2f), workload %d dyn instrs (reference: %d)\n",
+	fmt.Fprintf(stdout, "step 1  small FI input:        %v\n", res.SmallInput.Input)
+	fmt.Fprintf(stdout, "        coverage %.2f (target %.2f), workload %d dyn instrs (reference: %d)\n",
 		res.SmallInput.Coverage, res.SmallInput.TargetCoverage,
 		res.SmallInput.Golden.DynCount, res.SmallInput.RefDynCount)
-	fmt.Printf("step 2+3 sensitivity analysis: %d representatives (%d FI sites), %d trials, %.1fM dyn instrs\n",
+	fmt.Fprintf(stdout, "step 2+3 sensitivity analysis: %d representatives (%d FI sites), %d trials, %.1fM dyn instrs\n",
 		res.Distribution.Representatives, b.Prog.NumInstrs(),
 		res.Distribution.FITrials, float64(res.Distribution.FIDynInstrs)/1e6)
-	fmt.Printf("step 4+5 genetic search:       %d candidate evaluations, %.1fM dyn instrs\n\n",
+	fmt.Fprintf(stdout, "step 4+5 genetic search:       %d candidate evaluations, %.1fM dyn instrs\n\n",
 		res.Evaluations, float64(res.Cost.SearchDyn)/1e6)
 
-	fmt.Printf("SDC-bound input:   %v\n", res.BestInput)
-	fmt.Printf("fitness score:     %.4f\n", res.BestFitness)
-	fmt.Printf("SDC probability:   %.2f%% ±%.2f%% (%d/%d trials; crash %d, hang %d, benign %d)\n",
+	fmt.Fprintf(stdout, "SDC-bound input:   %v\n", res.BestInput)
+	fmt.Fprintf(stdout, "fitness score:     %.4f\n", res.BestFitness)
+	fmt.Fprintf(stdout, "SDC probability:   %.2f%% ±%.2f%% (%d/%d trials; crash %d, hang %d, benign %d)\n",
 		res.Final.SDCProbability()*100, res.Final.CI95()*100,
 		res.Final.SDC, res.Final.Trials, res.Final.Crash, res.Final.Hang, res.Final.Benign)
-	fmt.Printf("total cost:        %.1fM dyn instrs, %v wall clock\n",
+	fmt.Fprintf(stdout, "total cost:        %.1fM dyn instrs, %v wall clock\n",
 		float64(res.Cost.TotalDyn())/1e6, res.Cost.TotalTime().Round(1000000))
 
 	for _, cp := range res.Checkpoints {
-		fmt.Printf("  checkpoint @%-5d SDC %.2f%%  input %v\n",
+		fmt.Fprintf(stdout, "  checkpoint @%-5d SDC %.2f%%  input %v\n",
 			cp.Generation, cp.Counts.SDCProbability()*100, cp.BestInput)
+	}
+
+	if *baseline {
+		fmt.Fprintf(stdout, "\nbaseline (random inputs + %d-trial FI each, equal budget %.1fM dyn instrs):\n",
+			*trials, float64(res.Cost.TotalDyn())/1e6)
+		base := core.RandomSearch(b, core.BaselineOptions{
+			TrialsPerInput: *trials,
+			DynBudget:      res.Cost.TotalDyn(),
+			Workers:        *workers,
+			Trace:          rec.Stream("baseline/" + b.Name),
+		}, xrand.New(*seed+1))
+		fmt.Fprintf(stdout, "  evaluated %d inputs, best SDC %.2f%% with input %v\n",
+			base.Inputs, base.BestSDC*100, base.BestInput)
+		if base.BestSDC < res.Final.SDCProbability() {
+			fmt.Fprintf(stdout, "  PEPPA-X bound is %.1fx higher\n",
+				res.Final.SDCProbability()/maxf(base.BestSDC, 1e-9))
+		}
 	}
 
 	if *maxSDC > 0 {
@@ -108,27 +174,12 @@ func main() {
 		// target, or the build fails.
 		bound := res.Final.SDCProbability()
 		if bound > *maxSDC {
-			fmt.Printf("\nCI gate FAILED: SDC bound %.2f%% exceeds target %.2f%%\n", bound*100, *maxSDC*100)
-			os.Exit(2)
+			fmt.Fprintf(stdout, "\nCI gate FAILED: SDC bound %.2f%% exceeds target %.2f%%\n", bound*100, *maxSDC*100)
+			return 2
 		}
-		fmt.Printf("\nCI gate passed: SDC bound %.2f%% within target %.2f%%\n", bound*100, *maxSDC*100)
+		fmt.Fprintf(stdout, "\nCI gate passed: SDC bound %.2f%% within target %.2f%%\n", bound*100, *maxSDC*100)
 	}
-
-	if *baseline {
-		fmt.Printf("\nbaseline (random inputs + %d-trial FI each, equal budget %.1fM dyn instrs):\n",
-			*trials, float64(res.Cost.TotalDyn())/1e6)
-		base := core.RandomSearch(b, core.BaselineOptions{
-			TrialsPerInput: *trials,
-			DynBudget:      res.Cost.TotalDyn(),
-			Workers:        *workers,
-		}, xrand.New(*seed+1))
-		fmt.Printf("  evaluated %d inputs, best SDC %.2f%% with input %v\n",
-			base.Inputs, base.BestSDC*100, base.BestInput)
-		if base.BestSDC < res.Final.SDCProbability() {
-			fmt.Printf("  PEPPA-X bound is %.1fx higher\n",
-				res.Final.SDCProbability()/maxf(base.BestSDC, 1e-9))
-		}
-	}
+	return 0
 }
 
 func maxf(a, b float64) float64 {
@@ -136,9 +187,4 @@ func maxf(a, b float64) float64 {
 		return a
 	}
 	return b
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "peppax:", err)
-	os.Exit(1)
 }

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// tinyArgs keeps the search small enough for a unit test.
+func tinyArgs(extra ...string) []string {
+	args := []string{
+		"-bench", "pathfinder", "-generations", "2", "-pop", "4",
+		"-trials", "30", "-rep-trials", "4", "-seed", "7",
+	}
+	return append(args, extra...)
+}
+
+func runCmd(t *testing.T, args []string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func checkJSONL(t *testing.T, path string) []string {
+	t.Helper()
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read trace: %v", err)
+	}
+	lines := strings.Split(strings.TrimRight(string(blob), "\n"), "\n")
+	if len(lines) == 0 {
+		t.Fatal("empty trace")
+	}
+	for i, line := range lines {
+		if !json.Valid([]byte(line)) {
+			t.Fatalf("trace line %d is not valid JSON: %q", i+1, line)
+		}
+	}
+	return lines
+}
+
+func TestRunSmoke(t *testing.T) {
+	trace := filepath.Join(t.TempDir(), "trace.jsonl")
+	code, out, errOut := runCmd(t, tinyArgs("-trace", trace, "-metrics"))
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	if !strings.Contains(out, "SDC-bound input:") {
+		t.Fatalf("missing search report in output:\n%s", out)
+	}
+	if !strings.Contains(out, "telemetry summary") {
+		t.Fatalf("-metrics did not print a summary:\n%s", out)
+	}
+	lines := checkJSONL(t, trace)
+	if !strings.Contains(lines[0], `"ev":"trace.meta"`) {
+		t.Fatalf("first trace line should be trace.meta, got %q", lines[0])
+	}
+	var sawGen, sawFinal bool
+	for _, l := range lines {
+		sawGen = sawGen || strings.Contains(l, `"ev":"ga.gen"`)
+		sawFinal = sawFinal || strings.Contains(l, `"ev":"search.final"`)
+	}
+	if !sawGen || !sawFinal {
+		t.Fatalf("trace missing ga.gen or search.final events:\n%s", strings.Join(lines, "\n"))
+	}
+}
+
+func TestRunWithoutTelemetryFlags(t *testing.T) {
+	code, out, errOut := runCmd(t, tinyArgs())
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	if strings.Contains(out, "telemetry summary") {
+		t.Fatal("summary printed without -metrics")
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	if code, _, _ := runCmd(t, []string{"-no-such-flag"}); code != 2 {
+		t.Fatalf("unknown flag: exit %d, want 2", code)
+	}
+	if code, _, errOut := runCmd(t, tinyArgs("-checkpoints", "1,x")); code != 1 ||
+		!strings.Contains(errOut, "bad checkpoint") {
+		t.Fatalf("bad checkpoint: exit %d, stderr %q", code, errOut)
+	}
+}
+
+// TestTelemetryWorkerEquivalence is the tentpole's determinism contract: the
+// trace file must be byte-identical whether the search fans out over 1 or 4
+// workers, because every event is timestamped on the virtual
+// dynamic-instruction clock and streams flush in key order.
+func TestTelemetryWorkerEquivalence(t *testing.T) {
+	dir := t.TempDir()
+	traces := make([][]byte, 0, 2)
+	for _, w := range []string{"1", "4"} {
+		trace := filepath.Join(dir, "trace-w"+w+".jsonl")
+		code, _, errOut := runCmd(t, tinyArgs(
+			"-workers", w, "-baseline", "-checkpoints", "1,2", "-trace", trace))
+		if code != 0 {
+			t.Fatalf("workers=%s: exit %d, stderr: %s", w, code, errOut)
+		}
+		checkJSONL(t, trace)
+		blob, err := os.ReadFile(trace)
+		if err != nil {
+			t.Fatal(err)
+		}
+		traces = append(traces, blob)
+	}
+	if !bytes.Equal(traces[0], traces[1]) {
+		t.Fatal("traces differ between -workers 1 and -workers 4")
+	}
+}

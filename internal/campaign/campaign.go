@@ -13,6 +13,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/interp"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/xrand"
 )
 
@@ -165,7 +166,10 @@ type Counts struct {
 	DynInstrs int64
 }
 
-// Add accumulates one outcome.
+// Add accumulates one outcome. Unknown outcomes panic: silently counting
+// them as Benign would deflate measured SDC probabilities the moment the
+// Outcome enum grows, which is exactly the kind of corruption a statistical
+// FI campaign cannot detect after the fact.
 func (c *Counts) Add(o Outcome) {
 	c.Trials++
 	switch o {
@@ -177,8 +181,25 @@ func (c *Counts) Add(o Outcome) {
 		c.Hang++
 	case Detected:
 		c.Detected++
-	default:
+	case Benign:
 		c.Benign++
+	default:
+		panic(fmt.Sprintf("campaign: Counts.Add: unknown outcome %d", uint8(o)))
+	}
+}
+
+// Fields renders the tally as telemetry event fields, in a fixed order, for
+// per-campaign trace events. Every value is a schedule-independent integer,
+// so emitting them preserves trace determinism.
+func (c Counts) Fields() []telemetry.Field {
+	return []telemetry.Field{
+		telemetry.F("trials", c.Trials),
+		telemetry.F("sdc", c.SDC),
+		telemetry.F("crash", c.Crash),
+		telemetry.F("hang", c.Hang),
+		telemetry.F("benign", c.Benign),
+		telemetry.F("detected", c.Detected),
+		telemetry.F("dyn", c.DynInstrs),
 	}
 }
 

@@ -239,3 +239,41 @@ func TestOutcomeStrings(t *testing.T) {
 		}
 	}
 }
+
+// Regression for the silent-Benign bug: an Outcome value outside the enum
+// must panic instead of quietly inflating the Benign tally (which would
+// deflate SDC probabilities if the enum ever grows without Add keeping up).
+func TestCountsAddUnknownOutcomePanics(t *testing.T) {
+	var c Counts
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Counts.Add(outcome(99)) did not panic")
+		}
+	}()
+	c.Add(Outcome(99))
+}
+
+func TestCountsAddBenignExplicit(t *testing.T) {
+	var c Counts
+	c.Add(Benign)
+	c.Add(Benign)
+	c.Add(SDC)
+	if c.Benign != 2 || c.SDC != 1 || c.Trials != 3 {
+		t.Fatalf("tallies wrong: %+v", c)
+	}
+}
+
+func TestCountsFields(t *testing.T) {
+	c := Counts{Trials: 10, SDC: 3, Crash: 2, Hang: 1, Benign: 4, DynInstrs: 1234}
+	fields := c.Fields()
+	want := map[string]any{"trials": 10, "sdc": 3, "crash": 2, "hang": 1,
+		"benign": 4, "detected": 0, "dyn": int64(1234)}
+	if len(fields) != len(want) {
+		t.Fatalf("got %d fields, want %d", len(fields), len(want))
+	}
+	for _, f := range fields {
+		if w, ok := want[f.Key]; !ok || f.Val != w {
+			t.Fatalf("field %q = %v (%T), want %v", f.Key, f.Val, f.Val, w)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/prog"
+	"repro/internal/telemetry"
 	"repro/internal/xrand"
 )
 
@@ -27,6 +28,12 @@ type BaselineOptions struct {
 	// serially, and every trial's RNG is derived from (campaign seed,
 	// trial index), so the result is identical for every worker count.
 	Workers int
+	// Trace, when non-nil, receives one "baseline.candidate" event per
+	// evaluated input (its FI tally and the cumulative budget) on a cost
+	// clock advanced with the campaign's dynamic instructions; candidates
+	// are drawn and folded serially, so the trace is identical for every
+	// worker count.
+	Trace *telemetry.Stream
 }
 
 // BaselinePoint is one step of the baseline's progress curve.
@@ -63,6 +70,8 @@ func RandomSearch(b *prog.Benchmark, opts BaselineOptions, rng *xrand.RNG) *Base
 		opts.TrialsPerInput = 1000
 	}
 	start := time.Now()
+	tr := opts.Trace
+	endPhase := tr.Phase("baseline")
 	res := &BaselineResult{BestSDC: -1}
 	for {
 		if opts.DynBudget > 0 && res.DynSpent >= opts.DynBudget {
@@ -92,11 +101,21 @@ func RandomSearch(b *prog.Benchmark, opts BaselineOptions, rng *xrand.RNG) *Base
 		res.History = append(res.History, BaselinePoint{
 			Input: in, SDC: sdc, DynSpent: res.DynSpent, BestSDC: res.BestSDC,
 		})
+		tr.Advance(g.DynCount + c.DynInstrs)
+		tr.Emit("baseline.candidate", append([]telemetry.Field{
+			telemetry.F("input", res.Inputs-1),
+			telemetry.F("sdc", sdc),
+			telemetry.F("best_sdc", res.BestSDC),
+		}, c.Fields()...)...)
 	}
 	if res.BestSDC < 0 {
 		res.BestSDC = 0
 	}
 	res.Elapsed = time.Since(start)
+	endPhase()
+	tr.Emit("baseline.done",
+		telemetry.F("inputs", res.Inputs),
+		telemetry.F("best_sdc", res.BestSDC))
 	return res
 }
 

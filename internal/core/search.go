@@ -12,6 +12,7 @@ import (
 	"repro/internal/parallel"
 	"repro/internal/prog"
 	"repro/internal/sensitivity"
+	"repro/internal/telemetry"
 	"repro/internal/xrand"
 )
 
@@ -49,6 +50,13 @@ type Options struct {
 	// the closing FI campaign always consume the search RNG serially, so
 	// the result is bit-identical for every worker count.
 	Workers int
+	// Trace, when non-nil, receives the search's telemetry: phase events
+	// for the Figure 8 sensitivity-vs-search cost split (small_input,
+	// sensitivity, search, final_fi), per-generation GA and cost events,
+	// checkpoint measurements and the closing FI tally. The stream's cost
+	// clock advances with the pipeline's dynamic-instruction spend, so the
+	// trace is byte-identical for every worker count.
+	Trace *telemetry.Stream
 }
 
 // DefaultOptions returns the paper's configuration.
@@ -131,9 +139,11 @@ func Search(b *prog.Benchmark, opts Options, rng *xrand.RNG) (*Result, error) {
 		opts.FinalTrials = 1000
 	}
 	res := &Result{Benchmark: b.Name}
+	tr := opts.Trace
 
 	// Step ①: small FI input.
 	t0 := time.Now()
+	endPhase := tr.Phase("small_input")
 	small, err := FindSmallFIInput(b, opts.CoverageTargetFrac, rng)
 	if err != nil {
 		return nil, err
@@ -141,9 +151,15 @@ func Search(b *prog.Benchmark, opts Options, rng *xrand.RNG) (*Result, error) {
 	res.SmallInput = small
 	res.Cost.SmallInputTime = time.Since(t0)
 	res.Cost.SmallInputDyn = small.DynSpent
+	tr.Advance(small.DynSpent)
+	endPhase()
+	tr.Emit("search.small_input",
+		telemetry.F("coverage", small.Coverage),
+		telemetry.F("dyn", small.Golden.DynCount))
 
 	// Steps ② and ③: pruned FI simulation for the sensitivity distribution.
 	t0 = time.Now()
+	endPhase = tr.Phase("sensitivity")
 	sensGolden := small.Golden
 	if !opts.UseSmallInput {
 		g, err := campaign.NewGolden(b.Prog, b.Encode(b.RefInput()), b.MaxDyn)
@@ -159,9 +175,16 @@ func Search(b *prog.Benchmark, opts Options, rng *xrand.RNG) (*Result, error) {
 	res.Distribution = dist
 	res.Cost.SensitivityTime = time.Since(t0)
 	res.Cost.SensitivityDyn = dist.FIDynInstrs
+	tr.Advance(dist.FIDynInstrs)
+	endPhase()
+	tr.Emit("search.sensitivity",
+		telemetry.F("representatives", dist.Representatives),
+		telemetry.F("fi_trials", dist.FITrials),
+		telemetry.F("dyn", dist.FIDynInstrs))
 
 	// Steps ④ and ⑤: genetic fuzzing with the dynamic-analysis fitness.
 	t0 = time.Now()
+	endPhase = tr.Phase("search")
 	// Candidates of one generation are evaluated concurrently; the cost
 	// accumulator is atomic and integer, so its per-generation totals are
 	// independent of evaluation order.
@@ -188,6 +211,7 @@ func Search(b *prog.Benchmark, opts Options, rng *xrand.RNG) (*Result, error) {
 		Fitness:       fitness,
 		Seed:          seeds,
 		Workers:       parallel.Workers(opts.Workers),
+		Trace:         tr,
 	}, rng.Split())
 	if err != nil {
 		return nil, err
@@ -200,7 +224,15 @@ func Search(b *prog.Benchmark, opts Options, rng *xrand.RNG) (*Result, error) {
 	for gen := 1; gen <= opts.Generations; gen++ {
 		engine.Step()
 		res.FitnessHistory = append(res.FitnessHistory, engine.Best().Fitness)
+		prevDyn := int64(0)
+		if len(res.SearchDynHistory) > 0 {
+			prevDyn = res.SearchDynHistory[len(res.SearchDynHistory)-1]
+		}
 		res.SearchDynHistory = append(res.SearchDynHistory, searchDyn.Load())
+		// The generation's evaluation cost is an order-independent integer
+		// sum, so advancing the cost clock here keeps timestamps identical
+		// for every worker count.
+		tr.Advance(searchDyn.Load() - prevDyn)
 		for ci < len(checkpoints) && checkpoints[ci] == gen {
 			best := engine.Best()
 			cp := Checkpoint{Generation: gen, BestInput: best.Genome, Fitness: best.Fitness}
@@ -208,6 +240,13 @@ func Search(b *prog.Benchmark, opts Options, rng *xrand.RNG) (*Result, error) {
 				cp.Counts = campaign.Overall(b.Prog, g, opts.FinalTrials, fiRNG)
 			}
 			res.Checkpoints = append(res.Checkpoints, cp)
+			// Checkpoint FI is reporting cost, excluded from the search
+			// budget — so it is emitted but does not advance the clock.
+			tr.Emit("search.checkpoint", append([]telemetry.Field{
+				telemetry.F("gen", gen),
+				telemetry.F("fitness", best.Fitness),
+				telemetry.F("sdc", cp.Counts.SDCProbability()),
+			}, cp.Counts.Fields()...)...)
 			ci++
 		}
 	}
@@ -217,9 +256,11 @@ func Search(b *prog.Benchmark, opts Options, rng *xrand.RNG) (*Result, error) {
 	res.Evaluations = engine.Evaluations
 	res.Cost.SearchTime = time.Since(t0)
 	res.Cost.SearchDyn = searchDyn.Load()
+	endPhase()
 
 	// Closing statistical FI campaign on the reported SDC-bound input.
 	t0 = time.Now()
+	endPhase = tr.Phase("final_fi")
 	g, err := campaign.NewGolden(b.Prog, b.Encode(res.BestInput), b.MaxDyn)
 	if err != nil {
 		return nil, fmt.Errorf("core: reported input of %s is invalid: %w", b.Name, err)
@@ -227,6 +268,12 @@ func Search(b *prog.Benchmark, opts Options, rng *xrand.RNG) (*Result, error) {
 	res.Final = campaign.Overall(b.Prog, g, opts.FinalTrials, rng)
 	res.Cost.FinalFIDyn = res.Final.DynInstrs + g.DynCount
 	res.Cost.FinalFITime = time.Since(t0)
+	tr.Advance(res.Cost.FinalFIDyn)
+	endPhase()
+	tr.Emit("search.final", append([]telemetry.Field{
+		telemetry.F("fitness", res.BestFitness),
+		telemetry.F("sdc", res.Final.SDCProbability()),
+	}, res.Final.Fields()...)...)
 	return res, nil
 }
 

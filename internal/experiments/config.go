@@ -10,7 +10,11 @@
 // Render notes alongside the paper's values.
 package experiments
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/telemetry"
+)
 
 // Config sets the experiment scales. DefaultConfig approximates the paper's
 // methodology scaled to interpreter workloads; QuickConfig shrinks trial
@@ -62,6 +66,13 @@ type Config struct {
 	// FI-trial fan-out in studies and baselines (0 = GOMAXPROCS,
 	// 1 = fully serial). Same seed, same report, for any value.
 	Workers int
+
+	// Recorder, when non-nil, receives the suite's telemetry: each
+	// memoized artifact (search, baseline, study, per-instruction study)
+	// emits into its own keyed stream, so the trace is byte-identical for
+	// any worker count even though experiments run concurrently. Nil
+	// disables telemetry.
+	Recorder *telemetry.Recorder
 }
 
 // DefaultConfig returns the full-scale configuration.

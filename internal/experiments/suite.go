@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/parallel"
 	"repro/internal/prog"
+	"repro/internal/telemetry"
 	"repro/internal/xrand"
 )
 
@@ -77,6 +78,7 @@ func (s *Suite) Search(name string) (*core.Result, error) {
 		opts.FinalTrials = s.Cfg.OverallTrials
 		opts.Checkpoints = append([]int(nil), s.Cfg.Checkpoints...)
 		opts.Workers = s.Cfg.Workers
+		opts.Trace = s.Cfg.Recorder.Stream("search/" + name)
 		r, err := core.Search(s.Bench(name), opts, s.rng("search", name))
 		if err != nil {
 			return nil, fmt.Errorf("experiments: search %s: %w", name, err)
@@ -121,6 +123,7 @@ func (s *Suite) Baseline(name string) (*core.BaselineResult, error) {
 			TrialsPerInput: s.Cfg.OverallTrials,
 			DynBudget:      s.maxBaselineBudget(r),
 			Workers:        s.Cfg.Workers,
+			Trace:          s.Cfg.Recorder.Stream("baseline/" + name),
 		}, s.rng("baseline", name)), nil
 	})
 }
@@ -184,9 +187,10 @@ func (s *Suite) Study(name string) (*RandomStudy, error) {
 	return s.studies.Get(name, func() (*RandomStudy, error) {
 		b := s.Bench(name)
 		rng := s.rng("study", name)
+		tr := s.Cfg.Recorder.Stream("study/" + name)
 		st := &RandomStudy{Bench: name}
 
-		measure := func(in []float64) (StudyPoint, error) {
+		measure := func(in []float64, label string) (StudyPoint, error) {
 			g, err := campaign.NewGolden(b.Prog, b.Encode(in), b.MaxDyn)
 			if err != nil {
 				return StudyPoint{}, err
@@ -195,19 +199,25 @@ func (s *Suite) Study(name string) (*RandomStudy, error) {
 				Workers: s.Cfg.Workers,
 				Seed:    rng.Uint64(),
 			})
+			tr.Advance(g.DynCount + c.DynInstrs)
+			tr.Emit("study.point", append([]telemetry.Field{
+				telemetry.F("input", label),
+				telemetry.F("sdc", c.SDCProbability()),
+				telemetry.F("coverage", g.Coverage()),
+			}, c.Fields()...)...)
 			return StudyPoint{
 				Input: in, SDC: c.SDCProbability(), Counts: c,
 				Coverage: g.Coverage(), DynCount: g.DynCount,
 			}, nil
 		}
 
-		ref, err := measure(b.RefInput())
+		ref, err := measure(b.RefInput(), "ref")
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s reference input: %w", name, err)
 		}
 		st.Ref = ref
 		for len(st.Points) < s.Cfg.RandomInputs {
-			pt, err := measure(b.RandomInput(rng))
+			pt, err := measure(b.RandomInput(rng), fmt.Sprint(len(st.Points)))
 			if err != nil {
 				continue // invalid input, redraw (§3.1.2)
 			}
@@ -233,6 +243,7 @@ func (s *Suite) PerInstr(name string) (*PerInstrStudy, error) {
 	return s.perInstr.Get(name, func() (*PerInstrStudy, error) {
 		b := s.Bench(name)
 		rng := s.rng("perinstr", name)
+		tr := s.Cfg.Recorder.Stream("perinstr/" + name)
 		st := &PerInstrStudy{Bench: name}
 		ids := campaign.AllInstructionIDs(b.Prog)
 		for len(st.Vectors) < s.Cfg.PerInstrInputs {
@@ -245,11 +256,64 @@ func (s *Suite) PerInstr(name string) (*PerInstrStudy, error) {
 				Workers: s.Cfg.Workers,
 				Seed:    rng.Uint64(),
 			})
+			var trials int
+			var dyn int64
+			for _, r := range res {
+				trials += r.Counts.Trials
+				dyn += r.Counts.DynInstrs
+			}
+			tr.Advance(g.DynCount + dyn)
+			tr.Emit("perinstr.input",
+				telemetry.F("input", len(st.Inputs)),
+				telemetry.F("instrs", len(ids)),
+				telemetry.F("trials", trials),
+				telemetry.F("coverage", g.Coverage()),
+				telemetry.F("dyn", dyn))
 			st.Inputs = append(st.Inputs, in)
 			st.Vectors = append(st.Vectors, campaign.PerInstructionVector(b.Prog.NumInstrs(), res))
 		}
 		return st, nil
 	})
+}
+
+// MemoStats reports each artifact cache's hit/miss counts. Hits and misses
+// are schedule-independent: every key is computed exactly once (one miss) no
+// matter which experiment asks first, and the hit count is the total number
+// of Gets minus the distinct keys.
+func (s *Suite) MemoStats() map[string]parallel.MemoStats {
+	return map[string]parallel.MemoStats{
+		"benches":   s.benches.Stats(),
+		"searches":  s.searches.Stats(),
+		"baselines": s.baselines.Stats(),
+		"studies":   s.studies.Stats(),
+		"perinstr":  s.perInstr.Stats(),
+	}
+}
+
+// EmitMemoStats writes the cache tallies to the configured Recorder: one
+// "memo" event per cache (name order) on the "suite/memo" stream, plus
+// memo.<cache>.{hits,misses} counters for the metrics summary. Call it once,
+// after the experiments have run and before closing the recorder.
+func (s *Suite) EmitMemoStats() {
+	if s.Cfg.Recorder == nil {
+		return
+	}
+	stats := s.MemoStats()
+	names := make([]string, 0, len(stats))
+	for n := range stats {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	tr := s.Cfg.Recorder.Stream("suite/memo")
+	for _, n := range names {
+		st := stats[n]
+		tr.Emit("memo",
+			telemetry.F("cache", n),
+			telemetry.F("hits", st.Hits),
+			telemetry.F("misses", st.Misses))
+		s.Cfg.Recorder.Count("memo."+n+".hits", st.Hits)
+		s.Cfg.Recorder.Count("memo."+n+".misses", st.Misses)
+	}
 }
 
 // sortedCheckpoints returns the configured checkpoints in ascending order.

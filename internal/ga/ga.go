@@ -8,8 +8,10 @@ package ga
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/parallel"
+	"repro/internal/telemetry"
 	"repro/internal/xrand"
 )
 
@@ -23,6 +25,14 @@ const (
 	// current argument value.
 	mutationSpan = 0.10
 )
+
+// Disabled is the sentinel for MutationRate / CrossoverRate that switches
+// the operator off entirely: the engine performs zero operator RNG draws,
+// so the breeding stream is exactly the selection-only stream. It exists
+// because the zero value of Config must keep meaning "use the paper
+// default" for existing callers, while operator ablations need an explicit
+// "off" that is not silently replaced with 0.4 / 0.05.
+const Disabled = -1
 
 // Genome is a candidate solution: one value per program argument.
 type Genome []float64
@@ -40,9 +50,13 @@ type Individual struct {
 type Config struct {
 	// PopSize is the population size (default 16).
 	PopSize int
-	// MutationRate is the per-offspring probability of mutation (default 0.4).
+	// MutationRate is the per-offspring probability of mutation. The zero
+	// value selects the paper default (0.4); Disabled (-1) switches the
+	// operator off with zero RNG draws; other negative values are invalid.
 	MutationRate float64
-	// CrossoverRate is the per-offspring probability of crossover (default 0.05).
+	// CrossoverRate is the per-offspring probability of crossover. The zero
+	// value selects the paper default (0.05); Disabled (-1) switches the
+	// operator off with zero RNG draws; other negative values are invalid.
 	CrossoverRate float64
 	// Clamp forces a genome back into the valid input space after
 	// recombination; required.
@@ -61,6 +75,12 @@ type Config struct {
 	// bred before any is evaluated, so results are bit-identical for every
 	// worker count.
 	Workers int
+	// Trace, when non-nil, receives one "ga.gen" telemetry event per
+	// generation (best/mean fitness, cumulative evaluations and operator
+	// applications) plus ga.breed.ns / ga.eval.ns wall-time counters.
+	// Every traced quantity is schedule-independent, so tracing preserves
+	// the worker-count equivalence of the trace.
+	Trace *telemetry.Stream
 }
 
 // Engine runs the genetic search.
@@ -75,6 +95,11 @@ type Engine struct {
 	// Evaluations counts fitness calls — each corresponds to one program
 	// execution in PEPPA-X (the cheap per-input evaluation of Table 6).
 	Evaluations int
+	// Mutations and Crossovers count operator applications. With a rate of
+	// Disabled the corresponding counter must stay 0 — the regression
+	// surface for operator ablations.
+	Mutations  int
+	Crossovers int
 }
 
 // New validates the configuration and builds the initial population.
@@ -88,11 +113,12 @@ func New(cfg Config, rng *xrand.RNG) (*Engine, error) {
 	if cfg.PopSize <= 1 {
 		cfg.PopSize = DefaultPopulation
 	}
-	if cfg.MutationRate <= 0 {
-		cfg.MutationRate = DefaultMutationRate
+	var err error
+	if cfg.MutationRate, err = resolveRate("MutationRate", cfg.MutationRate, DefaultMutationRate); err != nil {
+		return nil, err
 	}
-	if cfg.CrossoverRate <= 0 {
-		cfg.CrossoverRate = DefaultCrossoverRate
+	if cfg.CrossoverRate, err = resolveRate("CrossoverRate", cfg.CrossoverRate, DefaultCrossoverRate); err != nil {
+		return nil, err
 	}
 	e := &Engine{cfg: cfg, rng: rng}
 	genomes := make([]Genome, cfg.PopSize)
@@ -107,7 +133,31 @@ func New(cfg Config, rng *xrand.RNG) (*Engine, error) {
 			e.best = Individual{Genome: ind.Genome.Clone(), Fitness: ind.Fitness}
 		}
 	}
+	if s := e.cfg.Trace; s != nil {
+		s.Emit("ga.init",
+			telemetry.F("pop", cfg.PopSize),
+			telemetry.F("best", e.best.Fitness),
+			telemetry.F("evals", e.Evaluations))
+	}
 	return e, nil
+}
+
+// resolveRate maps a configured operator rate onto the effective one: the
+// zero value keeps selecting the paper default, Disabled maps to an exact
+// 0 (the breeding loop then skips the operator's RNG draw entirely), and
+// any other out-of-range value is a configuration error rather than a
+// silent substitution.
+func resolveRate(name string, rate, def float64) (float64, error) {
+	switch {
+	case rate == Disabled:
+		return 0, nil
+	case rate == 0:
+		return def, nil
+	case rate < 0 || rate > 1:
+		return 0, fmt.Errorf("ga: %s %v outside [0,1] (use ga.Disabled to switch the operator off)", name, rate)
+	default:
+		return rate, nil
+	}
 }
 
 // evalAll evaluates a batch of genomes, fanning across cfg.Workers
@@ -171,6 +221,7 @@ func (e *Engine) rouletteIndex() int {
 // magnitude (§4.2.4). Arguments whose value is 0 get a small absolute kick
 // so mutation cannot stall.
 func (e *Engine) mutate(g Genome) {
+	e.Mutations++
 	i := e.rng.Intn(len(g))
 	span := g[i] * mutationSpan
 	if span < 0 {
@@ -184,6 +235,7 @@ func (e *Engine) mutate(g Genome) {
 
 // crossover swaps one argument value between two genomes (§4.2.4).
 func (e *Engine) crossover(a, b Genome) {
+	e.Crossovers++
 	i := e.rng.Intn(len(a))
 	a[i], b[i] = b[i], a[i]
 }
@@ -197,14 +249,24 @@ func (e *Engine) crossover(a, b Genome) {
 // previous generation's fitness, so deferring evaluation changes neither
 // the RNG stream nor the offspring, and the evaluation batch can fan out.
 func (e *Engine) Step() {
+	traced := e.cfg.Trace != nil
+	var breedStart time.Time
+	if traced {
+		breedStart = time.Now()
+	}
+
 	// Elitism: carry the best individual forward unchanged so the bound
 	// estimate never regresses.
 	elite := Individual{Genome: e.best.Genome.Clone(), Fitness: e.best.Fitness}
 
+	// A rate of 0 only arises from the Disabled sentinel (resolveRate maps
+	// everything else away from 0), and a disabled operator must not
+	// consume RNG draws — skipping the Bool call keeps the selection
+	// stream identical to an operator-free engine.
 	offspring := make([]Genome, 0, len(e.pop)-1)
 	for len(offspring) < len(e.pop)-1 {
 		parent := e.pop[e.rouletteIndex()].Genome.Clone()
-		if e.rng.Bool(e.cfg.CrossoverRate) && len(e.pop) > 1 {
+		if e.cfg.CrossoverRate > 0 && e.rng.Bool(e.cfg.CrossoverRate) && len(e.pop) > 1 {
 			other := e.pop[e.rouletteIndex()].Genome.Clone()
 			e.crossover(parent, other)
 			// The second offspring of the swap joins too if there is room.
@@ -213,13 +275,18 @@ func (e *Engine) Step() {
 				offspring = append(offspring, other)
 			}
 		}
-		if e.rng.Bool(e.cfg.MutationRate) {
+		if e.cfg.MutationRate > 0 && e.rng.Bool(e.cfg.MutationRate) {
 			e.mutate(parent)
 		}
 		e.cfg.Clamp(parent)
 		offspring = append(offspring, parent)
 	}
 
+	var evalStart time.Time
+	if traced {
+		e.cfg.Trace.Count("ga.breed.ns", time.Since(breedStart).Nanoseconds())
+		evalStart = time.Now()
+	}
 	next := make([]Individual, 0, len(e.pop))
 	next = append(next, elite)
 	for _, ind := range e.evalAll(offspring) {
@@ -230,6 +297,21 @@ func (e *Engine) Step() {
 	}
 	e.pop = next
 	e.gen++
+	if traced {
+		s := e.cfg.Trace
+		s.Count("ga.eval.ns", time.Since(evalStart).Nanoseconds())
+		var sum float64
+		for _, ind := range e.pop {
+			sum += ind.Fitness
+		}
+		s.Emit("ga.gen",
+			telemetry.F("gen", e.gen),
+			telemetry.F("best", e.best.Fitness),
+			telemetry.F("mean", sum/float64(len(e.pop))),
+			telemetry.F("evals", e.Evaluations),
+			telemetry.F("mutations", e.Mutations),
+			telemetry.F("crossovers", e.Crossovers))
+	}
 }
 
 // Run executes n generations and returns the best individual.

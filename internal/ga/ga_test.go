@@ -5,6 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"repro/internal/telemetry"
 	"repro/internal/xrand"
 )
 
@@ -290,5 +291,135 @@ func TestRunRespectsBoundsProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// Regression for the zero-rate override bug: ga.Disabled must actually
+// switch the operators off — zero mutate/crossover calls — while the plain
+// zero value keeps selecting the paper defaults.
+func TestDisabledRatesNeverApplyOperators(t *testing.T) {
+	cfg := sphereConfig()
+	cfg.MutationRate = Disabled
+	cfg.CrossoverRate = Disabled
+	e, err := New(cfg, xrand.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Run(50)
+	if e.Mutations != 0 || e.Crossovers != 0 {
+		t.Fatalf("disabled operators still applied: %d mutations, %d crossovers",
+			e.Mutations, e.Crossovers)
+	}
+	// With both operators off, every individual must be a verbatim copy of
+	// a seed genome (selection and elitism only ever clone).
+	seeds := map[[3]float64]bool{}
+	for _, s := range sphereConfig().Seed {
+		seeds[[3]float64{s[0], s[1], s[2]}] = true
+	}
+	for _, ind := range e.Population() {
+		g := ind.Genome
+		if !seeds[[3]float64{g[0], g[1], g[2]}] {
+			t.Fatalf("operator-free engine bred a novel genome %v", g)
+		}
+	}
+}
+
+// A disabled operator must also consume zero RNG draws: the selection
+// stream of a Disabled-rates engine must match a hand-rolled
+// selection-only simulation on an identical RNG.
+func TestDisabledRatesConsumeNoRNGDraws(t *testing.T) {
+	cfg := sphereConfig()
+	cfg.MutationRate = Disabled
+	cfg.CrossoverRate = Disabled
+	e, err := New(cfg, xrand.New(77))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Mirror engine: identical seed, population and fitness, stepped
+	// manually with roulette draws only.
+	mirror, err := New(cfg, xrand.New(77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for gen := 0; gen < 20; gen++ {
+		e.Step()
+		// Simulate one generation on the mirror's RNG without Step: the
+		// offspring are pure roulette selections.
+		var want []Genome
+		for len(want) < len(mirror.pop)-1 {
+			want = append(want, mirror.pop[mirror.rouletteIndex()].Genome.Clone())
+		}
+		next := []Individual{{Genome: mirror.best.Genome.Clone(), Fitness: mirror.best.Fitness}}
+		for _, g := range mirror.evalAll(want) {
+			next = append(next, g)
+			if g.Fitness > mirror.best.Fitness {
+				mirror.best = Individual{Genome: g.Genome.Clone(), Fitness: g.Fitness}
+			}
+		}
+		mirror.pop = next
+
+		got, sim := e.Population(), mirror.pop
+		for i := range got {
+			for j := range got[i].Genome {
+				if got[i].Genome[j] != sim[i].Genome[j] {
+					t.Fatalf("gen %d: engine consumed extra RNG draws (slot %d differs)", gen, i)
+				}
+			}
+		}
+	}
+}
+
+func TestZeroValueRatesStillDefault(t *testing.T) {
+	e, err := New(sphereConfig(), xrand.New(19)) // rates left at zero value
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Run(100)
+	if e.Mutations == 0 {
+		t.Fatal("zero-value MutationRate no longer defaults to 0.4")
+	}
+	if e.Crossovers == 0 {
+		t.Fatal("zero-value CrossoverRate no longer defaults to 0.05")
+	}
+}
+
+func TestInvalidRatesRejected(t *testing.T) {
+	for _, bad := range []float64{-0.5, -2, 1.5} {
+		cfg := sphereConfig()
+		cfg.MutationRate = bad
+		if _, err := New(cfg, xrand.New(1)); err == nil {
+			t.Fatalf("MutationRate %v accepted", bad)
+		}
+		cfg = sphereConfig()
+		cfg.CrossoverRate = bad
+		if _, err := New(cfg, xrand.New(1)); err == nil {
+			t.Fatalf("CrossoverRate %v accepted", bad)
+		}
+	}
+}
+
+// Tracing must not perturb the search: identical trajectories with and
+// without a telemetry stream attached.
+func TestTraceDoesNotPerturbSearch(t *testing.T) {
+	run := func(trace *telemetry.Stream) Individual {
+		cfg := sphereConfig()
+		cfg.Trace = trace
+		e, err := New(cfg, xrand.New(55))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e.Run(40)
+	}
+	plain := run(nil)
+	rec := telemetry.New(telemetry.Options{})
+	traced := run(rec.Stream("ga"))
+	if plain.Fitness != traced.Fitness {
+		t.Fatalf("trace perturbed the search: %v vs %v", plain.Fitness, traced.Fitness)
+	}
+	for i := range plain.Genome {
+		if plain.Genome[i] != traced.Genome[i] {
+			t.Fatal("trace perturbed the best genome")
+		}
 	}
 }

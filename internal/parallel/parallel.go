@@ -21,6 +21,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/xrand"
 )
@@ -36,6 +37,29 @@ func Workers(n int) int {
 	return n
 }
 
+// Observer receives one report per drained ForEach batch: the resolved
+// worker count, the item count, how many tasks each worker pulled off the
+// shared cursor, and the wall-clock drain time. Everything it sees is
+// schedule-dependent, so observers must feed metrics (telemetry counters),
+// never the deterministic trace. Reports may arrive concurrently from
+// independent batches; observers must be safe for concurrent calls.
+type Observer func(workers, items int, tasksPerWorker []int, elapsed time.Duration)
+
+// observer is the process-wide pool observer (nil = disabled). Stored as a
+// pointer so the atomic load in ForEach stays a single cheap instruction.
+var observer atomic.Pointer[Observer]
+
+// SetObserver installs (or, with nil, removes) the pool utilization
+// observer. Intended for the cmd binaries' -metrics wiring; the zero state
+// costs one atomic load per ForEach call.
+func SetObserver(o Observer) {
+	if o == nil {
+		observer.Store(nil)
+		return
+	}
+	observer.Store(&o)
+}
+
 // ForEach runs fn(i) for every i in [0, n) across Workers(workers)
 // goroutines. With one worker (or one item) it degenerates to a plain
 // serial loop in index order, without spawning goroutines. Work is
@@ -49,19 +73,34 @@ func ForEach(workers, n int, fn func(i int)) {
 	if w > n {
 		w = n
 	}
+	var (
+		obs   Observer
+		start time.Time
+	)
+	if p := observer.Load(); p != nil {
+		obs = *p
+		start = time.Now()
+	}
 	if w <= 1 {
 		for i := 0; i < n; i++ {
 			fn(i)
 		}
+		if obs != nil {
+			obs(1, n, []int{n}, time.Since(start))
+		}
 		return
 	}
 	var (
-		next int64
-		wg   sync.WaitGroup
+		next  int64
+		wg    sync.WaitGroup
+		tasks []int
 	)
+	if obs != nil {
+		tasks = make([]int, w)
+	}
 	wg.Add(w)
 	for k := 0; k < w; k++ {
-		go func() {
+		go func(k int) {
 			defer wg.Done()
 			for {
 				i := int(atomic.AddInt64(&next, 1)) - 1
@@ -69,10 +108,16 @@ func ForEach(workers, n int, fn func(i int)) {
 					return
 				}
 				fn(i)
+				if tasks != nil {
+					tasks[k]++
+				}
 			}
-		}()
+		}(k)
 	}
 	wg.Wait()
+	if obs != nil {
+		obs(w, n, tasks, time.Since(start))
+	}
 }
 
 // Map evaluates fn over [0, n) with ForEach and returns the results in
@@ -118,8 +163,19 @@ func DeriveRNG(seed uint64, coords ...uint64) *xrand.RNG {
 // compute finishes and then share its result (including its error). The
 // zero value is ready to use.
 type Memo[V any] struct {
-	mu sync.Mutex
-	m  map[string]*memoEntry[V]
+	mu     sync.Mutex
+	m      map[string]*memoEntry[V]
+	hits   int64
+	misses int64
+}
+
+// MemoStats reports a memo's request tallies: a miss is the Get that
+// created a key's entry (exactly one per key, whichever caller wins the
+// race), a hit any later Get for it. Totals depend only on the request
+// sequence, not on scheduling, so they are safe for deterministic traces.
+type MemoStats struct {
+	Hits   int64
+	Misses int64
 }
 
 type memoEntry[V any] struct {
@@ -139,6 +195,9 @@ func (c *Memo[V]) Get(key string, compute func() (V, error)) (V, error) {
 	if !ok {
 		e = &memoEntry[V]{}
 		c.m[key] = e
+		c.misses++
+	} else {
+		c.hits++
 	}
 	c.mu.Unlock()
 	e.once.Do(func() {
@@ -152,4 +211,11 @@ func (c *Memo[V]) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.m)
+}
+
+// Stats returns the memo's hit/miss tallies so far.
+func (c *Memo[V]) Stats() MemoStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return MemoStats{Hits: c.hits, Misses: c.misses}
 }

@@ -3,8 +3,10 @@ package parallel
 import (
 	"fmt"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestWorkersResolution(t *testing.T) {
@@ -151,5 +153,85 @@ func TestMemoCachesErrors(t *testing.T) {
 	}
 	if calls != 1 {
 		t.Fatalf("failed compute retried %d times", calls)
+	}
+}
+
+func TestMemoStats(t *testing.T) {
+	var m Memo[int]
+	compute := func() (int, error) { return 1, nil }
+	m.Get("a", compute)
+	m.Get("a", compute)
+	m.Get("b", compute)
+	m.Get("a", compute)
+	got := m.Stats()
+	if got.Misses != 2 || got.Hits != 2 {
+		t.Fatalf("stats = %+v, want 2 hits / 2 misses", got)
+	}
+}
+
+// Miss count equals the number of distinct keys even under concurrent Gets
+// for the same key — exactly one caller creates each entry.
+func TestMemoStatsConcurrent(t *testing.T) {
+	var m Memo[int]
+	ForEach(8, 64, func(i int) {
+		m.Get(fmt.Sprintf("k%d", i%4), func() (int, error) { return i, nil })
+	})
+	got := m.Stats()
+	if got.Misses != 4 || got.Hits != 60 {
+		t.Fatalf("stats = %+v, want 60 hits / 4 misses", got)
+	}
+}
+
+func TestObserverReportsDrains(t *testing.T) {
+	defer SetObserver(nil)
+	var (
+		mu      sync.Mutex
+		batches int
+		items   int
+		workers []int
+	)
+	SetObserver(func(w, n int, tasks []int, elapsed time.Duration) {
+		mu.Lock()
+		defer mu.Unlock()
+		batches++
+		items += n
+		workers = append(workers, w)
+		sum := 0
+		for _, c := range tasks {
+			sum += c
+		}
+		if sum != n {
+			t.Errorf("per-worker tasks sum to %d, want %d", sum, n)
+		}
+		if len(tasks) != w {
+			t.Errorf("got %d worker slots for %d workers", len(tasks), w)
+		}
+		if elapsed < 0 {
+			t.Error("negative drain time")
+		}
+	})
+	ForEach(1, 5, func(i int) {})
+	ForEach(4, 10, func(i int) {})
+	mu.Lock()
+	defer mu.Unlock()
+	if batches != 2 || items != 15 {
+		t.Fatalf("batches=%d items=%d", batches, items)
+	}
+	if workers[0] != 1 || workers[1] != 4 {
+		t.Fatalf("worker counts = %v", workers)
+	}
+}
+
+// The observer must not change results: the same Map output with and
+// without observation.
+func TestObserverDoesNotPerturbResults(t *testing.T) {
+	defer SetObserver(nil)
+	base := Map(4, 100, func(i int) int { return i * i })
+	SetObserver(func(int, int, []int, time.Duration) {})
+	observed := Map(4, 100, func(i int) int { return i * i })
+	for i := range base {
+		if base[i] != observed[i] {
+			t.Fatalf("result differs at %d", i)
+		}
 	}
 }

@@ -185,7 +185,7 @@ func TestPairwiseMeanSpearman(t *testing.T) {
 }
 
 func TestBinomialCI(t *testing.T) {
-	// p=0.5, n=1000 → 1.96*sqrt(0.25/1000) ≈ 0.0310 (the paper's 3.10% bound).
+	// p=0.5, n=1000: Wilson ≈ 0.030931, matching the paper's 3.10% bound.
 	got := BinomialCI(500, 1000)
 	if !almostEqual(got, 0.0310, 2e-4) {
 		t.Fatalf("BinomialCI = %v, want ~0.031", got)
@@ -193,8 +193,46 @@ func TestBinomialCI(t *testing.T) {
 	if BinomialCI(0, 0) != 0 {
 		t.Fatal("BinomialCI with n=0 should be 0")
 	}
-	if BinomialCI(0, 100) != 0 {
-		t.Fatal("BinomialCI with k=0 should be 0")
+	// Boundary half-widths must be strictly positive: observing 0 of n SDCs
+	// bounds the rate, it does not prove the rate is zero.
+	for _, n := range []int{1, 10, 100, 1000} {
+		lo := BinomialCI(0, n)
+		hi := BinomialCI(n, n)
+		if lo <= 0 {
+			t.Fatalf("BinomialCI(0, %d) = %v, want > 0", n, lo)
+		}
+		if lo != hi {
+			t.Fatalf("BinomialCI not symmetric: (0,%d)=%v (n,n)=%v", n, lo, hi)
+		}
+		// Closed form at the boundary: z²/2n / (1 + z²/n).
+		z2 := z95 * z95
+		want := z2 / (2 * float64(n)) / (1 + z2/float64(n))
+		if !almostEqual(lo, want, 1e-12) {
+			t.Fatalf("BinomialCI(0, %d) = %v, want %v", n, lo, want)
+		}
+	}
+	// More trials → tighter interval, at the boundary and in the middle.
+	if !(BinomialCI(0, 1000) < BinomialCI(0, 100)) {
+		t.Fatal("k=0 half-width should shrink with n")
+	}
+	if !(BinomialCI(500, 1000) < BinomialCI(50, 100)) {
+		t.Fatal("p=0.5 half-width should shrink with n")
+	}
+}
+
+func TestWilsonCI(t *testing.T) {
+	// Known value: k=10, n=40 at 95% → center ≈ 0.2719, bounds
+	// ≈ [0.1419, 0.4019], half-width ≈ 0.13003.
+	got := WilsonCI(10, 40, z95)
+	if !almostEqual(got, 0.13003, 1e-4) {
+		t.Fatalf("WilsonCI(10, 40) = %v, want ~0.13003", got)
+	}
+	if WilsonCI(3, 0, z95) != 0 {
+		t.Fatal("WilsonCI with n=0 should be 0")
+	}
+	// A wider quantile widens the interval.
+	if !(WilsonCI(10, 40, 2.575829) > got) {
+		t.Fatal("99% interval should be wider than 95%")
 	}
 }
 

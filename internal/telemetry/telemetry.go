@@ -1,0 +1,372 @@
+// Package telemetry is the repository's deterministic observability layer:
+// counters, gauges and phase timers driven by an injectable clock, plus a
+// JSONL event sink. It makes the runtime cost structure of a search or FI
+// campaign visible — where the dynamic-instruction budget goes (the Table 5
+// / Table 6 / Figure 8 cost model), how the GA progresses per generation,
+// how the worker pool is utilized — without breaking the repo-wide
+// determinism contract.
+//
+// # Clock model
+//
+// The default clock is a virtual "cost clock": every event stream owns an
+// int64 tick counter advanced explicitly (Stream.Advance) with the dynamic
+// instructions the traced computation spent. Dynamic-instruction totals are
+// schedule-independent (they are integer sums folded at serial points), so
+// timestamps — and therefore whole traces — are byte-identical for any
+// worker count. Wall-clock timestamps are opt-in (Options.WallClock) and
+// trade that determinism for real time.
+//
+// # Determinism rule
+//
+// Trace events may carry only schedule-independent data: fitness values,
+// outcome tallies, dynamic-instruction costs, deterministic RNG-draw counts.
+// Schedule-dependent measurements (wall-clock nanoseconds, per-worker task
+// tallies, queue drain times) go to counters and gauges, which appear in
+// the end-of-run Summary but never in the trace. Each Stream must be fed by
+// one serially-ordered computation; concurrent computations write to
+// distinct streams, and Close emits streams sorted by key, so the file
+// bytes do not depend on goroutine interleaving.
+//
+// # Event schema
+//
+// One JSON object per line:
+//
+//	{"t":<ticks>,"s":"<stream>","ev":"<event>",<fields...>}
+//
+// "t" is the stream clock at emission (cost ticks by default), "s" the
+// stream key, "ev" the event name; remaining fields are event-specific and
+// appear in the order the emitter listed them.
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Field is one key/value pair of an event.
+type Field struct {
+	Key string
+	Val any
+}
+
+// F builds a Field.
+func F(key string, val any) Field { return Field{Key: key, Val: val} }
+
+// Options configures a Recorder.
+type Options struct {
+	// Sink receives the JSONL trace on Close. Nil disables the trace;
+	// counters, gauges and phase timers still work (for Summary).
+	Sink io.Writer
+	// WallClock switches timestamps from the deterministic per-stream cost
+	// clock to nanoseconds since the Recorder was created. Wall-clock
+	// traces are NOT reproducible across runs or worker counts.
+	WallClock bool
+}
+
+// Recorder collects events, counters and gauges. All methods are safe for
+// concurrent use and no-ops on a nil receiver, so call sites need no nil
+// checks.
+type Recorder struct {
+	opts  Options
+	start time.Time
+
+	mu       sync.Mutex
+	streams  map[string]*Stream
+	counters map[string]int64
+	gauges   map[string]int64
+	closed   bool
+}
+
+// New builds a Recorder.
+func New(opts Options) *Recorder {
+	return &Recorder{
+		opts:     opts,
+		start:    time.Now(),
+		streams:  make(map[string]*Stream),
+		counters: make(map[string]int64),
+		gauges:   make(map[string]int64),
+	}
+}
+
+// Stream returns (creating once) the event stream for key. A stream must be
+// fed by a single serially-ordered computation; concurrent work belongs in
+// separate streams. Returns nil on a nil Recorder.
+func (r *Recorder) Stream(key string) *Stream {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.streams[key]
+	if !ok {
+		s = &Stream{r: r, key: key}
+		r.streams[key] = s
+	}
+	return s
+}
+
+// Count adds delta to a named counter (metrics only, never in the trace).
+func (r *Recorder) Count(name string, delta int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.counters[name] += delta
+	r.mu.Unlock()
+}
+
+// Gauge sets a named gauge to v.
+func (r *Recorder) Gauge(name string, v int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.gauges[name] = v
+	r.mu.Unlock()
+}
+
+// MaxGauge raises a named gauge to v if v is larger (or the gauge is unset).
+func (r *Recorder) MaxGauge(name string, v int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if cur, ok := r.gauges[name]; !ok || v > cur {
+		r.gauges[name] = v
+	}
+	r.mu.Unlock()
+}
+
+// Counter reads a counter's current value (0 when unset).
+func (r *Recorder) Counter(name string) int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counters[name]
+}
+
+// Summary renders every counter and gauge, sorted by name — the -metrics
+// end-of-run report. Unlike the trace, it may contain schedule-dependent
+// values (wall times, per-worker tallies).
+func (r *Recorder) Summary() string {
+	if r == nil {
+		return ""
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var sb strings.Builder
+	sb.WriteString("telemetry summary\n")
+	writeSection := func(title string, m map[string]int64) {
+		if len(m) == 0 {
+			return
+		}
+		keys := make([]string, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Fprintf(&sb, "%s:\n", title)
+		for _, k := range keys {
+			fmt.Fprintf(&sb, "  %-32s %d\n", k, m[k])
+		}
+	}
+	writeSection("counters", r.counters)
+	writeSection("gauges", r.gauges)
+	events := 0
+	for _, s := range r.streams {
+		events += len(s.lines)
+	}
+	fmt.Fprintf(&sb, "trace: %d streams, %d events\n", len(r.streams), events)
+	return sb.String()
+}
+
+// Close flushes the trace to the sink: a meta line, then every stream's
+// events sorted by stream key (emission order within a stream). Close is
+// idempotent; only the first call writes.
+func (r *Recorder) Close() error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed || r.opts.Sink == nil {
+		r.closed = true
+		return nil
+	}
+	r.closed = true
+	clock := "cost"
+	if r.opts.WallClock {
+		clock = "wall"
+	}
+	keys := make([]string, 0, len(r.streams))
+	for k := range r.streams {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "{\"ev\":\"trace.meta\",\"clock\":%s,\"streams\":%d}\n",
+		jsonString(clock), len(keys))
+	for _, k := range keys {
+		s := r.streams[k]
+		s.mu.Lock()
+		for _, line := range s.lines {
+			sb.WriteString(line)
+			sb.WriteByte('\n')
+		}
+		s.mu.Unlock()
+	}
+	_, err := io.WriteString(r.opts.Sink, sb.String())
+	return err
+}
+
+// Stream is one serially-ordered event sequence with its own cost clock.
+type Stream struct {
+	r   *Recorder
+	key string
+
+	mu    sync.Mutex
+	ticks int64
+	lines []string
+}
+
+// Advance moves the stream's cost clock forward by n ticks (dynamic
+// instructions by convention). Ignored in wall-clock mode and on nil.
+func (s *Stream) Advance(n int64) {
+	if s == nil || s.r.opts.WallClock {
+		return
+	}
+	s.mu.Lock()
+	s.ticks += n
+	s.mu.Unlock()
+}
+
+// Now returns the stream's current timestamp: cost ticks, or nanoseconds
+// since the Recorder started in wall-clock mode.
+func (s *Stream) Now() int64 {
+	if s == nil {
+		return 0
+	}
+	if s.r.opts.WallClock {
+		return time.Since(s.r.start).Nanoseconds()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ticks
+}
+
+// Emit appends one event to the stream, timestamped with the stream clock.
+// Fields keep their listed order.
+func (s *Stream) Emit(ev string, fields ...Field) {
+	if s == nil {
+		return
+	}
+	t := s.Now()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "{\"t\":%d,\"s\":%s,\"ev\":%s", t, jsonString(s.key), jsonString(ev))
+	for _, f := range fields {
+		sb.WriteByte(',')
+		sb.WriteString(jsonString(f.Key))
+		sb.WriteByte(':')
+		sb.WriteString(jsonValue(f.Val))
+	}
+	sb.WriteByte('}')
+	s.mu.Lock()
+	s.lines = append(s.lines, sb.String())
+	s.mu.Unlock()
+}
+
+// Count delegates to the parent Recorder's counters (metrics only).
+func (s *Stream) Count(name string, delta int64) {
+	if s == nil {
+		return
+	}
+	s.r.Count(name, delta)
+}
+
+// Phase starts a phase timer and returns its closer. The closer emits a
+// "phase" event carrying the deterministic cost-clock span (start tick and
+// ticks elapsed) and accumulates the wall-clock nanoseconds into the
+// "phase.<name>.ns" counter for the metrics summary.
+func (s *Stream) Phase(name string) func() {
+	if s == nil {
+		return func() {}
+	}
+	startTick := s.Now()
+	startWall := time.Now()
+	return func() {
+		end := s.Now()
+		s.Emit("phase", F("name", name), F("start", startTick), F("ticks", end-startTick))
+		s.Count("phase."+name+".ns", time.Since(startWall).Nanoseconds())
+	}
+}
+
+// PoolObserver adapts a Recorder into the worker-pool drain callback shape
+// (parallel.SetObserver): it tallies batches, tasks, drain time and
+// per-worker imbalance into pool.* counters and gauges. All of it is
+// schedule-dependent, so none of it enters the trace.
+func PoolObserver(r *Recorder) func(workers, items int, tasksPerWorker []int, elapsed time.Duration) {
+	return func(workers, items int, tasksPerWorker []int, elapsed time.Duration) {
+		r.Count("pool.batches", 1)
+		r.Count("pool.tasks", int64(items))
+		r.Count("pool.drain.ns", elapsed.Nanoseconds())
+		r.MaxGauge("pool.workers.max", int64(workers))
+		if len(tasksPerWorker) > 0 {
+			lo, hi := tasksPerWorker[0], tasksPerWorker[0]
+			for _, c := range tasksPerWorker[1:] {
+				if c < lo {
+					lo = c
+				}
+				if c > hi {
+					hi = c
+				}
+			}
+			r.MaxGauge("pool.batch.imbalance.max", int64(hi-lo))
+		}
+	}
+}
+
+// jsonString renders s as a JSON string.
+func jsonString(s string) string {
+	b, err := json.Marshal(s)
+	if err != nil { // cannot happen for strings
+		return strconv.Quote(s)
+	}
+	return string(b)
+}
+
+// jsonValue renders a field value deterministically. Floats use the
+// shortest round-trip decimal form; NaN and infinities (not representable
+// in JSON) become strings.
+func jsonValue(v any) string {
+	switch x := v.(type) {
+	case string:
+		return jsonString(x)
+	case bool:
+		if x {
+			return "true"
+		}
+		return "false"
+	case int:
+		return strconv.FormatInt(int64(x), 10)
+	case int64:
+		return strconv.FormatInt(x, 10)
+	case uint64:
+		return strconv.FormatUint(x, 10)
+	case float64:
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return jsonString(strconv.FormatFloat(x, 'g', -1, 64))
+		}
+		return strconv.FormatFloat(x, 'g', -1, 64)
+	default:
+		return jsonString(fmt.Sprintf("%v", x))
+	}
+}

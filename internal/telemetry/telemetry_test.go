@@ -1,0 +1,240 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func lines(buf *bytes.Buffer) []string {
+	out := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(out) == 1 && out[0] == "" {
+		return nil
+	}
+	return out
+}
+
+func TestEmitProducesValidJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	r := New(Options{Sink: &buf})
+	s := r.Stream("a")
+	s.Emit("ev1", F("i", 7), F("f", 0.25), F("str", "x\"y\n"), F("b", true))
+	s.Advance(42)
+	s.Emit("ev2", F("neg", int64(-3)))
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got := lines(&buf)
+	if len(got) != 3 { // meta + 2 events
+		t.Fatalf("got %d lines: %q", len(got), got)
+	}
+	for i, line := range got {
+		if !json.Valid([]byte(line)) {
+			t.Fatalf("line %d not valid JSON: %s", i, line)
+		}
+	}
+	var ev map[string]any
+	if err := json.Unmarshal([]byte(got[2]), &ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev["t"] != float64(42) || ev["s"] != "a" || ev["ev"] != "ev2" || ev["neg"] != float64(-3) {
+		t.Fatalf("unexpected event: %v", ev)
+	}
+}
+
+func TestCostClockPerStream(t *testing.T) {
+	r := New(Options{})
+	a, b := r.Stream("a"), r.Stream("b")
+	a.Advance(10)
+	if a.Now() != 10 || b.Now() != 0 {
+		t.Fatalf("stream clocks not independent: a=%d b=%d", a.Now(), b.Now())
+	}
+	if r.Stream("a") != a {
+		t.Fatal("Stream not memoized per key")
+	}
+}
+
+// Streams emitted from concurrent goroutines must serialize into identical
+// bytes regardless of interleaving: Close orders streams by key and each
+// stream is internally ordered by its single writer.
+func TestCloseOrdersStreamsDeterministically(t *testing.T) {
+	trace := func() string {
+		var buf bytes.Buffer
+		r := New(Options{Sink: &buf})
+		var wg sync.WaitGroup
+		for _, key := range []string{"z", "m", "a"} {
+			wg.Add(1)
+			go func(key string) {
+				defer wg.Done()
+				s := r.Stream(key)
+				for i := 0; i < 5; i++ {
+					s.Emit("tick", F("i", i))
+					s.Advance(int64(i))
+				}
+			}(key)
+		}
+		wg.Wait()
+		if err := r.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	first := trace()
+	for i := 0; i < 10; i++ {
+		if got := trace(); got != first {
+			t.Fatalf("trace differs across runs:\n%s\nvs\n%s", got, first)
+		}
+	}
+	if !strings.Contains(first, `"clock":"cost"`) {
+		t.Fatalf("meta line missing clock: %s", first)
+	}
+}
+
+func TestPhaseEmitsCostSpan(t *testing.T) {
+	var buf bytes.Buffer
+	r := New(Options{Sink: &buf})
+	s := r.Stream("search")
+	s.Advance(5)
+	end := s.Phase("sensitivity")
+	s.Advance(100)
+	end()
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got := lines(&buf)
+	var ev map[string]any
+	if err := json.Unmarshal([]byte(got[len(got)-1]), &ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev["ev"] != "phase" || ev["name"] != "sensitivity" ||
+		ev["start"] != float64(5) || ev["ticks"] != float64(100) {
+		t.Fatalf("bad phase event: %v", ev)
+	}
+	if r.Counter("phase.sensitivity.ns") <= 0 {
+		t.Fatal("phase wall-time counter not accumulated")
+	}
+}
+
+func TestCountersAndGauges(t *testing.T) {
+	r := New(Options{})
+	r.Count("c", 2)
+	r.Count("c", 3)
+	r.Stream("s").Count("c", 5)
+	if got := r.Counter("c"); got != 10 {
+		t.Fatalf("counter = %d, want 10", got)
+	}
+	r.MaxGauge("g", 4)
+	r.MaxGauge("g", 2)
+	r.Gauge("set", -1)
+	sum := r.Summary()
+	for _, want := range []string{"c", "10", "g", "4", "set", "-1"} {
+		if !strings.Contains(sum, want) {
+			t.Fatalf("summary missing %q:\n%s", want, sum)
+		}
+	}
+}
+
+func TestNilRecorderAndStreamNoOp(t *testing.T) {
+	var r *Recorder
+	s := r.Stream("x")
+	if s != nil {
+		t.Fatal("nil recorder should return nil stream")
+	}
+	// None of these may panic.
+	r.Count("c", 1)
+	r.Gauge("g", 1)
+	r.MaxGauge("g", 1)
+	if r.Counter("c") != 0 {
+		t.Fatal("nil counter read")
+	}
+	if r.Summary() != "" {
+		t.Fatal("nil summary")
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s.Emit("ev")
+	s.Advance(1)
+	s.Count("c", 1)
+	if s.Now() != 0 {
+		t.Fatal("nil stream Now")
+	}
+	s.Phase("p")()
+}
+
+func TestWallClockMode(t *testing.T) {
+	var buf bytes.Buffer
+	r := New(Options{Sink: &buf, WallClock: true})
+	s := r.Stream("w")
+	s.Advance(1000) // ignored in wall mode
+	time.Sleep(time.Millisecond)
+	s.Emit("ev")
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got := lines(&buf)
+	if !strings.Contains(got[0], `"clock":"wall"`) {
+		t.Fatalf("meta line: %s", got[0])
+	}
+	var ev map[string]any
+	if err := json.Unmarshal([]byte(got[1]), &ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev["t"].(float64) <= 0 {
+		t.Fatalf("wall timestamp not positive: %v", ev["t"])
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	var buf bytes.Buffer
+	r := New(Options{Sink: &buf})
+	r.Stream("s").Emit("ev")
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	n := buf.Len()
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != n {
+		t.Fatal("second Close wrote again")
+	}
+}
+
+func TestPoolObserver(t *testing.T) {
+	r := New(Options{})
+	obs := PoolObserver(r)
+	obs(4, 10, []int{4, 3, 2, 1}, 5*time.Millisecond)
+	obs(2, 6, []int{3, 3}, time.Millisecond)
+	if got := r.Counter("pool.batches"); got != 2 {
+		t.Fatalf("pool.batches = %d", got)
+	}
+	if got := r.Counter("pool.tasks"); got != 16 {
+		t.Fatalf("pool.tasks = %d", got)
+	}
+	if r.Counter("pool.drain.ns") < int64(6*time.Millisecond) {
+		t.Fatal("pool.drain.ns too small")
+	}
+	sum := r.Summary()
+	if !strings.Contains(sum, "pool.workers.max") || !strings.Contains(sum, "pool.batch.imbalance.max") {
+		t.Fatalf("summary missing pool gauges:\n%s", sum)
+	}
+}
+
+func TestJSONValueSpecialFloats(t *testing.T) {
+	var buf bytes.Buffer
+	r := New(Options{Sink: &buf})
+	r.Stream("s").Emit("ev", F("nan", math.NaN()), F("inf", math.Inf(1)))
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range lines(&buf) {
+		if !json.Valid([]byte(line)) {
+			t.Fatalf("invalid JSON with special floats: %s", line)
+		}
+	}
+}
