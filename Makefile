@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build lint test test-short race bench-smoke bench-workers test-telemetry ci
+.PHONY: build lint test test-short race bench-smoke bench-workers test-telemetry test-checkpoint bench-fi ci
 
 build:
 	$(GO) build ./...
@@ -34,6 +34,23 @@ bench-smoke:
 bench-workers:
 	$(GO) test -bench=Workers -benchtime=3x -run='^$$' .
 
+# Checkpointed-execution equivalence gate: every resumed FI trial must be
+# bit-identical to a from-scratch one, at the interpreter, campaign and
+# parallel layers.
+test-checkpoint:
+	$(GO) test -count=1 -run 'Checkpoint|RunFrom|Snapshot' \
+		./internal/interp ./internal/campaign
+
+# Measure golden-run and 1000-trial campaign throughput, from scratch vs
+# resuming from golden-prefix snapshots, and render the machine-readable
+# BENCH_fi.json artifact (per-benchmark ns/op, dyn/op, skipped/op, and the
+# scratch/checkpointed campaign speedup).
+bench-fi:
+	$(GO) test -run='^$$' -bench='Benchmark(Overall|Golden)' -benchtime=3x \
+		./internal/interp | tee BENCH_fi.txt
+	$(GO) run ./cmd/benchjson < BENCH_fi.txt > BENCH_fi.json
+	@echo "wrote BENCH_fi.json"
+
 # End-to-end trace determinism: the same small search, traced at 1 and 4
 # workers, must write byte-identical JSONL (the telemetry layer's contract;
 # the in-process version is cmd/peppax's TestTelemetryWorkerEquivalence).
@@ -48,4 +65,4 @@ test-telemetry:
 	cmp trace-w1.jsonl trace-w4.jsonl
 	@echo "telemetry traces byte-identical across worker counts"
 
-ci: build lint test race bench-smoke test-telemetry
+ci: build lint test race bench-smoke test-telemetry test-checkpoint

@@ -1,0 +1,136 @@
+// Command benchjson converts `go test -bench` output on stdin into the
+// machine-readable BENCH_fi.json artifact: one record per benchmark (ns/op
+// plus any custom metrics such as dyn/op and skipped/op) and, for the
+// BenchmarkOverall scratch/checkpointed pairs, the per-program campaign
+// speedup of golden-prefix checkpointing.
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'Benchmark(Overall|Golden)' ./internal/interp | benchjson > BENCH_fi.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the BENCH_fi.json schema.
+type Report struct {
+	Env        map[string]string `json:"env,omitempty"`
+	Benchmarks []Benchmark       `json:"benchmarks"`
+	// OverallSpeedup maps each program benchmark to
+	// scratch ns/op ÷ checkpointed ns/op for BenchmarkOverall.
+	OverallSpeedup map[string]float64 `json:"overall_speedup,omitempty"`
+}
+
+func main() {
+	if err := run(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in io.Reader, out io.Writer) error {
+	rep := Report{Env: map[string]string{}}
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "Benchmark"):
+			b, err := parseBench(line)
+			if err != nil {
+				return fmt.Errorf("%w in %q", err, line)
+			}
+			rep.Benchmarks = append(rep.Benchmarks, b)
+		case strings.HasPrefix(line, "goos:"), strings.HasPrefix(line, "goarch:"),
+			strings.HasPrefix(line, "pkg:"), strings.HasPrefix(line, "cpu:"):
+			if k, v, ok := strings.Cut(line, ":"); ok {
+				rep.Env[k] = strings.TrimSpace(v)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(rep.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark lines on stdin")
+	}
+	rep.OverallSpeedup = speedups(rep.Benchmarks)
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// parseBench parses one result line, e.g.
+//
+//	BenchmarkOverall/scratch/hpccg-8  2  1137711336 ns/op  93157395 dyn/op  0 skipped/op
+func parseBench(line string) (Benchmark, error) {
+	f := strings.Fields(line)
+	if len(f) < 4 || len(f)%2 != 0 {
+		return Benchmark{}, fmt.Errorf("malformed benchmark line")
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, fmt.Errorf("bad iteration count %q", f[1])
+	}
+	b := Benchmark{Name: f[0], Iterations: iters}
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Benchmark{}, fmt.Errorf("bad value %q", f[i])
+		}
+		if f[i+1] == "ns/op" {
+			b.NsPerOp = v
+			continue
+		}
+		if b.Metrics == nil {
+			b.Metrics = map[string]float64{}
+		}
+		b.Metrics[f[i+1]] = v
+	}
+	return b, nil
+}
+
+// speedups pairs BenchmarkOverall/scratch/<prog> with .../checkpointed/<prog>
+// (GOMAXPROCS suffixes stripped) and reports their ns/op ratios.
+func speedups(benches []Benchmark) map[string]float64 {
+	scratch, ckpt := map[string]float64{}, map[string]float64{}
+	for _, b := range benches {
+		name := b.Name
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		if p, ok := strings.CutPrefix(name, "BenchmarkOverall/scratch/"); ok {
+			scratch[p] = b.NsPerOp
+		} else if p, ok := strings.CutPrefix(name, "BenchmarkOverall/checkpointed/"); ok {
+			ckpt[p] = b.NsPerOp
+		}
+	}
+	out := map[string]float64{}
+	for p, s := range scratch {
+		if c, ok := ckpt[p]; ok && c > 0 {
+			out[p] = math.Round(s/c*100) / 100
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}

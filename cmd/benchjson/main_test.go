@@ -1,0 +1,54 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro/internal/interp
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkGoldenRun/pathfinder-8     100	  1516079 ns/op	     16704 dyn/op
+BenchmarkOverall/scratch/pathfinder-8         	       2	 165783610 ns/op	  14139045 dyn/op	         0 skipped/op
+BenchmarkOverall/scratch/hpccg-8              	       2	1137711336 ns/op	  93157395 dyn/op	         0 skipped/op
+BenchmarkOverall/checkpointed/pathfinder-8    	       2	  74611850 ns/op	  14139045 dyn/op	   8156250 skipped/op
+BenchmarkOverall/checkpointed/hpccg-8         	       2	 627474796 ns/op	  93157395 dyn/op	  44936420 skipped/op
+PASS
+ok  	repro/internal/interp	6.080s
+`
+
+func TestRun(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(strings.NewReader(sample), &out); err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if len(rep.Benchmarks) != 5 {
+		t.Fatalf("parsed %d benchmarks, want 5", len(rep.Benchmarks))
+	}
+	if rep.Benchmarks[0].NsPerOp != 1516079 || rep.Benchmarks[0].Metrics["dyn/op"] != 16704 {
+		t.Fatalf("bad first benchmark: %+v", rep.Benchmarks[0])
+	}
+	if got := rep.OverallSpeedup["pathfinder"]; got < 2.2 || got > 2.23 {
+		t.Fatalf("pathfinder speedup = %v, want ~2.22", got)
+	}
+	if got := rep.OverallSpeedup["hpccg"]; got < 1.8 || got > 1.82 {
+		t.Fatalf("hpccg speedup = %v, want ~1.81", got)
+	}
+	if rep.Env["cpu"] == "" {
+		t.Fatal("missing cpu env")
+	}
+}
+
+func TestRunEmpty(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(strings.NewReader("PASS\n"), &out); err == nil {
+		t.Fatal("expected error for input without benchmark lines")
+	}
+}

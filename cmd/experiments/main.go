@@ -49,6 +49,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		workers   = fs.Int("workers", 0, "worker count for experiments, GA evaluation and FI trials (0 = GOMAXPROCS, 1 = serial; same seed gives the same report for any value)")
 		tracePath = fs.String("trace", "", "write a deterministic JSONL telemetry trace to this file (byte-identical for any -workers)")
 		metrics   = fs.Bool("metrics", false, "print an end-of-run telemetry summary (counters, gauges, memo hits/misses)")
+		ckptIval  = fs.Int64("checkpoint-interval", 0, "golden-prefix snapshot spacing for FI campaigns, in dynamic instructions (0 = auto, -1 = disable; reports are identical either way)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -77,6 +78,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		cfg.Benches = splitList(*benches)
 	}
 	cfg.Workers = *workers
+	cfg.CheckpointInterval = *ckptIval
 
 	var rec *telemetry.Recorder
 	if *tracePath != "" || *metrics {

@@ -5,13 +5,16 @@
 // Usage:
 //
 //	fi -bench hpccg [-input "3,3,3,15,17"] [-trials 1000] [-perinstr]
-//	   [-top 10] [-seed 1] [-trace out.jsonl] [-metrics]
+//	   [-top 10] [-seed 1] [-checkpoint-interval 0] [-trace out.jsonl] [-metrics]
 //
 // Without -input the benchmark's default reference input is used. -trace
 // writes a deterministic JSONL trace (golden-run profile plus the campaign
 // tally) on the dynamic-instruction cost clock; with -parallel N ≥ 1 the
 // trace is byte-identical for every worker count. -metrics prints the
-// end-of-run counter summary.
+// end-of-run counter summary. -checkpoint-interval controls golden-prefix
+// snapshotting (0 = auto-tuned spacing, -1 = every trial from scratch, N > 0
+// = a snapshot every N dynamic instructions); tallies are bit-identical
+// either way, checkpointing only skips redundant prefix re-execution.
 package main
 
 import (
@@ -49,6 +52,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		multibit  = fs.Bool("multibit", false, "use the double-bit-flip fault model")
 		tracePath = fs.String("trace", "", "write a deterministic JSONL telemetry trace to this file (byte-identical for any -parallel)")
 		metrics   = fs.Bool("metrics", false, "print an end-of-run telemetry summary (counters, gauges, worker-pool utilization)")
+		ckptIval  = fs.Int64("checkpoint-interval", 0, "golden-prefix snapshot spacing in dynamic instructions (0 = auto, -1 = disable)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -103,7 +107,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	rng := xrand.New(*seed)
-	g, err := campaign.NewGolden(b.Prog, b.Encode(in), b.MaxDyn)
+	g, err := campaign.NewGoldenCheckpointed(b.Prog, b.Encode(in), b.MaxDyn, *ckptIval)
 	if err != nil {
 		return fail(err)
 	}
@@ -130,6 +134,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 			telemetry.F("instrs", len(ids)),
 			telemetry.F("trials", total),
 			telemetry.F("dyn", dyn))
+		campaign.EmitCheckpointTelemetry(tr, "fi.checkpoints", g.CheckpointStats())
+		printCheckpointSummary(stdout, g)
 		sort.Slice(results, func(a, c int) bool {
 			return results[a].Counts.SDCProbability() > results[c].Counts.SDCProbability()
 		})
@@ -173,12 +179,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 	tr.Emit("fi.campaign", append([]telemetry.Field{
 		telemetry.F("model", model),
 	}, c.Fields()...)...)
+	campaign.EmitCheckpointTelemetry(tr, "fi.checkpoints", g.CheckpointStats())
+	printCheckpointSummary(stdout, g)
 	fmt.Fprintf(stdout, "%d fault-injection trials (%s in random dynamic instruction results):\n", c.Trials, model)
 	fmt.Fprintf(stdout, "  SDC:    %4d  (%.2f%% ±%.2f%%)\n", c.SDC, c.SDCProbability()*100, c.CI95()*100)
 	fmt.Fprintf(stdout, "  crash:  %4d  (%.2f%%)\n", c.Crash, float64(c.Crash)/float64(c.Trials)*100)
 	fmt.Fprintf(stdout, "  hang:   %4d  (%.2f%%)\n", c.Hang, float64(c.Hang)/float64(c.Trials)*100)
 	fmt.Fprintf(stdout, "  benign: %4d  (%.2f%%)\n", c.Benign, float64(c.Benign)/float64(c.Trials)*100)
 	return 0
+}
+
+// printCheckpointSummary reports how much golden-prefix replay the snapshot
+// schedule saved; silent when checkpointing is disabled.
+func printCheckpointSummary(w io.Writer, g *campaign.Golden) {
+	st := g.CheckpointStats()
+	if st.Snapshots == 0 {
+		return
+	}
+	fmt.Fprintf(w, "checkpoints: %d snapshots every %d dynamic instructions; %d/%d trials resumed, %d prefix instructions skipped\n\n",
+		st.Snapshots, st.Interval, st.Restored, st.Restored+st.Scratch, st.SkippedDyn)
 }
 
 func pctS(p float64) string { return fmt.Sprintf("%.1f%%", p*100) }

@@ -55,6 +55,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		workers     = fs.Int("workers", 0, "worker count for GA candidate evaluation and baseline FI trials (0 = GOMAXPROCS, 1 = serial; results are identical for any value)")
 		tracePath   = fs.String("trace", "", "write a deterministic JSONL telemetry trace to this file (byte-identical for any -workers)")
 		metrics     = fs.Bool("metrics", false, "print an end-of-run telemetry summary (counters, gauges, worker-pool utilization)")
+		ckptIval    = fs.Int64("checkpoint-interval", 0, "golden-prefix snapshot spacing for FI campaigns, in dynamic instructions (0 = auto, -1 = disable; results are identical either way)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -108,6 +109,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	opts.FinalTrials = *trials
 	opts.TrialsPerRep = *trialsRep
 	opts.Workers = *workers
+	opts.CheckpointInterval = *ckptIval
 	opts.Trace = rec.Stream("search/" + b.Name)
 	for _, c := range strings.Split(*checkpoints, ",") {
 		if c = strings.TrimSpace(c); c != "" {

@@ -66,6 +66,13 @@ type Golden struct {
 	DynCount    int64
 	InstrCounts []int64 // per static instruction
 	NumInstrs   int
+
+	// Checkpoints, when non-nil, holds golden-prefix snapshots of the run
+	// (NewGoldenCheckpointed / EnsureCheckpoints); Classify then resumes
+	// each trial from the nearest snapshot before its injection point
+	// instead of re-interpreting the shared prefix. Results are
+	// bit-identical either way.
+	Checkpoints *interp.Checkpoints
 }
 
 // Coverage returns the static-instruction coverage of the golden run.
@@ -92,12 +99,16 @@ var ErrInvalidInput = fmt.Errorf("campaign: input fails fault-free execution")
 // interpreter default); inputs whose golden run traps or exceeds the bound
 // are rejected with ErrInvalidInput.
 func NewGolden(p *interp.Program, input []uint64, maxDyn int64) (*Golden, error) {
-	r := interp.Run(p, input, interp.Options{Profile: true, MaxDyn: maxDyn})
+	return newGolden(p, input, interp.Options{Profile: true, MaxDyn: maxDyn})
+}
+
+func newGolden(p *interp.Program, input []uint64, opts interp.Options) (*Golden, error) {
+	r := interp.Run(p, input, opts)
 	if r.Trap != nil {
 		return nil, fmt.Errorf("%w: %v", ErrInvalidInput, r.Trap)
 	}
 	if r.BudgetExceeded {
-		return nil, fmt.Errorf("%w: exceeded %d dynamic instructions", ErrInvalidInput, maxDyn)
+		return nil, fmt.Errorf("%w: exceeded %d dynamic instructions", ErrInvalidInput, opts.MaxDyn)
 	}
 	if r.DynCount == 0 {
 		return nil, fmt.Errorf("%w: program executed no injectable instructions", ErrInvalidInput)
@@ -111,16 +122,104 @@ func NewGolden(p *interp.Program, input []uint64, maxDyn int64) (*Golden, error)
 		DynCount:    r.DynCount,
 		InstrCounts: r.InstrCounts,
 		NumInstrs:   p.NumInstrs(),
+		Checkpoints: r.Checkpoints,
 	}, nil
+}
+
+// Checkpoint interval sentinels, shared by every knob that threads a
+// checkpoint interval through to NewGoldenCheckpointed (core.Options,
+// core.BaselineOptions, experiments.Config, the -checkpoint-interval CLI
+// flags). Positive values fix the snapshot spacing in dynamic instructions.
+const (
+	// CheckpointAuto derives the snapshot spacing from the golden run's
+	// dynamic instruction count (interp.AutoCheckpointInterval).
+	CheckpointAuto int64 = 0
+	// CheckpointDisabled turns golden-prefix checkpointing off: every trial
+	// re-executes from dynamic instruction 0.
+	CheckpointDisabled int64 = -1
+)
+
+// NewGoldenCheckpointed is NewGolden plus golden-prefix snapshots every
+// `interval` dynamic instructions (CheckpointAuto tunes the spacing from
+// the run's dynamic count; CheckpointDisabled yields a plain golden).
+// Campaigns classified against a checkpointed golden resume each trial from
+// the nearest snapshot before its injection point — bit-identical results
+// for a fraction of the interpreter work.
+func NewGoldenCheckpointed(p *interp.Program, input []uint64, maxDyn, interval int64) (*Golden, error) {
+	if interval < 0 {
+		return NewGolden(p, input, maxDyn)
+	}
+	if interval == CheckpointAuto {
+		g, err := NewGolden(p, input, maxDyn)
+		if err != nil {
+			return nil, err
+		}
+		if err := g.EnsureCheckpoints(p, CheckpointAuto); err != nil {
+			return nil, err
+		}
+		return g, nil
+	}
+	return newGolden(p, input, interp.Options{Profile: true, MaxDyn: maxDyn, CheckpointInterval: interval})
+}
+
+// EnsureCheckpoints attaches golden-prefix snapshots to an existing golden
+// by replaying it with checkpointing enabled. It is a no-op when snapshots
+// are already attached or interval is CheckpointDisabled; CheckpointAuto
+// derives the spacing from DynCount. The replay must reproduce the original
+// run exactly — a divergence means the substrate broke determinism, which
+// would silently poison every trial, so it is surfaced as an error.
+func (g *Golden) EnsureCheckpoints(p *interp.Program, interval int64) error {
+	if g.Checkpoints != nil || interval < 0 {
+		return nil
+	}
+	if interval == CheckpointAuto {
+		interval = interp.AutoCheckpointInterval(g.DynCount)
+	}
+	r := interp.Run(p, g.Input, interp.Options{Profile: true, CheckpointInterval: interval})
+	if r.Trap != nil || r.BudgetExceeded || r.DynCount != g.DynCount || !interp.OutputEqual(r.Output, g.Output) {
+		return fmt.Errorf("campaign: checkpoint replay diverged from the golden run")
+	}
+	g.Checkpoints = r.Checkpoints
+	return nil
+}
+
+// CheckpointStats returns the golden's checkpoint usage counters (the zero
+// value when the golden is not checkpointed).
+func (g *Golden) CheckpointStats() interp.CheckpointStats {
+	return g.Checkpoints.Stats()
+}
+
+// EmitCheckpointTelemetry folds a checkpoint usage sample into a telemetry
+// stream: recorder counters plus one trace event. Every field derives from
+// the dynamic-instruction clock (snapshot positions, per-trial prefix
+// skips), never from wall time or scheduling, so traces stay byte-identical
+// across worker counts. No-op for an un-checkpointed sample.
+func EmitCheckpointTelemetry(tr *telemetry.Stream, event string, st interp.CheckpointStats) {
+	if st.Snapshots == 0 {
+		return
+	}
+	tr.Count("checkpoint.snapshots", int64(st.Snapshots))
+	tr.Count("checkpoint.restored", st.Restored)
+	tr.Count("checkpoint.scratch", st.Scratch)
+	tr.Count("checkpoint.skipped_dyn", st.SkippedDyn)
+	tr.Emit(event,
+		telemetry.F("snapshots", st.Snapshots),
+		telemetry.F("interval", st.Interval),
+		telemetry.F("restored", st.Restored),
+		telemetry.F("scratch", st.Scratch),
+		telemetry.F("skipped_dyn", st.SkippedDyn))
 }
 
 // Classify runs one faulty execution under plan and classifies it against
 // the golden run. The returned static ID is the instruction that received
 // the fault (-1 if the fault did not activate, which Classify reports as
-// Benign since the execution is then identical to golden).
+// Benign since the execution is then identical to golden). When the golden
+// carries checkpoints, the trial resumes from the nearest snapshot before
+// its injection point; outcome, injected ID/bit and dynamic count are
+// bit-identical to a from-scratch run either way.
 func Classify(p *interp.Program, g *Golden, plan fault.Plan, rng *xrand.RNG, detector func(staticID int) bool) (Outcome, int, int64) {
 	budget := g.DynCount*hangBudgetMultiplier + hangBudgetSlack
-	r := interp.Run(p, g.Input, interp.Options{
+	r := interp.RunWithCheckpoints(p, g.Input, g.Checkpoints, interp.Options{
 		Plan:     &plan,
 		FaultRNG: rng,
 		MaxDyn:   budget,

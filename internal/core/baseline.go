@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/interp"
 	"repro/internal/prog"
 	"repro/internal/telemetry"
 	"repro/internal/xrand"
@@ -28,6 +29,12 @@ type BaselineOptions struct {
 	// serially, and every trial's RNG is derived from (campaign seed,
 	// trial index), so the result is identical for every worker count.
 	Workers int
+	// CheckpointInterval enables golden-prefix snapshots for each
+	// candidate's FI campaign: campaign.CheckpointAuto (0) auto-tunes the
+	// spacing, a positive value fixes it, campaign.CheckpointDisabled (-1)
+	// runs every trial from scratch. Tallies and budget accounting are
+	// bit-identical in all modes.
+	CheckpointInterval int64
 	// Trace, when non-nil, receives one "baseline.candidate" event per
 	// evaluated input (its FI tally and the cumulative budget) on a cost
 	// clock advanced with the campaign's dynamic instructions; candidates
@@ -73,6 +80,7 @@ func RandomSearch(b *prog.Benchmark, opts BaselineOptions, rng *xrand.RNG) *Base
 	tr := opts.Trace
 	endPhase := tr.Phase("baseline")
 	res := &BaselineResult{BestSDC: -1}
+	var ckStats interp.CheckpointStats
 	for {
 		if opts.DynBudget > 0 && res.DynSpent >= opts.DynBudget {
 			break
@@ -81,7 +89,7 @@ func RandomSearch(b *prog.Benchmark, opts BaselineOptions, rng *xrand.RNG) *Base
 			break
 		}
 		in := b.RandomInput(rng)
-		g, err := campaign.NewGolden(b.Prog, b.Encode(in), b.MaxDyn)
+		g, err := campaign.NewGoldenCheckpointed(b.Prog, b.Encode(in), b.MaxDyn, opts.CheckpointInterval)
 		if err != nil {
 			continue // invalid input, excluded per §3.1.2
 		}
@@ -91,6 +99,7 @@ func RandomSearch(b *prog.Benchmark, opts BaselineOptions, rng *xrand.RNG) *Base
 			Seed:    rng.Uint64(),
 		})
 		res.DynSpent += c.DynInstrs
+		ckStats.Accumulate(g.CheckpointStats())
 		res.Inputs++
 		sdc := c.SDCProbability()
 		if sdc > res.BestSDC {
@@ -113,6 +122,7 @@ func RandomSearch(b *prog.Benchmark, opts BaselineOptions, rng *xrand.RNG) *Base
 	}
 	res.Elapsed = time.Since(start)
 	endPhase()
+	campaign.EmitCheckpointTelemetry(tr, "baseline.checkpoints", ckStats)
 	tr.Emit("baseline.done",
 		telemetry.F("inputs", res.Inputs),
 		telemetry.F("best_sdc", res.BestSDC))

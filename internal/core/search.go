@@ -50,6 +50,13 @@ type Options struct {
 	// the closing FI campaign always consume the search RNG serially, so
 	// the result is bit-identical for every worker count.
 	Workers int
+	// CheckpointInterval controls golden-prefix snapshotting for the
+	// pipeline's FI campaigns (sensitivity, Figure 5 checkpoints, final):
+	// campaign.CheckpointAuto (0) tunes the spacing from each golden's
+	// dynamic count, a positive value fixes the spacing in dynamic
+	// instructions, and campaign.CheckpointDisabled (-1) runs every trial
+	// from scratch. Trial results are bit-identical in all three modes.
+	CheckpointInterval int64
 	// Trace, when non-nil, receives the search's telemetry: phase events
 	// for the Figure 8 sensitivity-vs-search cost split (small_input,
 	// sensitivity, search, final_fi), per-generation GA and cost events,
@@ -160,19 +167,28 @@ func Search(b *prog.Benchmark, opts Options, rng *xrand.RNG) (*Result, error) {
 	// Steps ② and ③: pruned FI simulation for the sensitivity distribution.
 	t0 = time.Now()
 	endPhase = tr.Phase("sensitivity")
+	// FI campaigns below replay a shared golden prefix per trial; golden-
+	// prefix snapshots let them resume mid-run instead. The modeled
+	// dynamic-instruction costs stay those of from-scratch trials (each
+	// resumed trial's DynCount continues the golden clock), so budgets and
+	// traces are unchanged; ckStats records the real work skipped.
+	var ckStats interp.CheckpointStats
 	sensGolden := small.Golden
 	if !opts.UseSmallInput {
-		g, err := campaign.NewGolden(b.Prog, b.Encode(b.RefInput()), b.MaxDyn)
+		g, err := campaign.NewGoldenCheckpointed(b.Prog, b.Encode(b.RefInput()), b.MaxDyn, opts.CheckpointInterval)
 		if err != nil {
 			return nil, err
 		}
 		sensGolden = g
+	} else if err := sensGolden.EnsureCheckpoints(b.Prog, opts.CheckpointInterval); err != nil {
+		return nil, err
 	}
 	dist := sensitivity.Derive(b.Prog, sensGolden, sensitivity.Options{
 		TrialsPerRep: opts.TrialsPerRep,
 		UsePruning:   !opts.DisablePruning,
 	}, rng)
 	res.Distribution = dist
+	ckStats.Accumulate(sensGolden.CheckpointStats())
 	res.Cost.SensitivityTime = time.Since(t0)
 	res.Cost.SensitivityDyn = dist.FIDynInstrs
 	tr.Advance(dist.FIDynInstrs)
@@ -236,8 +252,9 @@ func Search(b *prog.Benchmark, opts Options, rng *xrand.RNG) (*Result, error) {
 		for ci < len(checkpoints) && checkpoints[ci] == gen {
 			best := engine.Best()
 			cp := Checkpoint{Generation: gen, BestInput: best.Genome, Fitness: best.Fitness}
-			if g, err := campaign.NewGolden(b.Prog, b.Encode(best.Genome), b.MaxDyn); err == nil {
+			if g, err := campaign.NewGoldenCheckpointed(b.Prog, b.Encode(best.Genome), b.MaxDyn, opts.CheckpointInterval); err == nil {
 				cp.Counts = campaign.Overall(b.Prog, g, opts.FinalTrials, fiRNG)
+				ckStats.Accumulate(g.CheckpointStats())
 			}
 			res.Checkpoints = append(res.Checkpoints, cp)
 			// Checkpoint FI is reporting cost, excluded from the search
@@ -261,15 +278,17 @@ func Search(b *prog.Benchmark, opts Options, rng *xrand.RNG) (*Result, error) {
 	// Closing statistical FI campaign on the reported SDC-bound input.
 	t0 = time.Now()
 	endPhase = tr.Phase("final_fi")
-	g, err := campaign.NewGolden(b.Prog, b.Encode(res.BestInput), b.MaxDyn)
+	g, err := campaign.NewGoldenCheckpointed(b.Prog, b.Encode(res.BestInput), b.MaxDyn, opts.CheckpointInterval)
 	if err != nil {
 		return nil, fmt.Errorf("core: reported input of %s is invalid: %w", b.Name, err)
 	}
 	res.Final = campaign.Overall(b.Prog, g, opts.FinalTrials, rng)
+	ckStats.Accumulate(g.CheckpointStats())
 	res.Cost.FinalFIDyn = res.Final.DynInstrs + g.DynCount
 	res.Cost.FinalFITime = time.Since(t0)
 	tr.Advance(res.Cost.FinalFIDyn)
 	endPhase()
+	campaign.EmitCheckpointTelemetry(tr, "search.fi_checkpoints", ckStats)
 	tr.Emit("search.final", append([]telemetry.Field{
 		telemetry.F("fitness", res.BestFitness),
 		telemetry.F("sdc", res.Final.SDCProbability()),

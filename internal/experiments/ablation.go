@@ -145,7 +145,7 @@ func AblationFitness(s *Suite, bench string) (*AblationFitnessResult, error) {
 		return f
 	}
 	covFit := func(g ga.Genome) float64 {
-		gold, err := campaign.NewGolden(b.Prog, b.Encode(g), b.MaxDyn)
+		gold, err := campaign.NewGoldenCheckpointed(b.Prog, b.Encode(g), b.MaxDyn, s.Cfg.CheckpointInterval)
 		if err != nil {
 			return 0
 		}
@@ -174,7 +174,7 @@ func AblationFitness(s *Suite, bench string) (*AblationFitnessResult, error) {
 	}
 
 	measure := func(in []float64) float64 {
-		g, err := campaign.NewGolden(b.Prog, b.Encode(in), b.MaxDyn)
+		g, err := campaign.NewGoldenCheckpointed(b.Prog, b.Encode(in), b.MaxDyn, s.Cfg.CheckpointInterval)
 		if err != nil {
 			return 0
 		}

@@ -67,6 +67,12 @@ type Config struct {
 	// 1 = fully serial). Same seed, same report, for any value.
 	Workers int
 
+	// CheckpointInterval controls golden-prefix snapshotting for every FI
+	// campaign in the suite: 0 auto-tunes the snapshot spacing per golden,
+	// a positive value fixes it in dynamic instructions, and -1 disables
+	// checkpointing. Reports are bit-identical in all modes.
+	CheckpointInterval int64
+
 	// Recorder, when non-nil, receives the suite's telemetry: each
 	// memoized artifact (search, baseline, study, per-instruction study)
 	// emits into its own keyed stream, so the trace is byte-identical for

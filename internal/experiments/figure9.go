@@ -40,11 +40,11 @@ func Figure9(s *Suite) (*Figure9Result, error) {
 			return nil, err
 		}
 		rng := s.rng("fig9", name)
-		refGolden, err := campaign.NewGolden(b.Prog, b.Encode(b.RefInput()), b.MaxDyn)
+		refGolden, err := campaign.NewGoldenCheckpointed(b.Prog, b.Encode(b.RefInput()), b.MaxDyn, s.Cfg.CheckpointInterval)
 		if err != nil {
 			return nil, err
 		}
-		boundGolden, err := campaign.NewGolden(b.Prog, b.Encode(search.BestInput), b.MaxDyn)
+		boundGolden, err := campaign.NewGoldenCheckpointed(b.Prog, b.Encode(search.BestInput), b.MaxDyn, s.Cfg.CheckpointInterval)
 		if err != nil {
 			return nil, err
 		}

@@ -36,7 +36,7 @@ func Propagation(s *Suite) (*PropagationResult, error) {
 	res := &PropagationResult{Trials: s.Cfg.OverallTrials}
 	for _, name := range s.BenchNames() {
 		b := s.Bench(name)
-		g, err := campaign.NewGolden(b.Prog, b.Encode(b.RefInput()), b.MaxDyn)
+		g, err := campaign.NewGoldenCheckpointed(b.Prog, b.Encode(b.RefInput()), b.MaxDyn, s.Cfg.CheckpointInterval)
 		if err != nil {
 			return nil, err
 		}

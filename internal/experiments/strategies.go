@@ -64,7 +64,7 @@ func Strategies(s *Suite) (*StrategiesResult, error) {
 				return nil, err
 			}
 			sdc := 0.0
-			if g, err := campaign.NewGolden(b.Prog, b.Encode(sr.Best), b.MaxDyn); err == nil {
+			if g, err := campaign.NewGoldenCheckpointed(b.Prog, b.Encode(sr.Best), b.MaxDyn, s.Cfg.CheckpointInterval); err == nil {
 				sdc = campaign.Overall(b.Prog, g, s.Cfg.OverallTrials, rng).SDCProbability()
 			}
 			res.Rows = append(res.Rows, StrategyRow{

@@ -78,6 +78,7 @@ func (s *Suite) Search(name string) (*core.Result, error) {
 		opts.FinalTrials = s.Cfg.OverallTrials
 		opts.Checkpoints = append([]int(nil), s.Cfg.Checkpoints...)
 		opts.Workers = s.Cfg.Workers
+		opts.CheckpointInterval = s.Cfg.CheckpointInterval
 		opts.Trace = s.Cfg.Recorder.Stream("search/" + name)
 		r, err := core.Search(s.Bench(name), opts, s.rng("search", name))
 		if err != nil {
@@ -120,10 +121,11 @@ func (s *Suite) Baseline(name string) (*core.BaselineResult, error) {
 			return nil, err
 		}
 		return core.RandomSearch(s.Bench(name), core.BaselineOptions{
-			TrialsPerInput: s.Cfg.OverallTrials,
-			DynBudget:      s.maxBaselineBudget(r),
-			Workers:        s.Cfg.Workers,
-			Trace:          s.Cfg.Recorder.Stream("baseline/" + name),
+			TrialsPerInput:     s.Cfg.OverallTrials,
+			DynBudget:          s.maxBaselineBudget(r),
+			Workers:            s.Cfg.Workers,
+			CheckpointInterval: s.Cfg.CheckpointInterval,
+			Trace:              s.Cfg.Recorder.Stream("baseline/" + name),
 		}, s.rng("baseline", name)), nil
 	})
 }
@@ -191,7 +193,7 @@ func (s *Suite) Study(name string) (*RandomStudy, error) {
 		st := &RandomStudy{Bench: name}
 
 		measure := func(in []float64, label string) (StudyPoint, error) {
-			g, err := campaign.NewGolden(b.Prog, b.Encode(in), b.MaxDyn)
+			g, err := campaign.NewGoldenCheckpointed(b.Prog, b.Encode(in), b.MaxDyn, s.Cfg.CheckpointInterval)
 			if err != nil {
 				return StudyPoint{}, err
 			}
@@ -248,7 +250,7 @@ func (s *Suite) PerInstr(name string) (*PerInstrStudy, error) {
 		ids := campaign.AllInstructionIDs(b.Prog)
 		for len(st.Vectors) < s.Cfg.PerInstrInputs {
 			in := b.RandomInputScaled(rng, 0.25)
-			g, err := campaign.NewGolden(b.Prog, b.Encode(in), b.MaxDyn)
+			g, err := campaign.NewGoldenCheckpointed(b.Prog, b.Encode(in), b.MaxDyn, s.Cfg.CheckpointInterval)
 			if err != nil {
 				continue
 			}

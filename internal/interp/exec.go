@@ -92,6 +92,14 @@ type Options struct {
 	// error-propagation modelling). Implicit flows are not propagated, but
 	// tainted branch decisions are counted.
 	TrackPropagation bool
+	// CheckpointInterval, when positive, records a Snapshot of the complete
+	// machine state roughly every CheckpointInterval dynamic instructions
+	// (at the next instruction boundary). The snapshots are returned in
+	// Result.Checkpoints; RunWithCheckpoints uses them to resume later
+	// fault-injection trials past the shared golden prefix. Combining a
+	// CheckpointInterval with a fault Plan panics: snapshots must capture
+	// fault-free state.
+	CheckpointInterval int64
 }
 
 const (
@@ -127,6 +135,9 @@ type Result struct {
 	// Propagation carries taint-tracking statistics (only when
 	// Options.TrackPropagation was set).
 	Propagation *PropagationStats
+	// Checkpoints holds the golden-prefix snapshots recorded during the run
+	// (only when Options.CheckpointInterval was positive).
+	Checkpoints *Checkpoints
 }
 
 // PropagationStats summarizes how an injected fault propagated.
@@ -181,18 +192,42 @@ func OutputEqual(a, b []OutVal) bool {
 	return true
 }
 
+// frame is one call-stack entry: a window [regOff, regOff+nSlots) into the
+// exec's register/taint slabs plus the program point to resume at. Frames
+// hold offsets rather than slices so that slab reallocation cannot leave a
+// frame pointing at stale storage and so the whole stack snapshots with a
+// value copy.
+type frame struct {
+	fi      int32 // index into Program.funcs
+	pc      int32 // resume pc; kept current only while the frame is suspended
+	regOff  int32 // first slab slot of this frame's register window
+	nSlots  int32
+	memBase int64 // memTop at entry, restored on return
+}
+
+// initialSlabSlots sizes the register slab of a fresh exec; it grows
+// geometrically on demand.
+const initialSlabSlots = 256
+
 // exec is the per-run machine state.
 type exec struct {
 	p       *Program
 	mem     []uint64
 	memTop  int64
 	maxMem  int64
-	depth   int
 	maxDep  int
 	dyn     int64
 	maxDyn  int64
 	counts  []int64
 	profile bool
+
+	// Explicit call stack. Register windows live in regSlab (taintSlab when
+	// tracking) below slabTop; returning a frame just lowers slabTop, so
+	// call storage is reused instead of allocated per call.
+	frames    []frame
+	regSlab   []uint64
+	taintSlab []bool
+	slabTop   int
 
 	plan     *fault.Plan
 	occSeen  int64
@@ -207,6 +242,13 @@ type exec struct {
 	detected bool
 	moveBuf  []uint64
 
+	// Golden-prefix checkpointing (nil / maxInt unless the run was started
+	// with Options.CheckpointInterval). dirty tracks written memory pages so
+	// snapshots can share unchanged pages with their predecessor.
+	ckpt     *Checkpoints
+	nextCkpt int64
+	dirty    []bool
+
 	// Taint tracking state (nil unless Options.TrackPropagation).
 	taintMem     []bool
 	taintStatic  []bool
@@ -215,19 +257,19 @@ type exec struct {
 	taintMoveBuf []bool
 }
 
-// Run executes the program entry function with the given argument slot
-// values. It never panics on program-level failures; traps, hangs and
-// injected faults are reported in the Result.
-func Run(p *Program, args []uint64, opts Options) *Result {
+func newExec(p *Program, opts Options) *exec {
 	e := &exec{
-		p:      p,
-		mem:    make([]uint64, 4096),
-		memTop: 1, // word 0 is the null page
-		maxMem: int64(opts.MaxMemWords),
-		maxDep: opts.MaxDepth,
-		maxDyn: opts.MaxDyn,
-		plan:   opts.Plan,
-		rng:    opts.FaultRNG,
+		p:        p,
+		mem:      make([]uint64, 4096),
+		memTop:   1, // word 0 is the null page
+		maxMem:   int64(opts.MaxMemWords),
+		maxDep:   opts.MaxDepth,
+		maxDyn:   opts.MaxDyn,
+		plan:     opts.Plan,
+		rng:      opts.FaultRNG,
+		frames:   make([]frame, 0, 8),
+		regSlab:  make([]uint64, initialSlabSlots),
+		nextCkpt: math.MaxInt64,
 	}
 	if e.maxMem <= 0 {
 		e.maxMem = defaultMaxMemWords
@@ -246,17 +288,13 @@ func Run(p *Program, args []uint64, opts Options) *Result {
 		e.taintStats = &PropagationStats{}
 		e.taintStatic = make([]bool, p.numInstrs)
 		e.taintMem = make([]bool, len(e.mem))
+		e.taintSlab = make([]bool, len(e.regSlab))
 	}
-	entry := p.funcs[p.entry]
-	if len(args) != entry.nParams {
-		panic(fmt.Sprintf("interp: entry %s takes %d args, got %d", entry.name, entry.nParams, len(args)))
-	}
-	var entryTaint []bool
-	if opts.TrackPropagation {
-		entryTaint = make([]bool, len(args))
-	}
-	ret, _ := e.runFunc(p.entry, args, entryTaint)
-	res := &Result{
+	return e
+}
+
+func (e *exec) finish(ret uint64) *Result {
+	return &Result{
 		Ret:            ret,
 		Output:         e.output,
 		DynCount:       e.dyn,
@@ -268,8 +306,89 @@ func Run(p *Program, args []uint64, opts Options) *Result {
 		InjectedBit:    e.injBit,
 		DetectedFlag:   e.detected,
 		Propagation:    e.taintStats,
+		Checkpoints:    e.ckpt,
 	}
-	return res
+}
+
+// Run executes the program entry function with the given argument slot
+// values. It never panics on program-level failures; traps, hangs and
+// injected faults are reported in the Result.
+func Run(p *Program, args []uint64, opts Options) *Result {
+	e := newExec(p, opts)
+	if opts.CheckpointInterval > 0 {
+		if opts.Plan != nil {
+			panic("interp: CheckpointInterval with a fault plan — snapshots must capture fault-free state")
+		}
+		e.ckpt = &Checkpoints{prog: p, interval: opts.CheckpointInterval}
+		e.nextCkpt = opts.CheckpointInterval
+		e.dirty = make([]bool, pageCount(int64(len(e.mem))))
+	}
+	entry := p.funcs[p.entry]
+	if len(args) != entry.nParams {
+		panic(fmt.Sprintf("interp: entry %s takes %d args, got %d", entry.name, entry.nParams, len(args)))
+	}
+	e.pushFrame(p.entry)
+	copy(e.regSlab[:len(args)], args)
+	ret, _ := e.run()
+	return e.finish(ret)
+}
+
+// pushFrame claims a zeroed register window for funcs[fi] and pushes its
+// frame. Callers copy arguments into the window afterwards; note the slabs
+// may have been reallocated, so caller-held windows must be re-derived.
+func (e *exec) pushFrame(fi int32) {
+	cf := e.p.funcs[fi]
+	if need := e.slabTop + cf.nSlots; need > len(e.regSlab) {
+		e.growSlab(need)
+	}
+	base := e.slabTop
+	clear(e.regSlab[base : base+cf.nSlots])
+	if e.taintSlab != nil {
+		clear(e.taintSlab[base : base+cf.nSlots])
+	}
+	e.slabTop = base + cf.nSlots
+	e.frames = append(e.frames, frame{
+		fi: fi, regOff: int32(base), nSlots: int32(cf.nSlots), memBase: e.memTop,
+	})
+}
+
+// growSlab grows the register (and taint) slabs to at least need slots,
+// preserving live contents.
+func (e *exec) growSlab(need int) {
+	sz := len(e.regSlab) * 2
+	if sz < need {
+		sz = need
+	}
+	rs := make([]uint64, sz)
+	copy(rs, e.regSlab[:e.slabTop])
+	e.regSlab = rs
+	if e.taintSlab != nil {
+		ts := make([]bool, sz)
+		copy(ts, e.taintSlab[:e.slabTop])
+		e.taintSlab = ts
+	}
+}
+
+// growMem grows e.mem to at least n words in one allocation, keeping the
+// taint shadow and the dirty-page map sized with it.
+func (e *exec) growMem(n int64) {
+	sz := int64(len(e.mem)) * 2
+	if sz < n {
+		sz = n
+	}
+	m := make([]uint64, sz)
+	copy(m, e.mem)
+	e.mem = m
+	if e.taintMem != nil {
+		t := make([]bool, sz)
+		copy(t, e.taintMem)
+		e.taintMem = t
+	}
+	if e.dirty != nil {
+		d := make([]bool, pageCount(sz))
+		copy(d, e.dirty)
+		e.dirty = d
+	}
 }
 
 // result records the production of a value by static instruction id,
@@ -399,37 +518,44 @@ func (e *exec) checkAddr(fn string, addr uint64) bool {
 	return true
 }
 
-// runFunc executes one function; returns (retValue, ok). On !ok the run is
-// aborted (trap or budget), recorded in e. argTaint carries per-argument
-// taint when propagation tracking is enabled (nil otherwise); the callee's
-// return-value taint is left in e.retTaint.
-func (e *exec) runFunc(fi int32, args []uint64, argTaint []bool) (uint64, bool) {
-	cf := e.p.funcs[fi]
-	e.depth++
-	if e.depth > e.maxDep {
-		e.trap = &Trap{Kind: TrapStackOverflow, Fn: cf.name}
-		e.depth--
-		return 0, false
-	}
-	memBase := e.memTop
-	defer func() {
-		e.memTop = memBase
-		e.depth--
-	}()
-
-	regs := make([]uint64, cf.nSlots)
-	copy(regs, args)
-	var taint []bool
+// run drives the dispatch loop over the explicit frame stack from the
+// current machine state (at least one frame pushed, possibly restored from
+// a Snapshot) until the entry frame returns. It returns (retValue, ok); on
+// !ok the run aborted (trap or budget), recorded in e.
+func (e *exec) run() (uint64, bool) {
 	track := e.taintStats != nil
-	if track {
-		taint = make([]bool, cf.nSlots)
-		copy(taint, argTaint)
+
+	// Locals caching the active frame; re-derived via reenter on every
+	// push/pop and whenever the slabs are reallocated.
+	var (
+		fr     *frame
+		cf     *compiledFunc
+		regs   []uint64
+		taint  []bool
+		consts []uint64
+		code   []inst
+		pc     int32
+	)
+	reenter := func() {
+		fr = &e.frames[len(e.frames)-1]
+		cf = e.p.funcs[fr.fi]
+		regs = e.regSlab[fr.regOff : fr.regOff+fr.nSlots]
+		if track {
+			taint = e.taintSlab[fr.regOff : fr.regOff+fr.nSlots]
+		}
+		consts = cf.consts
+		code = cf.code
+		pc = fr.pc
 	}
-	consts := cf.consts
-	code := cf.code
-	pc := int32(0)
+	reenter()
 
 	for {
+		if e.dyn >= e.nextCkpt {
+			// Instruction boundaries are the only points where the cached pc
+			// and the frame stack describe a resumable state.
+			fr.pc = pc
+			e.takeSnapshot()
+		}
 		in := &code[pc]
 		switch in.op {
 		case ir.OpBr:
@@ -455,14 +581,46 @@ func (e *exec) runFunc(fi int32, args []uint64, argTaint []bool) (uint64, bool) 
 			}
 			continue
 		case ir.OpRet:
+			var rv uint64
 			if cf.retTy == ir.Void {
 				e.retTaint = false
-				return 0, true
+			} else {
+				rv = get(regs, consts, in.a)
+				if track {
+					e.retTaint = taintOf(taint, in.a)
+				}
 			}
+			// Pop: stack memory and the register window are reclaimed by
+			// lowering the watermarks.
+			e.memTop = fr.memBase
+			e.slabTop = int(fr.regOff)
+			e.frames = e.frames[:len(e.frames)-1]
+			if len(e.frames) == 0 {
+				return rv, true
+			}
+			reenter()
+			// pc is the caller's suspended OpCall; complete it with the
+			// callee's return value.
+			cin := &code[pc]
+			if cin.dst < 0 { // void call
+				pc++
+				continue
+			}
+			preInj := e.injected
+			v, ok := e.result(cin.id, cin.ty, rv)
+			if !ok {
+				return 0, false
+			}
+			regs[cin.dst] = v
 			if track {
-				e.retTaint = taintOf(taint, in.a)
+				t := e.retTaint || (e.injected && !preInj)
+				taint[cin.dst] = t
+				if t {
+					e.noteTaint(cin.id)
+				}
 			}
-			return get(regs, consts, in.a), true
+			pc++
+			continue
 		}
 
 		var v uint64
@@ -578,21 +736,17 @@ func (e *exec) runFunc(fi int32, args []uint64, argTaint []bool) (uint64, bool) 
 			}
 			base := e.memTop
 			e.memTop += count
-			for int64(len(e.mem)) < e.memTop {
-				e.mem = append(e.mem, make([]uint64, len(e.mem))...)
+			if int64(len(e.mem)) < e.memTop {
+				e.growMem(e.memTop)
 			}
 			// Zero the region: stack memory may be reused across frames and
 			// determinism requires a fixed initial state.
-			for i := base; i < e.memTop; i++ {
-				e.mem[i] = 0
+			clear(e.mem[base:e.memTop])
+			if e.dirty != nil {
+				e.markDirty(base, e.memTop)
 			}
 			if track {
-				for int64(len(e.taintMem)) < e.memTop {
-					e.taintMem = append(e.taintMem, make([]bool, len(e.taintMem))...)
-				}
-				for i := base; i < e.memTop; i++ {
-					e.taintMem[i] = false
-				}
+				clear(e.taintMem[base:e.memTop])
 				tIn = false // a fresh allocation's address is clean
 			}
 			v = uint64(base)
@@ -611,6 +765,9 @@ func (e *exec) runFunc(fi int32, args []uint64, argTaint []bool) (uint64, bool) 
 				return 0, false
 			}
 			e.mem[addr] = get(regs, consts, in.a)
+			if e.dirty != nil {
+				e.dirty[addr>>pageShift] = true
+			}
 			if track {
 				tVal := taintOf(taint, in.a)
 				tPtr := taintOf(taint, in.b)
@@ -627,11 +784,35 @@ func (e *exec) runFunc(fi int32, args []uint64, argTaint []bool) (uint64, bool) 
 		case ir.OpGEP:
 			v = get(regs, consts, in.a) + get(regs, consts, in.b)
 		case ir.OpCall:
-			var ok bool
-			v, ok = e.call(cf, in, regs, consts, taint)
-			if !ok {
-				return 0, false
+			if in.callee >= 0 {
+				// User call: suspend this frame and push the callee; its
+				// return value is delivered by the OpRet resume path above.
+				if len(e.frames) >= e.maxDep {
+					e.trap = &Trap{Kind: TrapStackOverflow, Fn: e.p.funcs[in.callee].name}
+					return 0, false
+				}
+				fr.pc = pc
+				callerOff, callerN := fr.regOff, fr.nSlots
+				e.pushFrame(in.callee)
+				// pushFrame may reallocate the slabs and the frame stack;
+				// re-derive the caller's window before reading argument refs.
+				callerRegs := e.regSlab[callerOff : callerOff+callerN]
+				nf := e.frames[len(e.frames)-1]
+				dst := e.regSlab[nf.regOff : nf.regOff+int32(len(in.args))]
+				for i, r := range in.args {
+					dst[i] = get(callerRegs, consts, r)
+				}
+				if track {
+					callerTaint := e.taintSlab[callerOff : callerOff+callerN]
+					td := e.taintSlab[nf.regOff : nf.regOff+int32(len(in.args))]
+					for i, r := range in.args {
+						td[i] = taintOf(callerTaint, r)
+					}
+				}
+				reenter()
+				continue
 			}
+			v = e.intrinsic(in, regs, consts, taint)
 			if track {
 				tIn = e.retTaint
 			}
@@ -707,28 +888,13 @@ func fpToSI(ty ir.Type, f float64) uint64 {
 	return uint64(int64(f))
 }
 
-// call dispatches an OpCall to an intrinsic or user function. The
-// return-value taint is left in e.retTaint.
-func (e *exec) call(cf *compiledFunc, in *inst, regs, consts []uint64, taint []bool) (uint64, bool) {
-	track := e.taintStats != nil
-	if in.callee >= 0 {
-		args := make([]uint64, len(in.args))
-		for i, r := range in.args {
-			args[i] = get(regs, consts, r)
-		}
-		var argTaint []bool
-		if track {
-			argTaint = make([]bool, len(in.args))
-			for i, r := range in.args {
-				argTaint[i] = taintOf(taint, r)
-			}
-		}
-		return e.runFunc(in.callee, args, argTaint)
-	}
+// intrinsic evaluates a built-in call and returns its value. When tracking,
+// the return-value taint (any tainted argument) is left in e.retTaint.
+func (e *exec) intrinsic(in *inst, regs, consts []uint64, taint []bool) uint64 {
 	intr := -in.callee - 1
 	a := func(i int) uint64 { return get(regs, consts, in.args[i]) }
 	f := func(i int) float64 { return math.Float64frombits(a(i)) }
-	if track {
+	if e.taintStats != nil {
 		e.retTaint = false
 		for _, r := range in.args {
 			if taintOf(taint, r) {
@@ -742,31 +908,31 @@ func (e *exec) call(cf *compiledFunc, in *inst, regs, consts []uint64, taint []b
 	}
 	switch intr {
 	case intrSqrt:
-		return math.Float64bits(math.Sqrt(f(0))), true
+		return math.Float64bits(math.Sqrt(f(0)))
 	case intrFabs:
-		return math.Float64bits(math.Abs(f(0))), true
+		return math.Float64bits(math.Abs(f(0)))
 	case intrExp:
-		return math.Float64bits(math.Exp(f(0))), true
+		return math.Float64bits(math.Exp(f(0)))
 	case intrLog:
-		return math.Float64bits(math.Log(f(0))), true
+		return math.Float64bits(math.Log(f(0)))
 	case intrSin:
-		return math.Float64bits(math.Sin(f(0))), true
+		return math.Float64bits(math.Sin(f(0)))
 	case intrCos:
-		return math.Float64bits(math.Cos(f(0))), true
+		return math.Float64bits(math.Cos(f(0)))
 	case intrPow:
-		return math.Float64bits(math.Pow(f(0), f(1))), true
+		return math.Float64bits(math.Pow(f(0), f(1)))
 	case intrFloor:
-		return math.Float64bits(math.Floor(f(0))), true
+		return math.Float64bits(math.Floor(f(0)))
 	case intrPrintI64:
 		e.output = append(e.output, OutVal{Ty: ir.I64, Bits: a(0)})
-		return 0, true
+		return 0
 	case intrPrintF64:
 		q := QuantizeOutput(math.Float64frombits(a(0)))
 		e.output = append(e.output, OutVal{Ty: ir.F64, Bits: math.Float64bits(q)})
-		return 0, true
+		return 0
 	case intrSDCDetect:
 		e.detected = true
-		return 0, true
+		return 0
 	default:
 		panic(fmt.Sprintf("interp: unknown intrinsic %d", intr))
 	}

@@ -1,14 +1,104 @@
-package interp
+package interp_test
 
-import "testing"
+import (
+	"testing"
 
-func BenchmarkSumLoop(b *testing.B) {
-	p := buildSumLoop(b)
-	b.ResetTimer()
-	var dyn int64
-	for i := 0; i < b.N; i++ {
-		r := Run(p, []uint64{10000}, Options{})
-		dyn = r.DynCount
+	"repro/internal/campaign"
+	"repro/internal/interp"
+	"repro/internal/prog"
+	"repro/internal/xrand"
+)
+
+// The perf suite behind `make bench-fi`: golden-run interpreter throughput,
+// checkpointed golden overhead, and the from-scratch vs checkpointed
+// campaign comparison that BENCH_fi.json reports. Every benchmark reports
+// dyn/op (dynamic instructions interpreted per iteration) so ns/dyn is
+// recoverable; campaign benchmarks also report skipped/op, the golden-prefix
+// instructions the snapshot schedule saved.
+
+const overallTrials = 1000
+
+// BenchmarkGoldenRun measures plain fault-free execution of each program
+// benchmark on its reference input.
+func BenchmarkGoldenRun(b *testing.B) {
+	for _, name := range prog.Names() {
+		b.Run(name, func(b *testing.B) {
+			bench := prog.Build(name)
+			in := bench.Encode(bench.RefInput())
+			var dyn int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r := interp.Run(bench.Prog, in, interp.Options{MaxDyn: bench.MaxDyn})
+				dyn = r.DynCount
+			}
+			b.ReportMetric(float64(dyn), "dyn/op")
+		})
 	}
-	b.ReportMetric(float64(dyn), "dyn/op")
+}
+
+// BenchmarkGoldenCheckpointed measures the same execution while recording
+// the auto-tuned snapshot schedule — the overhead side of checkpointing.
+func BenchmarkGoldenCheckpointed(b *testing.B) {
+	for _, name := range prog.Names() {
+		b.Run(name, func(b *testing.B) {
+			bench := prog.Build(name)
+			in := bench.Encode(bench.RefInput())
+			plain := interp.Run(bench.Prog, in, interp.Options{MaxDyn: bench.MaxDyn})
+			interval := interp.AutoCheckpointInterval(plain.DynCount)
+			var dyn int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r := interp.Run(bench.Prog, in, interp.Options{
+					Profile: true, CheckpointInterval: interval, MaxDyn: bench.MaxDyn,
+				})
+				dyn = r.DynCount
+			}
+			b.ReportMetric(float64(dyn), "dyn/op")
+		})
+	}
+}
+
+// BenchmarkOverall compares a full statistical FI campaign (overallTrials
+// single-bit trials, the paper's 1000) from scratch against one resuming
+// from golden-prefix snapshots. The tallies are bit-identical; only the
+// work differs. cmd/benchjson derives the per-benchmark speedup from the
+// scratch/checkpointed ns/op ratio.
+func BenchmarkOverall(b *testing.B) {
+	b.Run("scratch", func(b *testing.B) {
+		for _, name := range prog.Names() {
+			b.Run(name, func(b *testing.B) {
+				bench := prog.Build(name)
+				g, err := campaign.NewGolden(bench.Prog, bench.Encode(bench.RefInput()), bench.MaxDyn)
+				if err != nil {
+					b.Fatal(err)
+				}
+				benchmarkOverall(b, bench, g)
+			})
+		}
+	})
+	b.Run("checkpointed", func(b *testing.B) {
+		for _, name := range prog.Names() {
+			b.Run(name, func(b *testing.B) {
+				bench := prog.Build(name)
+				g, err := campaign.NewGoldenCheckpointed(bench.Prog, bench.Encode(bench.RefInput()), bench.MaxDyn, campaign.CheckpointAuto)
+				if err != nil {
+					b.Fatal(err)
+				}
+				benchmarkOverall(b, bench, g)
+			})
+		}
+	})
+}
+
+func benchmarkOverall(b *testing.B, bench *prog.Benchmark, g *campaign.Golden) {
+	before := g.CheckpointStats()
+	var c campaign.Counts
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c = campaign.Overall(bench.Prog, g, overallTrials, xrand.New(1))
+	}
+	b.StopTimer()
+	after := g.CheckpointStats()
+	b.ReportMetric(float64(c.DynInstrs), "dyn/op")
+	b.ReportMetric(float64(after.SkippedDyn-before.SkippedDyn)/float64(b.N), "skipped/op")
 }

@@ -49,7 +49,7 @@ func Analyze(p *interp.Program, g *campaign.Golden, trials int, rng *xrand.RNG) 
 	budget := g.DynCount*3 + 10000
 	for i := 0; i < trials; i++ {
 		plan := fault.SampleDynamic(rng, g.DynCount)
-		r := interp.Run(p, g.Input, interp.Options{
+		r := interp.RunWithCheckpoints(p, g.Input, g.Checkpoints, interp.Options{
 			Plan:             &plan,
 			FaultRNG:         rng,
 			MaxDyn:           budget,
