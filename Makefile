@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build lint test test-short race bench-smoke bench-workers test-telemetry test-checkpoint bench-fi ci
+.PHONY: build lint test test-short race bench-smoke bench-workers test-telemetry test-checkpoint bench-fi test-fusion bench-fitness profile ci
 
 build:
 	$(GO) build ./...
@@ -51,6 +51,31 @@ bench-fi:
 	$(GO) run ./cmd/benchjson < BENCH_fi.txt > BENCH_fi.json
 	@echo "wrote BENCH_fi.json"
 
+# Profiling fast-path equivalence gate: block-granular and fused-
+# superinstruction profiled runs must be bit-identical to the legacy
+# per-instruction engine (outputs, dynamic counts, traps, reconstructed
+# per-instruction vectors), at the interpreter, benchmark and full-pipeline
+# layers.
+test-fusion:
+	$(GO) test -count=1 -run 'Fusion|BlockProfile|ProfileEquiv' \
+		./internal/interp ./internal/core
+
+# Measure one GA candidate evaluation on the legacy per-instruction engine
+# vs the block-granular and fused fast paths, and render the
+# machine-readable BENCH_fitness.json artifact (per-benchmark ns/op,
+# dyn/op, allocs/op, and the perinstr/fused speedup with its geomean).
+bench-fitness:
+	$(GO) test -run='^$$' -bench=BenchmarkFitnessProfile -benchtime=200x \
+		./internal/interp | tee BENCH_fitness.txt
+	$(GO) run ./cmd/benchjson < BENCH_fitness.txt > BENCH_fitness.json
+	@echo "wrote BENCH_fitness.json"
+
+# Capture CPU and heap pprof profiles of a representative search run.
+profile:
+	$(GO) run ./cmd/peppax -bench hpccg -generations 50 -pop 16 \
+		-trials 200 -cpuprofile cpu.pprof -memprofile mem.pprof > /dev/null
+	@echo "wrote cpu.pprof and mem.pprof; inspect with: go tool pprof cpu.pprof"
+
 # End-to-end trace determinism: the same small search, traced at 1 and 4
 # workers, must write byte-identical JSONL (the telemetry layer's contract;
 # the in-process version is cmd/peppax's TestTelemetryWorkerEquivalence).
@@ -65,4 +90,4 @@ test-telemetry:
 	cmp trace-w1.jsonl trace-w4.jsonl
 	@echo "telemetry traces byte-identical across worker counts"
 
-ci: build lint test race bench-smoke test-telemetry test-checkpoint
+ci: build lint test race bench-smoke test-telemetry test-checkpoint test-fusion

@@ -1,12 +1,16 @@
-// Command benchjson converts `go test -bench` output on stdin into the
-// machine-readable BENCH_fi.json artifact: one record per benchmark (ns/op
-// plus any custom metrics such as dyn/op and skipped/op) and, for the
-// BenchmarkOverall scratch/checkpointed pairs, the per-program campaign
-// speedup of golden-prefix checkpointing.
+// Command benchjson converts `go test -bench` output on stdin into a
+// machine-readable JSON artifact: one record per benchmark (ns/op plus any
+// custom metrics such as dyn/op, skipped/op and allocs/op) and derived
+// speedup tables — for the BenchmarkOverall scratch/checkpointed pairs the
+// per-program campaign speedup of golden-prefix checkpointing
+// (BENCH_fi.json), and for the BenchmarkFitnessProfile perinstr/fused pairs
+// the per-program and geomean speedup of the fused profiling fast path
+// (BENCH_fitness.json).
 //
 // Usage:
 //
 //	go test -run '^$' -bench 'Benchmark(Overall|Golden)' ./internal/interp | benchjson > BENCH_fi.json
+//	go test -run '^$' -bench BenchmarkFitnessProfile ./internal/interp | benchjson > BENCH_fitness.json
 package main
 
 import (
@@ -28,13 +32,18 @@ type Benchmark struct {
 	Metrics    map[string]float64 `json:"metrics,omitempty"`
 }
 
-// Report is the BENCH_fi.json schema.
+// Report is the BENCH_fi.json / BENCH_fitness.json schema.
 type Report struct {
 	Env        map[string]string `json:"env,omitempty"`
 	Benchmarks []Benchmark       `json:"benchmarks"`
 	// OverallSpeedup maps each program benchmark to
 	// scratch ns/op ÷ checkpointed ns/op for BenchmarkOverall.
 	OverallSpeedup map[string]float64 `json:"overall_speedup,omitempty"`
+	// FitnessSpeedup maps each program benchmark to perinstr ns/op ÷
+	// fused ns/op for BenchmarkFitnessProfile, plus a "geomean" entry —
+	// the speedup of the fused profiling fast path over the legacy
+	// per-instruction fitness evaluation.
+	FitnessSpeedup map[string]float64 `json:"fitness_speedup,omitempty"`
 }
 
 func main() {
@@ -71,6 +80,7 @@ func run(in io.Reader, out io.Writer) error {
 		return fmt.Errorf("no benchmark lines on stdin")
 	}
 	rep.OverallSpeedup = speedups(rep.Benchmarks)
+	rep.FitnessSpeedup = fitnessSpeedups(rep.Benchmarks)
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
 	return enc.Encode(rep)
@@ -106,31 +116,62 @@ func parseBench(line string) (Benchmark, error) {
 	return b, nil
 }
 
-// speedups pairs BenchmarkOverall/scratch/<prog> with .../checkpointed/<prog>
-// (GOMAXPROCS suffixes stripped) and reports their ns/op ratios.
-func speedups(benches []Benchmark) map[string]float64 {
-	scratch, ckpt := map[string]float64{}, map[string]float64{}
-	for _, b := range benches {
-		name := b.Name
-		if i := strings.LastIndex(name, "-"); i > 0 {
-			if _, err := strconv.Atoi(name[i+1:]); err == nil {
-				name = name[:i]
-			}
+// trimProcs strips the trailing -<GOMAXPROCS> suffix from a benchmark name.
+func trimProcs(name string) string {
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
 		}
-		if p, ok := strings.CutPrefix(name, "BenchmarkOverall/scratch/"); ok {
-			scratch[p] = b.NsPerOp
-		} else if p, ok := strings.CutPrefix(name, "BenchmarkOverall/checkpointed/"); ok {
-			ckpt[p] = b.NsPerOp
+	}
+	return name
+}
+
+// ratios pairs <prefix><num>/<prog> with <prefix><den>/<prog> lines and
+// reports their ns/op ratios, rounded to two decimals.
+func ratios(benches []Benchmark, numPrefix, denPrefix string) map[string]float64 {
+	num, den := map[string]float64{}, map[string]float64{}
+	for _, b := range benches {
+		name := trimProcs(b.Name)
+		if p, ok := strings.CutPrefix(name, numPrefix); ok {
+			num[p] = b.NsPerOp
+		} else if p, ok := strings.CutPrefix(name, denPrefix); ok {
+			den[p] = b.NsPerOp
 		}
 	}
 	out := map[string]float64{}
-	for p, s := range scratch {
-		if c, ok := ckpt[p]; ok && c > 0 {
-			out[p] = math.Round(s/c*100) / 100
+	for p, n := range num {
+		if d, ok := den[p]; ok && d > 0 {
+			out[p] = math.Round(n/d*100) / 100
 		}
 	}
 	if len(out) == 0 {
 		return nil
+	}
+	return out
+}
+
+// speedups pairs BenchmarkOverall/scratch/<prog> with .../checkpointed/<prog>
+// and reports their ns/op ratios.
+func speedups(benches []Benchmark) map[string]float64 {
+	return ratios(benches, "BenchmarkOverall/scratch/", "BenchmarkOverall/checkpointed/")
+}
+
+// fitnessSpeedups pairs BenchmarkFitnessProfile/perinstr/<prog> with
+// .../fused/<prog> and adds the geometric-mean speedup across programs.
+func fitnessSpeedups(benches []Benchmark) map[string]float64 {
+	out := ratios(benches, "BenchmarkFitnessProfile/perinstr/", "BenchmarkFitnessProfile/fused/")
+	if out == nil {
+		return nil
+	}
+	logSum, n := 0.0, 0
+	for _, s := range out {
+		if s > 0 {
+			logSum += math.Log(s)
+			n++
+		}
+	}
+	if n > 0 {
+		out["geomean"] = math.Round(math.Exp(logSum/float64(n))*100) / 100
 	}
 	return out
 }

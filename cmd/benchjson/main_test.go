@@ -46,6 +46,39 @@ func TestRun(t *testing.T) {
 	}
 }
 
+const fitnessSample = `goos: linux
+BenchmarkFitnessProfile/perinstr/pathfinder-8    100	  200000 ns/op	   16704 dyn/op	  36416 B/op	       8 allocs/op
+BenchmarkFitnessProfile/perinstr/hpccg-8         100	 1600000 ns/op	   90769 dyn/op	  37264 B/op	      11 allocs/op
+BenchmarkFitnessProfile/block/pathfinder-8       100	  130000 ns/op	   16704 dyn/op	      0 B/op	       0 allocs/op
+BenchmarkFitnessProfile/fused/pathfinder-8       100	  100000 ns/op	   16704 dyn/op	      0 B/op	       0 allocs/op
+BenchmarkFitnessProfile/fused/hpccg-8            100	  640000 ns/op	   90769 dyn/op	      0 B/op	       0 allocs/op
+PASS
+`
+
+func TestRunFitnessSpeedup(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(strings.NewReader(fitnessSample), &out); err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if got := rep.FitnessSpeedup["pathfinder"]; got != 2 {
+		t.Fatalf("pathfinder fitness speedup = %v, want 2", got)
+	}
+	if got := rep.FitnessSpeedup["hpccg"]; got != 2.5 {
+		t.Fatalf("hpccg fitness speedup = %v, want 2.5", got)
+	}
+	// geomean of 2 and 2.5 is sqrt(5) ≈ 2.24.
+	if got := rep.FitnessSpeedup["geomean"]; got < 2.23 || got > 2.25 {
+		t.Fatalf("geomean = %v, want ~2.24", got)
+	}
+	if rep.OverallSpeedup != nil {
+		t.Fatalf("unexpected overall speedups: %v", rep.OverallSpeedup)
+	}
+}
+
 func TestRunEmpty(t *testing.T) {
 	var out bytes.Buffer
 	if err := run(strings.NewReader("PASS\n"), &out); err == nil {

@@ -48,6 +48,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		list      = fs.Bool("list", false, "list experiment IDs and exit")
 		workers   = fs.Int("workers", 0, "worker count for experiments, GA evaluation and FI trials (0 = GOMAXPROCS, 1 = serial; same seed gives the same report for any value)")
 		tracePath = fs.String("trace", "", "write a deterministic JSONL telemetry trace to this file (byte-identical for any -workers)")
+		traceWall = fs.Bool("trace-wallclock", false, "timestamp the -trace file with wall-clock nanoseconds instead of the deterministic cost clock (marks the trace non-reproducible)")
 		metrics   = fs.Bool("metrics", false, "print an end-of-run telemetry summary (counters, gauges, memo hits/misses)")
 		ckptIval  = fs.Int64("checkpoint-interval", 0, "golden-prefix snapshot spacing for FI campaigns, in dynamic instructions (0 = auto, -1 = disable; reports are identical either way)")
 	)
@@ -91,7 +92,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			defer f.Close()
 			sink = f
 		}
-		rec = telemetry.New(telemetry.Options{Sink: sink})
+		rec = telemetry.New(telemetry.Options{Sink: sink, WallClock: *traceWall})
 		cfg.Recorder = rec
 		parallel.SetObserver(telemetry.PoolObserver(rec))
 		defer parallel.SetObserver(nil)

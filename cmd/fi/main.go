@@ -51,6 +51,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		workers   = fs.Int("parallel", 0, "fan trials across N workers (0 = serial; §5.2 parallelization)")
 		multibit  = fs.Bool("multibit", false, "use the double-bit-flip fault model")
 		tracePath = fs.String("trace", "", "write a deterministic JSONL telemetry trace to this file (byte-identical for any -parallel)")
+		traceWall = fs.Bool("trace-wallclock", false, "timestamp the -trace file with wall-clock nanoseconds instead of the deterministic cost clock (marks the trace non-reproducible)")
 		metrics   = fs.Bool("metrics", false, "print an end-of-run telemetry summary (counters, gauges, worker-pool utilization)")
 		ckptIval  = fs.Int64("checkpoint-interval", 0, "golden-prefix snapshot spacing in dynamic instructions (0 = auto, -1 = disable)")
 	)
@@ -74,7 +75,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			defer f.Close()
 			sink = f
 		}
-		rec = telemetry.New(telemetry.Options{Sink: sink})
+		rec = telemetry.New(telemetry.Options{Sink: sink, WallClock: *traceWall})
 		parallel.SetObserver(telemetry.PoolObserver(rec))
 		defer parallel.SetObserver(nil)
 		defer func() {

@@ -8,14 +8,19 @@
 //
 //	peppax -bench pathfinder [-generations 200] [-pop 16] [-trials 1000]
 //	       [-seed 1] [-workers N] [-baseline] [-checkpoints 50,100,200]
-//	       [-max-sdc 0.2] [-trace out.jsonl] [-metrics]
+//	       [-max-sdc 0.2] [-trace out.jsonl] [-trace-wallclock] [-metrics]
+//	       [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //	peppax -file prog.ir -spec "n:int:4:64:8,seed:int:1:100:7"
 //
 // -trace writes a deterministic JSONL event trace (per-generation GA
 // progress, pipeline phase costs, FI tallies) timestamped on the virtual
 // dynamic-instruction clock: the file is byte-identical for any -workers
-// value. -metrics prints an end-of-run counter/gauge summary (wall times,
-// worker-pool utilization), which IS schedule-dependent.
+// value. -trace-wallclock switches the trace to wall-clock timestamps —
+// useful for real-time latency analysis, but the file is then marked
+// "reproducible":false in its meta line and varies run to run. -metrics
+// prints an end-of-run counter/gauge summary (wall times, worker-pool
+// utilization), which IS schedule-dependent. -cpuprofile and -memprofile
+// write pprof profiles of the whole run for `go tool pprof`.
 package main
 
 import (
@@ -23,6 +28,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -54,8 +61,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		maxSDC      = fs.Float64("max-sdc", 0, "CI gate (§7.1.2): exit non-zero if the SDC bound exceeds this fraction (0 disables)")
 		workers     = fs.Int("workers", 0, "worker count for GA candidate evaluation and baseline FI trials (0 = GOMAXPROCS, 1 = serial; results are identical for any value)")
 		tracePath   = fs.String("trace", "", "write a deterministic JSONL telemetry trace to this file (byte-identical for any -workers)")
+		traceWall   = fs.Bool("trace-wallclock", false, "timestamp the -trace file with wall-clock nanoseconds instead of the deterministic cost clock (marks the trace non-reproducible)")
 		metrics     = fs.Bool("metrics", false, "print an end-of-run telemetry summary (counters, gauges, worker-pool utilization)")
 		ckptIval    = fs.Int64("checkpoint-interval", 0, "golden-prefix snapshot spacing for FI campaigns, in dynamic instructions (0 = auto, -1 = disable; results are identical either way)")
+		cpuProfile  = fs.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+		memProfile  = fs.String("memprofile", "", "write an end-of-run heap profile to this file (go tool pprof)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -64,6 +74,32 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fail := func(err error) int {
 		fmt.Fprintln(stderr, "peppax:", err)
 		return 1
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fail(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fail(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(stderr, "peppax: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live allocations
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(stderr, "peppax: memprofile:", err)
+			}
+		}()
 	}
 
 	var rec *telemetry.Recorder
@@ -77,7 +113,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			defer f.Close()
 			sink = f
 		}
-		rec = telemetry.New(telemetry.Options{Sink: sink})
+		rec = telemetry.New(telemetry.Options{Sink: sink, WallClock: *traceWall})
 		parallel.SetObserver(telemetry.PoolObserver(rec))
 		defer parallel.SetObserver(nil)
 		defer func() {

@@ -126,6 +126,34 @@ func newGolden(p *interp.Program, input []uint64, opts interp.Options) (*Golden,
 	}, nil
 }
 
+// GoldenFromProfile materializes a Golden from a fast-path profiled run
+// (interp.Profiler), applying the same §3.1.2 validity checks as NewGolden.
+// The run's borrowed state (output, counters) is copied, so the Golden
+// stays valid after the profiler's next run; maxDyn is only reported in the
+// budget-exceeded error. The result carries no Checkpoints — callers that
+// go on to run FI campaigns attach them with EnsureCheckpoints.
+func GoldenFromProfile(r *interp.ProfileRun, input []uint64, maxDyn int64) (*Golden, error) {
+	if r.Trap != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidInput, r.Trap)
+	}
+	if r.BudgetExceeded {
+		return nil, fmt.Errorf("%w: exceeded %d dynamic instructions", ErrInvalidInput, maxDyn)
+	}
+	if r.DynCount == 0 {
+		return nil, fmt.Errorf("%w: program executed no injectable instructions", ErrInvalidInput)
+	}
+	if r.DetectedFlag {
+		return nil, fmt.Errorf("%w: fault-free run raised sdc_detect (broken instrumentation)", ErrInvalidInput)
+	}
+	return &Golden{
+		Input:       append([]uint64(nil), input...),
+		Output:      append([]interp.OutVal(nil), r.Output...),
+		DynCount:    r.DynCount,
+		InstrCounts: r.InstrCounts(nil),
+		NumInstrs:   r.Program().NumInstrs(),
+	}, nil
+}
+
 // Checkpoint interval sentinels, shared by every knob that threads a
 // checkpoint interval through to NewGoldenCheckpointed (core.Options,
 // core.BaselineOptions, experiments.Config, the -checkpoint-interval CLI

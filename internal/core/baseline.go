@@ -81,6 +81,7 @@ func RandomSearch(b *prog.Benchmark, opts BaselineOptions, rng *xrand.RNG) *Base
 	endPhase := tr.Phase("baseline")
 	res := &BaselineResult{BestSDC: -1}
 	var ckStats interp.CheckpointStats
+	var args []uint64 // reused encoding buffer; goldens are per-iteration
 	for {
 		if opts.DynBudget > 0 && res.DynSpent >= opts.DynBudget {
 			break
@@ -89,7 +90,8 @@ func RandomSearch(b *prog.Benchmark, opts BaselineOptions, rng *xrand.RNG) *Base
 			break
 		}
 		in := b.RandomInput(rng)
-		g, err := campaign.NewGoldenCheckpointed(b.Prog, b.Encode(in), b.MaxDyn, opts.CheckpointInterval)
+		args = b.EncodeInto(args[:0], in)
+		g, err := campaign.NewGoldenCheckpointed(b.Prog, args, b.MaxDyn, opts.CheckpointInterval)
 		if err != nil {
 			continue // invalid input, excluded per §3.1.2
 		}

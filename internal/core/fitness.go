@@ -1,0 +1,85 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/interp"
+	"repro/internal/prog"
+)
+
+// FitnessEval is a reusable candidate-evaluation context for one benchmark
+// and score vector: the §4.2.5 fitness Σᵢ Pᵢ·(Nᵢ/N_total) evaluated through
+// the interpreter's profiling fast path. The per-instruction scores are
+// folded once into block/edge counter space (Program.CounterScores), and
+// each evaluation is one fast-path run plus a loop over the counter space —
+// no per-instruction work, no InstrCounts materialization.
+//
+// Evaluations are allocation-free in steady state: a sync.Pool hands each
+// worker a context owning a Profiler (machine state reused across runs) and
+// an argument-encoding buffer, so concurrent GA candidate evaluation scales
+// without sharing mutable state.
+type FitnessEval struct {
+	b             *prog.Benchmark
+	mode          interp.ProfileMode
+	scores        []float64
+	counterScores []float64
+	pool          sync.Pool
+}
+
+type fitnessCtx struct {
+	prof *interp.Profiler
+	args []uint64
+}
+
+// NewFitnessEval builds an evaluator using the fused fast path (the
+// default engine).
+func NewFitnessEval(b *prog.Benchmark, scores []float64) *FitnessEval {
+	return NewFitnessEvalMode(b, scores, interp.ProfileFused)
+}
+
+// NewFitnessEvalMode builds an evaluator for an explicit engine mode.
+// ProfileFused and ProfileBlock produce bit-identical fitness values;
+// ProfileLegacy reproduces the pre-fast-path per-instruction evaluation
+// (same fitness up to float summation order) and is kept for differential
+// tests and benchmarks.
+func NewFitnessEvalMode(b *prog.Benchmark, scores []float64, mode interp.ProfileMode) *FitnessEval {
+	fe := &FitnessEval{b: b, mode: mode, scores: scores}
+	if mode != interp.ProfileLegacy {
+		fe.counterScores = b.Prog.CounterScores(scores)
+	}
+	fe.pool.New = func() any {
+		ctx := &fitnessCtx{}
+		if fe.mode != interp.ProfileLegacy {
+			ctx.prof = interp.NewProfilerMode(fe.b.Prog, fe.mode)
+		}
+		return ctx
+	}
+	return fe
+}
+
+// Eval runs one candidate and returns its fitness and the dynamic
+// instructions spent. Inputs whose fault-free run fails score 0 (§3.1.2
+// excludes error-raising inputs). Safe for concurrent use.
+func (fe *FitnessEval) Eval(input []float64) (float64, int64) {
+	ctx := fe.pool.Get().(*fitnessCtx)
+	ctx.args = fe.b.EncodeInto(ctx.args[:0], input)
+	if fe.mode == interp.ProfileLegacy {
+		r := interp.Run(fe.b.Prog, ctx.args, interp.Options{Profile: true, MaxDyn: fe.b.MaxDyn})
+		fe.pool.Put(ctx)
+		if r.Trap != nil || r.BudgetExceeded || r.DynCount == 0 {
+			return 0, r.DynCount
+		}
+		var acc float64
+		for id, n := range r.InstrCounts {
+			if n > 0 {
+				acc += fe.scores[id] * float64(n)
+			}
+		}
+		return acc / float64(r.DynCount), r.DynCount
+	}
+	r := ctx.prof.Run(ctx.args, fe.b.MaxDyn)
+	f := r.Fitness(fe.counterScores)
+	dyn := r.DynCount
+	fe.pool.Put(ctx)
+	return f, dyn
+}

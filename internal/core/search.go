@@ -50,6 +50,13 @@ type Options struct {
 	// the closing FI campaign always consume the search RNG serially, so
 	// the result is bit-identical for every worker count.
 	Workers int
+	// ProfileMode selects the interpreter engine for candidate profiling
+	// (GA fitness and the small-input fuzzer's coverage checks). The zero
+	// value is interp.ProfileFused — block-granular counting over the fused
+	// superinstruction array; interp.ProfileBlock produces bit-identical
+	// results over the unfused array, and interp.ProfileLegacy keeps the
+	// pre-fast-path per-instruction engine for differential runs.
+	ProfileMode interp.ProfileMode
 	// CheckpointInterval controls golden-prefix snapshotting for the
 	// pipeline's FI campaigns (sensitivity, Figure 5 checkpoints, final):
 	// campaign.CheckpointAuto (0) tunes the spacing from each golden's
@@ -151,7 +158,7 @@ func Search(b *prog.Benchmark, opts Options, rng *xrand.RNG) (*Result, error) {
 	// Step ①: small FI input.
 	t0 := time.Now()
 	endPhase := tr.Phase("small_input")
-	small, err := FindSmallFIInput(b, opts.CoverageTargetFrac, rng)
+	small, err := FindSmallFIInputMode(b, opts.CoverageTargetFrac, opts.ProfileMode, rng)
 	if err != nil {
 		return nil, err
 	}
@@ -205,8 +212,9 @@ func Search(b *prog.Benchmark, opts Options, rng *xrand.RNG) (*Result, error) {
 	// accumulator is atomic and integer, so its per-generation totals are
 	// independent of evaluation order.
 	var searchDyn atomic.Int64
+	fe := NewFitnessEvalMode(b, dist.Scores, opts.ProfileMode)
 	fitness := func(g ga.Genome) float64 {
-		f, dyn := Fitness(b, dist.Scores, g)
+		f, dyn := fe.Eval(g)
 		searchDyn.Add(dyn)
 		return f
 	}
@@ -301,16 +309,10 @@ func Search(b *prog.Benchmark, opts Options, rng *xrand.RNG) (*Result, error) {
 // vulnerability potential over the executed path. Inputs whose fault-free
 // run fails score 0 (§3.1.2 excludes error-raising inputs). It returns the
 // fitness and the dynamic instructions spent.
+//
+// This is the one-shot convenience form; it runs on the fused profiling
+// fast path. Loops evaluating many candidates should build a FitnessEval
+// once and call Eval, which reuses the profiling context.
 func Fitness(b *prog.Benchmark, scores []float64, input []float64) (float64, int64) {
-	r := interp.Run(b.Prog, b.Encode(input), interp.Options{Profile: true, MaxDyn: b.MaxDyn})
-	if r.Trap != nil || r.BudgetExceeded || r.DynCount == 0 {
-		return 0, r.DynCount
-	}
-	var acc float64
-	for id, n := range r.InstrCounts {
-		if n > 0 {
-			acc += scores[id] * float64(n)
-		}
-	}
-	return acc / float64(r.DynCount), r.DynCount
+	return NewFitnessEval(b, scores).Eval(input)
 }

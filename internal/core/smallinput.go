@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/interp"
 	"repro/internal/prog"
 	"repro/internal/xrand"
 )
@@ -49,12 +50,25 @@ type SmallInputResult struct {
 // highest-coverage candidate seen is returned (and its Coverage field will
 // be below TargetCoverage).
 func FindSmallFIInput(b *prog.Benchmark, targetFrac float64, rng *xrand.RNG) (*SmallInputResult, error) {
+	return FindSmallFIInputMode(b, targetFrac, interp.ProfileFused, rng)
+}
+
+// FindSmallFIInputMode is FindSmallFIInput with an explicit profiling
+// engine. Candidate runs go through one reused Profiler (no per-candidate
+// machine allocation); a full Golden is only materialized for the reference
+// input and when a candidate improves on the best seen.
+func FindSmallFIInputMode(b *prog.Benchmark, targetFrac float64, mode interp.ProfileMode, rng *xrand.RNG) (*SmallInputResult, error) {
 	if targetFrac <= 0 {
 		targetFrac = DefaultCoverageTargetFrac
 	}
 	start := time.Now()
 
-	refGolden, err := campaign.NewGolden(b.Prog, b.Encode(b.RefInput()), b.MaxDyn)
+	prof := interp.NewProfilerMode(b.Prog, mode)
+	var args []uint64
+
+	args = b.EncodeInto(args[:0], b.RefInput())
+	refRun := prof.Run(args, b.MaxDyn)
+	refGolden, err := campaign.GoldenFromProfile(refRun, args, b.MaxDyn)
 	if err != nil {
 		return nil, fmt.Errorf("core: reference input of %s is invalid: %w", b.Name, err)
 	}
@@ -74,18 +88,23 @@ func FindSmallFIInput(b *prog.Benchmark, targetFrac float64, rng *xrand.RNG) (*S
 		for try := 0; try < smallInputTriesPerRound; try++ {
 			in := b.RandomInputScaled(rng, frac)
 			res.Attempts++
-			g, err := campaign.NewGolden(b.Prog, b.Encode(in), b.MaxDyn)
-			if err != nil {
+			args = b.EncodeInto(args[:0], in)
+			r := prof.Run(args, b.MaxDyn)
+			if r.Failed() || r.DetectedFlag {
 				continue // invalid input; §3.1.2 excludes it
 			}
-			res.DynSpent += g.DynCount
-			cov := g.Coverage()
-			if cov > bestCov || (cov == bestCov && bestGolden != nil && g.DynCount < bestGolden.DynCount) {
+			res.DynSpent += r.DynCount
+			cov := r.Coverage()
+			if cov > bestCov || (cov == bestCov && bestGolden != nil && r.DynCount < bestGolden.DynCount) {
+				g, err := campaign.GoldenFromProfile(r, args, b.MaxDyn)
+				if err != nil {
+					continue
+				}
 				bestCov, bestInput, bestGolden = cov, in, g
 			}
 			if cov >= res.TargetCoverage {
 				res.Input = in
-				res.Golden = g
+				res.Golden = bestGolden
 				res.Coverage = cov
 				res.Elapsed = time.Since(start)
 				return res, nil

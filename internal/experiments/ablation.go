@@ -140,8 +140,9 @@ func AblationFitness(s *Suite, bench string) (*AblationFitnessResult, error) {
 		return best.Genome, e.Evaluations, nil
 	}
 
+	fe := core.NewFitnessEval(b, dist.Scores)
 	scoreFit := func(g ga.Genome) float64 {
-		f, _ := core.Fitness(b, dist.Scores, g)
+		f, _ := fe.Eval(g)
 		return f
 	}
 	covFit := func(g ga.Genome) float64 {

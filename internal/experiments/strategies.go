@@ -48,11 +48,12 @@ func Strategies(s *Suite) (*StrategiesResult, error) {
 		for i := 0; i < 6; i++ {
 			seeds = append(seeds, b.RandomInput(rng))
 		}
+		fe := core.NewFitnessEval(b, dist.Scores)
 		obj := search.Objective{
 			Dim:   len(b.Args),
 			Clamp: func(v []float64) { b.ClampInput(v) },
 			Eval: func(v []float64) float64 {
-				f, _ := core.Fitness(b, dist.Scores, v)
+				f, _ := fe.Eval(v)
 				return f
 			},
 			Seeds: seeds,

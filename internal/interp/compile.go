@@ -59,6 +59,24 @@ type inst struct {
 	// intrinsic (-callee - 1). args lists operand refs.
 	callee int32
 	args   []ref
+
+	// Superinstruction data (profiling fast path). A fused inst carries two
+	// adjacent source instructions: op is the fused opcode (opFused*), op1
+	// and op2 the original sub-opcodes, and ty2/dst2/id2/a2/b2 the second
+	// sub-instruction's fields (the first keeps ty/dst/id/a/b). dst2/id2 are
+	// -1 when unused so the abort fixup can treat every slot uniformly.
+	op1, op2  ir.Op
+	ty2       ir.Type
+	dst2, id2 int32
+	a2, b2    ref
+
+	// Block-granular profiling data. For branches, blkA/blkB are the global
+	// block-counter indices of the jump targets, and edgeA/edgeB the edge
+	// counter of the corresponding phi-move list (-1 when the edge carries
+	// no phis). Phis are counted per incoming edge rather than per block
+	// entry because a function entered by call executes no edge moves.
+	edgeA, edgeB int32
+	blkA, blkB   int32
 }
 
 // compiledFunc is the executable form of one function.
@@ -69,6 +87,24 @@ type compiledFunc struct {
 	retTy   ir.Type
 	code    []inst
 	consts  []uint64
+
+	// Block table (profiling fast path). Blocks are numbered in layout
+	// order; block counter b of this function lives at global counter index
+	// blockBase+b. blockStart/blockOf describe the unfused code array,
+	// fusedStart/fusedOf the fused one.
+	blockBase  int32
+	numBlocks  int32
+	blockStart []int32 // phi-skipped start pc of each block
+	blockOf    []int32 // pc -> local block index
+
+	// fused is the superinstruction code array used by profile-mode runs:
+	// identical control flow, with hot adjacent pairs combined into opFused*
+	// slots. Jump targets are remapped into fused pcs; observable semantics
+	// (outputs, traps, dynamic counts, per-instruction counts) are
+	// bit-identical to code.
+	fused      []inst
+	fusedStart []int32
+	fusedOf    []int32
 }
 
 // intrinsic IDs, fixed order for the dispatch table in exec.go.
@@ -105,6 +141,21 @@ type Program struct {
 	// instrTypes[id] is the result type of static instruction id, used to
 	// resolve deferred fault bits.
 	instrTypes []ir.Type
+
+	// Block-granular profiling tables. The fast path maintains one counter
+	// per basic block plus one per phi-carrying CFG edge, in a single
+	// counter space of CounterLen() slots (blocks first, then edges).
+	numBlocks int
+	numEdges  int
+	// instrBlock[id] is the global block-counter index whose count equals
+	// the instruction's execution count, or -1 for phis.
+	instrBlock []int32
+	// phiEdges[id] lists the global edge-counter indices feeding phi id
+	// (its execution count is their sum); nil for non-phis.
+	phiEdges [][]int32
+	// blockInstrs[b] counts the non-phi value-producing instructions of
+	// global block b.
+	blockInstrs []int32
 }
 
 // NumInstrs returns the number of injectable static instructions.
@@ -112,6 +163,40 @@ func (p *Program) NumInstrs() int { return p.numInstrs }
 
 // InstrType returns the result type of static instruction id.
 func (p *Program) InstrType(id int) ir.Type { return p.instrTypes[id] }
+
+// NumBlocks returns the number of basic blocks across all functions.
+func (p *Program) NumBlocks() int { return p.numBlocks }
+
+// CounterLen returns the length of the block/edge profile counter space.
+func (p *Program) CounterLen() int { return p.numBlocks + p.numEdges }
+
+// CounterScores folds a per-static-instruction score vector into the
+// profile counter space: non-phi scores accumulate onto their block's
+// counter, phi scores onto every incoming edge of their block. With
+// S = CounterScores(scores) a clean profiled run satisfies
+//
+//	Σ_id scores[id]·counts[id]  ==  Σ_c S[c]·counters[c]
+//
+// so the fitness numerator needs no per-instruction loop and no
+// InstrCounts materialization. The counter-order summation is the
+// canonical fitness association for both fused and unfused fast-path runs,
+// keeping fitness values bit-identical between the two.
+func (p *Program) CounterScores(scores []float64) []float64 {
+	if len(scores) != p.numInstrs {
+		panic(fmt.Sprintf("interp: CounterScores got %d scores for %d instructions", len(scores), p.numInstrs))
+	}
+	s := make([]float64, p.CounterLen())
+	for id, sc := range scores {
+		if b := p.instrBlock[id]; b >= 0 {
+			s[b] += sc
+		} else {
+			for _, e := range p.phiEdges[id] {
+				s[e] += sc
+			}
+		}
+	}
+	return s
+}
 
 // Compile verifies and flat-decodes a module. The module is finalized as a
 // side effect (static IDs assigned).
@@ -140,7 +225,61 @@ func Compile(m *ir.Module) (*Program, error) {
 		}
 		p.funcs = append(p.funcs, cf)
 	}
+	p.buildProfileTables()
+	for _, cf := range p.funcs {
+		fuseFunc(cf)
+	}
 	return p, nil
+}
+
+// buildProfileTables numbers blocks and phi-carrying edges into one global
+// counter space and precomputes the id -> counter mappings the fast path's
+// InstrCounts reconstruction and CounterScores use.
+func (p *Program) buildProfileTables() {
+	next := int32(0)
+	for _, cf := range p.funcs {
+		cf.blockBase = next
+		next += cf.numBlocks
+	}
+	p.numBlocks = int(next)
+	p.instrBlock = make([]int32, p.numInstrs)
+	for i := range p.instrBlock {
+		p.instrBlock[i] = -1
+	}
+	p.phiEdges = make([][]int32, p.numInstrs)
+	p.blockInstrs = make([]int32, p.numBlocks)
+	edge := next
+	claimEdge := func(moves []move) int32 {
+		if len(moves) == 0 {
+			return -1
+		}
+		for _, mv := range moves {
+			p.phiEdges[mv.phiID] = append(p.phiEdges[mv.phiID], edge)
+		}
+		edge++
+		return edge - 1
+	}
+	for _, cf := range p.funcs {
+		for pc := range cf.code {
+			in := &cf.code[pc]
+			if in.id >= 0 {
+				gb := cf.blockBase + cf.blockOf[pc]
+				p.instrBlock[in.id] = gb
+				p.blockInstrs[gb]++
+			}
+			switch in.op {
+			case ir.OpBr:
+				in.blkA = cf.blockBase + cf.blockOf[in.jumpA]
+				in.edgeA = claimEdge(in.movesA)
+			case ir.OpCondBr:
+				in.blkA = cf.blockBase + cf.blockOf[in.jumpA]
+				in.blkB = cf.blockBase + cf.blockOf[in.jumpB]
+				in.edgeA = claimEdge(in.movesA)
+				in.edgeB = claimEdge(in.movesB)
+			}
+		}
+	}
+	p.numEdges = int(edge) - p.numBlocks
 }
 
 // funcCompiler carries per-function compile state.
@@ -182,8 +321,13 @@ func compileFunc(p *Program, f *ir.Function) (*compiledFunc, error) {
 		pc += int32(len(b.Instrs)) - nPhi
 	}
 
-	// Emit code.
-	for _, b := range f.Blocks {
+	// Emit code, recording the block table as blocks are laid out: each
+	// block's phi-skipped start pc and the pc -> block map the fast path's
+	// abort fixup walks.
+	cf.numBlocks = int32(len(f.Blocks))
+	cf.blockStart = make([]int32, 0, len(f.Blocks))
+	for bi, b := range f.Blocks {
+		cf.blockStart = append(cf.blockStart, int32(len(cf.code)))
 		for _, in := range b.Instrs {
 			if in.Op == ir.OpPhi {
 				continue
@@ -193,6 +337,7 @@ func compileFunc(p *Program, f *ir.Function) (*compiledFunc, error) {
 				return nil, err
 			}
 			cf.code = append(cf.code, ci)
+			cf.blockOf = append(cf.blockOf, int32(bi))
 		}
 	}
 	return cf, nil
@@ -251,7 +396,8 @@ func (fc *funcCompiler) edgeMoves(from *ir.Block, target *ir.Block) ([]move, err
 }
 
 func (fc *funcCompiler) compileInstr(in *ir.Instr, blockPC map[*ir.Block]int32) (inst, error) {
-	ci := inst{op: in.Op, ty: in.Ty, dst: -1, id: -1, callee: -1}
+	ci := inst{op: in.Op, ty: in.Ty, dst: -1, id: -1, callee: -1,
+		dst2: -1, id2: -1, edgeA: -1, edgeB: -1}
 	if in.Ty != ir.Void {
 		ci.dst = fc.slotOf[in]
 		ci.id = int32(in.ID)

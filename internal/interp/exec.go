@@ -242,6 +242,14 @@ type exec struct {
 	detected bool
 	moveBuf  []uint64
 
+	// Block-granular profiling state (fast path only; see fastprofile.go).
+	// blockCounts is the CounterLen()-sized block/edge counter space; overlay
+	// lists static instruction ids executed by partially-completed blocks,
+	// fused slots or move lists at abort, each worth +1 over the block-derived
+	// count.
+	blockCounts []int64
+	overlay     []int32
+
 	// Golden-prefix checkpointing (nil / maxInt unless the run was started
 	// with Options.CheckpointInterval). dirty tracks written memory pages so
 	// snapshots can share unchanged pages with their predecessor.
@@ -866,7 +874,8 @@ func QuantizeOutput(v float64) float64 {
 	if math.IsNaN(v) || math.IsInf(v, 0) || v == 0 {
 		return v
 	}
-	q, err := strconv.ParseFloat(strconv.FormatFloat(v, 'g', 6, 64), 64)
+	var buf [32]byte
+	q, err := strconv.ParseFloat(string(strconv.AppendFloat(buf[:0], v, 'g', 6, 64)), 64)
 	if err != nil {
 		return v
 	}

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/campaign"
+	"repro/internal/core"
 	"repro/internal/interp"
 	"repro/internal/prog"
 	"repro/internal/xrand"
@@ -88,6 +89,48 @@ func BenchmarkOverall(b *testing.B) {
 			})
 		}
 	})
+}
+
+// BenchmarkFitnessProfile measures one GA candidate evaluation — a profiled
+// reference-input run folded into the §4.2.5 fitness — on the three engines:
+// the legacy per-instruction interpreter, the block-granular counting fast
+// path, and the fused superinstruction array. cmd/benchjson derives the
+// per-benchmark perinstr/fused speedup for BENCH_fitness.json. allocs/op is
+// reported; the fast paths must be allocation-free in steady state.
+func BenchmarkFitnessProfile(b *testing.B) {
+	modes := []struct {
+		name string
+		mode interp.ProfileMode
+	}{
+		{"perinstr", interp.ProfileLegacy},
+		{"block", interp.ProfileBlock},
+		{"fused", interp.ProfileFused},
+	}
+	for _, m := range modes {
+		b.Run(m.name, func(b *testing.B) {
+			for _, name := range prog.Names() {
+				b.Run(name, func(b *testing.B) {
+					bench := prog.Build(name)
+					rng := xrand.New(7)
+					scores := make([]float64, bench.Prog.NumInstrs())
+					for i := range scores {
+						scores[i] = rng.Float64()
+					}
+					fe := core.NewFitnessEvalMode(bench, scores, m.mode)
+					in := bench.RefInput()
+					var dyn int64
+					fe.Eval(in) // warm the pooled profiling context
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						_, dyn = fe.Eval(in)
+					}
+					b.StopTimer()
+					b.ReportMetric(float64(dyn), "dyn/op")
+				})
+			}
+		})
+	}
 }
 
 func benchmarkOverall(b *testing.B, bench *prog.Benchmark, g *campaign.Golden) {

@@ -79,18 +79,24 @@ type Benchmark struct {
 // Encode converts an input vector (one float64 per argument, integers
 // pre-rounded) into interpreter argument slots.
 func (b *Benchmark) Encode(input []float64) []uint64 {
+	return b.EncodeInto(make([]uint64, 0, len(input)), input)
+}
+
+// EncodeInto appends the encoded argument slots to dst and returns the
+// extended slice — the allocation-free form for evaluation loops that reuse
+// one buffer across candidates (pass dst[:0]).
+func (b *Benchmark) EncodeInto(dst []uint64, input []float64) []uint64 {
 	if len(input) != len(b.Args) {
 		panic(fmt.Sprintf("prog: %s takes %d args, got %d", b.Name, len(b.Args), len(input)))
 	}
-	out := make([]uint64, len(input))
 	for i, v := range input {
 		if b.Args[i].Kind == ArgInt {
-			out[i] = uint64(int64(math.Round(v)))
+			dst = append(dst, uint64(int64(math.Round(v))))
 		} else {
-			out[i] = math.Float64bits(v)
+			dst = append(dst, math.Float64bits(v))
 		}
 	}
-	return out
+	return dst
 }
 
 // RefInput returns the default reference input vector.

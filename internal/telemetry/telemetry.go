@@ -213,8 +213,10 @@ func (r *Recorder) Close() error {
 	}
 	sort.Strings(keys)
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "{\"ev\":\"trace.meta\",\"clock\":%s,\"streams\":%d}\n",
-		jsonString(clock), len(keys))
+	// Wall-clock traces carry schedule-dependent timestamps, so the meta
+	// line marks them non-reproducible for downstream diffing tools.
+	fmt.Fprintf(&sb, "{\"ev\":\"trace.meta\",\"clock\":%s,\"reproducible\":%v,\"streams\":%d}\n",
+		jsonString(clock), !r.opts.WallClock, len(keys))
 	for _, k := range keys {
 		s := r.streams[k]
 		s.mu.Lock()
