@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build lint test test-short race bench-smoke bench-workers test-telemetry test-checkpoint bench-fi test-fusion bench-fitness profile ci
+.PHONY: build lint test test-short race bench-smoke bench-workers test-telemetry test-observability test-checkpoint bench-fi test-fusion bench-fitness profile ci
 
 build:
 	$(GO) build ./...
@@ -90,4 +90,36 @@ test-telemetry:
 	cmp trace-w1.jsonl trace-w4.jsonl
 	@echo "telemetry traces byte-identical across worker counts"
 
-ci: build lint test race bench-smoke test-telemetry test-checkpoint test-fusion
+# Live observability gate, in three parts: (1) the targeted unit tests for
+# the Prometheus exposition, the heat events and the recorder lifecycle;
+# (2) heat-event determinism end-to-end — the same traced search at 1 and 4
+# workers must emit byte-identical heat.topk lines; (3) a live scrape — run
+# a search with -metrics-addr on an ephemeral port and curl /healthz and
+# /metrics while it executes. Leaves heat-w1.jsonl behind as a sample
+# artifact.
+test-observability:
+	$(GO) test -count=1 -run 'Prom|Metrics|Heat|DropsAndCounts|Freezes|FitnessUniform|NormalizeUniform|Geomean' \
+		./internal/telemetry ./internal/core ./internal/stats ./cmd/benchjson ./cmd/peppax
+	$(GO) build -o bin/peppax ./cmd/peppax
+	./bin/peppax -bench pathfinder -generations 3 -pop 4 -trials 40 \
+		-rep-trials 4 -seed 7 -checkpoints 1,3 -baseline -heat-topk 8 \
+		-workers 1 -trace heat-w1.jsonl > /dev/null
+	./bin/peppax -bench pathfinder -generations 3 -pop 4 -trials 40 \
+		-rep-trials 4 -seed 7 -checkpoints 1,3 -baseline -heat-topk 8 \
+		-workers 4 -trace heat-w4.jsonl > /dev/null
+	grep -c '"ev":"heat.topk"' heat-w1.jsonl > /dev/null
+	cmp heat-w1.jsonl heat-w4.jsonl
+	@echo "heat traces byte-identical across worker counts"
+	./bin/peppax -bench hpccg -generations 2000 -pop 16 -trials 500 \
+		-metrics-addr 127.0.0.1:9464 > /dev/null 2> metrics-addr.txt & \
+	pid=$$!; \
+	for i in $$(seq 1 50); do \
+		curl -sf http://127.0.0.1:9464/healthz > /dev/null 2>&1 && break; \
+		sleep 0.2; \
+	done; \
+	curl -sf http://127.0.0.1:9464/healthz | grep -q '"status":"ok"' && \
+	curl -sf http://127.0.0.1:9464/metrics | grep -q '^peppax_' ; \
+	rc=$$?; kill $$pid 2> /dev/null; wait $$pid 2> /dev/null; exit $$rc
+	@echo "live /metrics and /healthz endpoints answered mid-run"
+
+ci: build lint test race bench-smoke test-telemetry test-observability test-checkpoint test-fusion

@@ -42,18 +42,21 @@ type Report struct {
 	// FitnessSpeedup maps each program benchmark to perinstr ns/op ÷
 	// fused ns/op for BenchmarkFitnessProfile, plus a "geomean" entry —
 	// the speedup of the fused profiling fast path over the legacy
-	// per-instruction fitness evaluation.
-	FitnessSpeedup map[string]float64 `json:"fitness_speedup,omitempty"`
+	// per-instruction fitness evaluation. The geomean entry is null (with
+	// a warning on stderr) when no positive finite speedup exists to
+	// average — committing NaN or -Inf into a BENCH artifact would poison
+	// every downstream consumer of the file.
+	FitnessSpeedup map[string]*float64 `json:"fitness_speedup,omitempty"`
 }
 
 func main() {
-	if err := run(os.Stdin, os.Stdout); err != nil {
+	if err := run(os.Stdin, os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in io.Reader, out io.Writer) error {
+func run(in io.Reader, out, errw io.Writer) error {
 	rep := Report{Env: map[string]string{}}
 	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
@@ -80,7 +83,7 @@ func run(in io.Reader, out io.Writer) error {
 		return fmt.Errorf("no benchmark lines on stdin")
 	}
 	rep.OverallSpeedup = speedups(rep.Benchmarks)
-	rep.FitnessSpeedup = fitnessSpeedups(rep.Benchmarks)
+	rep.FitnessSpeedup = fitnessSpeedups(rep.Benchmarks, errw)
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
 	return enc.Encode(rep)
@@ -158,20 +161,31 @@ func speedups(benches []Benchmark) map[string]float64 {
 
 // fitnessSpeedups pairs BenchmarkFitnessProfile/perinstr/<prog> with
 // .../fused/<prog> and adds the geometric-mean speedup across programs.
-func fitnessSpeedups(benches []Benchmark) map[string]float64 {
-	out := ratios(benches, "BenchmarkFitnessProfile/perinstr/", "BenchmarkFitnessProfile/fused/")
-	if out == nil {
+// Only positive finite speedups enter the geomean; if none exist (an empty
+// or zero-valued set — e.g. a 0 ns/op numerator from a degenerate bench
+// run), the geomean entry is explicitly null and a warning goes to errw,
+// instead of exp(log(0)) artifacts landing in committed BENCH JSON.
+func fitnessSpeedups(benches []Benchmark, errw io.Writer) map[string]*float64 {
+	r := ratios(benches, "BenchmarkFitnessProfile/perinstr/", "BenchmarkFitnessProfile/fused/")
+	if r == nil {
 		return nil
 	}
+	out := make(map[string]*float64, len(r)+1)
 	logSum, n := 0.0, 0
-	for _, s := range out {
-		if s > 0 {
+	for p, s := range r {
+		s := s
+		out[p] = &s
+		if s > 0 && !math.IsInf(s, 0) && !math.IsNaN(s) {
 			logSum += math.Log(s)
 			n++
 		}
 	}
-	if n > 0 {
-		out["geomean"] = math.Round(math.Exp(logSum/float64(n))*100) / 100
+	if n == 0 {
+		fmt.Fprintln(errw, "benchjson: warning: no positive finite fitness speedups; geomean is null")
+		out["geomean"] = nil
+		return out
 	}
+	g := math.Round(math.Exp(logSum/float64(n))*100) / 100
+	out["geomean"] = &g
 	return out
 }

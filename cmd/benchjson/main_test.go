@@ -21,8 +21,8 @@ ok  	repro/internal/interp	6.080s
 `
 
 func TestRun(t *testing.T) {
-	var out bytes.Buffer
-	if err := run(strings.NewReader(sample), &out); err != nil {
+	var out, errOut bytes.Buffer
+	if err := run(strings.NewReader(sample), &out, &errOut); err != nil {
 		t.Fatal(err)
 	}
 	var rep Report
@@ -56,32 +56,75 @@ PASS
 `
 
 func TestRunFitnessSpeedup(t *testing.T) {
-	var out bytes.Buffer
-	if err := run(strings.NewReader(fitnessSample), &out); err != nil {
+	var out, errOut bytes.Buffer
+	if err := run(strings.NewReader(fitnessSample), &out, &errOut); err != nil {
 		t.Fatal(err)
 	}
 	var rep Report
 	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
 		t.Fatalf("output is not valid JSON: %v\n%s", err, out.String())
 	}
-	if got := rep.FitnessSpeedup["pathfinder"]; got != 2 {
+	deref := func(name string) float64 {
+		p := rep.FitnessSpeedup[name]
+		if p == nil {
+			t.Fatalf("%s fitness speedup is null", name)
+		}
+		return *p
+	}
+	if got := deref("pathfinder"); got != 2 {
 		t.Fatalf("pathfinder fitness speedup = %v, want 2", got)
 	}
-	if got := rep.FitnessSpeedup["hpccg"]; got != 2.5 {
+	if got := deref("hpccg"); got != 2.5 {
 		t.Fatalf("hpccg fitness speedup = %v, want 2.5", got)
 	}
 	// geomean of 2 and 2.5 is sqrt(5) ≈ 2.24.
-	if got := rep.FitnessSpeedup["geomean"]; got < 2.23 || got > 2.25 {
+	if got := deref("geomean"); got < 2.23 || got > 2.25 {
 		t.Fatalf("geomean = %v, want ~2.24", got)
 	}
 	if rep.OverallSpeedup != nil {
 		t.Fatalf("unexpected overall speedups: %v", rep.OverallSpeedup)
 	}
+	if errOut.Len() != 0 {
+		t.Fatalf("unexpected warning: %s", errOut.String())
+	}
+}
+
+// A zero-valued speedup set (a 0 ns/op numerator can come out of a
+// degenerate bench run) must produce an explicit null geomean and a
+// warning, never NaN/-Inf in the JSON artifact.
+const zeroFitnessSample = `goos: linux
+BenchmarkFitnessProfile/perinstr/pathfinder-8    100	  0 ns/op
+BenchmarkFitnessProfile/fused/pathfinder-8       100	  100000 ns/op
+PASS
+`
+
+func TestRunFitnessGeomeanNullOnZeroSpeedups(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run(strings.NewReader(zeroFitnessSample), &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "NaN") || strings.Contains(out.String(), "Inf") {
+		t.Fatalf("non-finite value leaked into JSON:\n%s", out.String())
+	}
+	var rep Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out.String())
+	}
+	g, ok := rep.FitnessSpeedup["geomean"]
+	if !ok || g != nil {
+		t.Fatalf("geomean = %v (present=%v), want explicit null", g, ok)
+	}
+	if !strings.Contains(errOut.String(), "geomean is null") {
+		t.Fatalf("missing warning, stderr: %q", errOut.String())
+	}
+	if !strings.Contains(out.String(), `"geomean": null`) {
+		t.Fatalf("geomean not rendered as null:\n%s", out.String())
+	}
 }
 
 func TestRunEmpty(t *testing.T) {
-	var out bytes.Buffer
-	if err := run(strings.NewReader("PASS\n"), &out); err == nil {
+	var out, errOut bytes.Buffer
+	if err := run(strings.NewReader("PASS\n"), &out, &errOut); err == nil {
 		t.Fatal("expected error for input without benchmark lines")
 	}
 }

@@ -4,7 +4,8 @@
 //
 //	experiments [-exp table1,fig5,...] [-quick] [-seed N] [-benches a,b]
 //	            [-workers N] [-out report.txt] [-list]
-//	            [-trace out.jsonl] [-metrics]
+//	            [-trace out.jsonl] [-metrics] [-metrics-addr 127.0.0.1:9464]
+//	            [-heat-topk 10]
 //
 // Without -exp it runs the full evaluation (every table and figure in the
 // paper, §3/§5/§6). -quick shrinks trial counts so the whole suite runs in
@@ -15,7 +16,11 @@
 // own keyed stream on the virtual dynamic-instruction clock, and streams are
 // flushed in key order, so the file is byte-identical for any -workers value
 // even though experiments run concurrently. -metrics prints the end-of-run
-// counter/gauge summary (memo hits/misses, wall times, pool utilization).
+// counter/gauge summary (memo hits/misses, wall times, pool utilization);
+// -metrics-addr serves the same counters and gauges live in Prometheus text
+// format at /metrics (plus /healthz) while the suite runs. -heat-topk sizes
+// the per-instruction "heat.topk" events traced at search checkpoints and
+// baseline bests.
 package main
 
 import (
@@ -39,18 +44,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		expList   = fs.String("exp", "", "comma-separated experiment IDs (default: all)")
-		quick     = fs.Bool("quick", false, "use the reduced quick configuration")
-		seed      = fs.Uint64("seed", 0, "override the RNG seed (0 = config default)")
-		benches   = fs.String("benches", "", "comma-separated benchmark subset (default: all seven)")
-		out       = fs.String("out", "", "also write the report to this file")
-		jsonOut   = fs.String("json", "", "also write typed results as JSON to this file")
-		list      = fs.Bool("list", false, "list experiment IDs and exit")
-		workers   = fs.Int("workers", 0, "worker count for experiments, GA evaluation and FI trials (0 = GOMAXPROCS, 1 = serial; same seed gives the same report for any value)")
-		tracePath = fs.String("trace", "", "write a deterministic JSONL telemetry trace to this file (byte-identical for any -workers)")
-		traceWall = fs.Bool("trace-wallclock", false, "timestamp the -trace file with wall-clock nanoseconds instead of the deterministic cost clock (marks the trace non-reproducible)")
-		metrics   = fs.Bool("metrics", false, "print an end-of-run telemetry summary (counters, gauges, memo hits/misses)")
-		ckptIval  = fs.Int64("checkpoint-interval", 0, "golden-prefix snapshot spacing for FI campaigns, in dynamic instructions (0 = auto, -1 = disable; reports are identical either way)")
+		expList     = fs.String("exp", "", "comma-separated experiment IDs (default: all)")
+		quick       = fs.Bool("quick", false, "use the reduced quick configuration")
+		seed        = fs.Uint64("seed", 0, "override the RNG seed (0 = config default)")
+		benches     = fs.String("benches", "", "comma-separated benchmark subset (default: all seven)")
+		out         = fs.String("out", "", "also write the report to this file")
+		jsonOut     = fs.String("json", "", "also write typed results as JSON to this file")
+		list        = fs.Bool("list", false, "list experiment IDs and exit")
+		workers     = fs.Int("workers", 0, "worker count for experiments, GA evaluation and FI trials (0 = GOMAXPROCS, 1 = serial; same seed gives the same report for any value)")
+		tracePath   = fs.String("trace", "", "write a deterministic JSONL telemetry trace to this file (byte-identical for any -workers)")
+		traceWall   = fs.Bool("trace-wallclock", false, "timestamp the -trace file with wall-clock nanoseconds instead of the deterministic cost clock (marks the trace non-reproducible)")
+		metrics     = fs.Bool("metrics", false, "print an end-of-run telemetry summary (counters, gauges, memo hits/misses)")
+		metricsAddr = fs.String("metrics-addr", "", "serve live Prometheus metrics on this address (e.g. 127.0.0.1:9464) at /metrics, with /healthz liveness")
+		heatTopK    = fs.Int("heat-topk", 0, "per-instruction heat events in the trace carry this many instructions (0 = default 10, negative disables)")
+		ckptIval    = fs.Int64("checkpoint-interval", 0, "golden-prefix snapshot spacing for FI campaigns, in dynamic instructions (0 = auto, -1 = disable; reports are identical either way)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -80,9 +87,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	cfg.Workers = *workers
 	cfg.CheckpointInterval = *ckptIval
+	cfg.HeatTopK = *heatTopK
 
 	var rec *telemetry.Recorder
-	if *tracePath != "" || *metrics {
+	if *tracePath != "" || *metrics || *metricsAddr != "" {
 		var sink io.Writer
 		if *tracePath != "" {
 			f, err := os.Create(*tracePath)
@@ -96,6 +104,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		cfg.Recorder = rec
 		parallel.SetObserver(telemetry.PoolObserver(rec))
 		defer parallel.SetObserver(nil)
+		if *metricsAddr != "" {
+			ms, err := rec.ServeMetrics(*metricsAddr)
+			if err != nil {
+				return fail(err)
+			}
+			defer ms.Close()
+			fmt.Fprintf(stderr, "experiments: serving metrics on http://%s/metrics\n", ms.Addr())
+		}
 		defer func() {
 			if err := rec.Close(); err != nil {
 				fmt.Fprintln(stderr, "experiments: trace:", err)

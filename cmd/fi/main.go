@@ -6,12 +6,17 @@
 //
 //	fi -bench hpccg [-input "3,3,3,15,17"] [-trials 1000] [-perinstr]
 //	   [-top 10] [-seed 1] [-checkpoint-interval 0] [-trace out.jsonl] [-metrics]
+//	   [-metrics-addr 127.0.0.1:9464] [-heat-topk 10]
 //
 // Without -input the benchmark's default reference input is used. -trace
 // writes a deterministic JSONL trace (golden-run profile plus the campaign
 // tally) on the dynamic-instruction cost clock; with -parallel N ≥ 1 the
 // trace is byte-identical for every worker count. -metrics prints the
-// end-of-run counter summary. -checkpoint-interval controls golden-prefix
+// end-of-run counter summary; -metrics-addr serves the same counters and
+// gauges live in Prometheus text format at /metrics (plus /healthz). In
+// -perinstr mode a "heat.topk" trace event carries the -heat-topk hottest
+// instructions (measured SDC score × dynamic-execution fraction).
+// -checkpoint-interval controls golden-prefix
 // snapshotting (0 = auto-tuned spacing, -1 = every trial from scratch, N > 0
 // = a snapshot every N dynamic instructions); tallies are bit-identical
 // either way, checkpointing only skips redundant prefix re-execution.
@@ -30,6 +35,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/parallel"
 	"repro/internal/prog"
+	"repro/internal/stats"
 	"repro/internal/telemetry"
 	"repro/internal/xrand"
 )
@@ -42,18 +48,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("fi", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		bench     = fs.String("bench", "pathfinder", "benchmark: "+strings.Join(prog.Names(), ", "))
-		input     = fs.String("input", "", "comma-separated input values (default: reference input)")
-		trials    = fs.Int("trials", 1000, "FI trials (whole-program mode) or trials per instruction")
-		perInstr  = fs.Bool("perinstr", false, "measure per-instruction SDC probabilities")
-		top       = fs.Int("top", 15, "how many most-SDC-prone instructions to list (per-instruction mode)")
-		seed      = fs.Uint64("seed", 1, "RNG seed")
-		workers   = fs.Int("parallel", 0, "fan trials across N workers (0 = serial; §5.2 parallelization)")
-		multibit  = fs.Bool("multibit", false, "use the double-bit-flip fault model")
-		tracePath = fs.String("trace", "", "write a deterministic JSONL telemetry trace to this file (byte-identical for any -parallel)")
-		traceWall = fs.Bool("trace-wallclock", false, "timestamp the -trace file with wall-clock nanoseconds instead of the deterministic cost clock (marks the trace non-reproducible)")
-		metrics   = fs.Bool("metrics", false, "print an end-of-run telemetry summary (counters, gauges, worker-pool utilization)")
-		ckptIval  = fs.Int64("checkpoint-interval", 0, "golden-prefix snapshot spacing in dynamic instructions (0 = auto, -1 = disable)")
+		bench       = fs.String("bench", "pathfinder", "benchmark: "+strings.Join(prog.Names(), ", "))
+		input       = fs.String("input", "", "comma-separated input values (default: reference input)")
+		trials      = fs.Int("trials", 1000, "FI trials (whole-program mode) or trials per instruction")
+		perInstr    = fs.Bool("perinstr", false, "measure per-instruction SDC probabilities")
+		top         = fs.Int("top", 15, "how many most-SDC-prone instructions to list (per-instruction mode)")
+		seed        = fs.Uint64("seed", 1, "RNG seed")
+		workers     = fs.Int("parallel", 0, "fan trials across N workers (0 = serial; §5.2 parallelization)")
+		multibit    = fs.Bool("multibit", false, "use the double-bit-flip fault model")
+		tracePath   = fs.String("trace", "", "write a deterministic JSONL telemetry trace to this file (byte-identical for any -parallel)")
+		traceWall   = fs.Bool("trace-wallclock", false, "timestamp the -trace file with wall-clock nanoseconds instead of the deterministic cost clock (marks the trace non-reproducible)")
+		metrics     = fs.Bool("metrics", false, "print an end-of-run telemetry summary (counters, gauges, worker-pool utilization)")
+		metricsAddr = fs.String("metrics-addr", "", "serve live Prometheus metrics on this address (e.g. 127.0.0.1:9464) at /metrics, with /healthz liveness")
+		heatTopK    = fs.Int("heat-topk", 0, "per-instruction heat events in the trace carry this many instructions (0 = default 10, negative disables; -perinstr mode)")
+		ckptIval    = fs.Int64("checkpoint-interval", 0, "golden-prefix snapshot spacing in dynamic instructions (0 = auto, -1 = disable)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -65,7 +73,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	var rec *telemetry.Recorder
-	if *tracePath != "" || *metrics {
+	if *tracePath != "" || *metrics || *metricsAddr != "" {
 		var sink io.Writer
 		if *tracePath != "" {
 			f, err := os.Create(*tracePath)
@@ -78,6 +86,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		rec = telemetry.New(telemetry.Options{Sink: sink, WallClock: *traceWall})
 		parallel.SetObserver(telemetry.PoolObserver(rec))
 		defer parallel.SetObserver(nil)
+		if *metricsAddr != "" {
+			ms, err := rec.ServeMetrics(*metricsAddr)
+			if err != nil {
+				return fail(err)
+			}
+			defer ms.Close()
+			fmt.Fprintf(stderr, "fi: serving metrics on http://%s/metrics\n", ms.Addr())
+		}
 		defer func() {
 			if err := rec.Close(); err != nil {
 				fmt.Fprintln(stderr, "fi: trace:", err)
@@ -135,6 +151,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 			telemetry.F("instrs", len(ids)),
 			telemetry.F("trials", total),
 			telemetry.F("dyn", dyn))
+		if *heatTopK >= 0 {
+			// Heat weights the measured per-instruction SDC score by each
+			// instruction's dynamic-execution fraction — the live form of
+			// the Figure 2 heat map.
+			scores := stats.Normalize(campaign.PerInstructionVector(b.Prog.NumInstrs(), results))
+			telemetry.EmitHeatTopK(tr, "heat.topk",
+				[]telemetry.Field{telemetry.F("trials", *trials)},
+				scores, g.InstrCounts, g.DynCount, *heatTopK)
+		}
 		campaign.EmitCheckpointTelemetry(tr, "fi.checkpoints", g.CheckpointStats())
 		printCheckpointSummary(stdout, g)
 		sort.Slice(results, func(a, c int) bool {

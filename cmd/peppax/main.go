@@ -9,6 +9,7 @@
 //	peppax -bench pathfinder [-generations 200] [-pop 16] [-trials 1000]
 //	       [-seed 1] [-workers N] [-baseline] [-checkpoints 50,100,200]
 //	       [-max-sdc 0.2] [-trace out.jsonl] [-trace-wallclock] [-metrics]
+//	       [-metrics-addr 127.0.0.1:9464] [-heat-topk 10]
 //	       [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //	peppax -file prog.ir -spec "n:int:4:64:8,seed:int:1:100:7"
 //
@@ -19,8 +20,12 @@
 // useful for real-time latency analysis, but the file is then marked
 // "reproducible":false in its meta line and varies run to run. -metrics
 // prints an end-of-run counter/gauge summary (wall times, worker-pool
-// utilization), which IS schedule-dependent. -cpuprofile and -memprofile
-// write pprof profiles of the whole run for `go tool pprof`.
+// utilization), which IS schedule-dependent. -metrics-addr serves the same
+// counters and gauges live in Prometheus text format at /metrics (plus a
+// /healthz liveness probe) for the duration of the run. -heat-topk sizes the
+// per-instruction "heat.topk" trace events emitted at search checkpoints and
+// baseline bests. -cpuprofile and -memprofile write pprof profiles of the
+// whole run for `go tool pprof`.
 package main
 
 import (
@@ -63,6 +68,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		tracePath   = fs.String("trace", "", "write a deterministic JSONL telemetry trace to this file (byte-identical for any -workers)")
 		traceWall   = fs.Bool("trace-wallclock", false, "timestamp the -trace file with wall-clock nanoseconds instead of the deterministic cost clock (marks the trace non-reproducible)")
 		metrics     = fs.Bool("metrics", false, "print an end-of-run telemetry summary (counters, gauges, worker-pool utilization)")
+		metricsAddr = fs.String("metrics-addr", "", "serve live Prometheus metrics on this address (e.g. 127.0.0.1:9464) at /metrics, with /healthz liveness")
+		heatTopK    = fs.Int("heat-topk", 0, "per-instruction heat events in the trace carry this many instructions (0 = default 10, negative disables)")
 		ckptIval    = fs.Int64("checkpoint-interval", 0, "golden-prefix snapshot spacing for FI campaigns, in dynamic instructions (0 = auto, -1 = disable; results are identical either way)")
 		cpuProfile  = fs.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 		memProfile  = fs.String("memprofile", "", "write an end-of-run heap profile to this file (go tool pprof)")
@@ -103,7 +110,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	var rec *telemetry.Recorder
-	if *tracePath != "" || *metrics {
+	if *tracePath != "" || *metrics || *metricsAddr != "" {
 		var sink io.Writer
 		if *tracePath != "" {
 			f, err := os.Create(*tracePath)
@@ -116,6 +123,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		rec = telemetry.New(telemetry.Options{Sink: sink, WallClock: *traceWall})
 		parallel.SetObserver(telemetry.PoolObserver(rec))
 		defer parallel.SetObserver(nil)
+		if *metricsAddr != "" {
+			ms, err := rec.ServeMetrics(*metricsAddr)
+			if err != nil {
+				return fail(err)
+			}
+			defer ms.Close()
+			fmt.Fprintf(stderr, "peppax: serving metrics on http://%s/metrics\n", ms.Addr())
+		}
 		defer func() {
 			if err := rec.Close(); err != nil {
 				fmt.Fprintln(stderr, "peppax: trace:", err)
@@ -146,6 +161,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	opts.TrialsPerRep = *trialsRep
 	opts.Workers = *workers
 	opts.CheckpointInterval = *ckptIval
+	opts.HeatTopK = *heatTopK
 	opts.Trace = rec.Stream("search/" + b.Name)
 	for _, c := range strings.Split(*checkpoints, ",") {
 		if c = strings.TrimSpace(c); c != "" {
@@ -196,6 +212,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			TrialsPerInput: *trials,
 			DynBudget:      res.Cost.TotalDyn(),
 			Workers:        *workers,
+			HeatTopK:       *heatTopK,
 			Trace:          rec.Stream("baseline/" + b.Name),
 		}, xrand.New(*seed+1))
 		fmt.Fprintf(stdout, "  evaluated %d inputs, best SDC %.2f%% with input %v\n",

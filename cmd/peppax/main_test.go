@@ -89,6 +89,29 @@ func TestBadFlags(t *testing.T) {
 	}
 }
 
+// TestMetricsAddrServesLive starts the run with an embedded metrics server
+// on an ephemeral port and checks the advertised endpoint appears on stderr;
+// the endpoint itself is exercised by internal/telemetry's httptest suite.
+func TestMetricsAddrServesLive(t *testing.T) {
+	trace := filepath.Join(t.TempDir(), "trace.jsonl")
+	code, _, errOut := runCmd(t, tinyArgs(
+		"-metrics-addr", "127.0.0.1:0", "-heat-topk", "5",
+		"-checkpoints", "1,2", "-trace", trace))
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	if !strings.Contains(errOut, "serving metrics on http://127.0.0.1:") {
+		t.Fatalf("metrics address not advertised on stderr: %q", errOut)
+	}
+	var sawHeat bool
+	for _, l := range checkJSONL(t, trace) {
+		sawHeat = sawHeat || strings.Contains(l, `"ev":"heat.topk"`)
+	}
+	if !sawHeat {
+		t.Fatal("trace missing heat.topk events with -heat-topk set")
+	}
+}
+
 // TestTelemetryWorkerEquivalence is the tentpole's determinism contract: the
 // trace file must be byte-identical whether the search fans out over 1 or 4
 // workers, because every event is timestamped on the virtual

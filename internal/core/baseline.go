@@ -41,6 +41,13 @@ type BaselineOptions struct {
 	// are drawn and folded serially, so the trace is identical for every
 	// worker count.
 	Trace *telemetry.Stream
+	// HeatTopK sizes the heat events emitted whenever a candidate becomes
+	// the new best: the baseline has no sensitivity scores, so heat reduces
+	// to each executed instruction's dynamic-execution fraction under that
+	// candidate (0 = telemetry.DefaultHeatTopK, negative disables). Bests
+	// are folded serially, so heat events are identical for every worker
+	// count.
+	HeatTopK int
 }
 
 // BaselinePoint is one step of the baseline's progress curve.
@@ -104,7 +111,8 @@ func RandomSearch(b *prog.Benchmark, opts BaselineOptions, rng *xrand.RNG) *Base
 		ckStats.Accumulate(g.CheckpointStats())
 		res.Inputs++
 		sdc := c.SDCProbability()
-		if sdc > res.BestSDC {
+		newBest := sdc > res.BestSDC
+		if newBest {
 			res.BestSDC = sdc
 			res.BestInput = in
 			res.Best = c
@@ -118,6 +126,14 @@ func RandomSearch(b *prog.Benchmark, opts BaselineOptions, rng *xrand.RNG) *Base
 			telemetry.F("sdc", sdc),
 			telemetry.F("best_sdc", res.BestSDC),
 		}, c.Fields()...)...)
+		// Each new best updates the live heat map. With no sensitivity
+		// scores in the baseline, heat is the pure dynamic-execution
+		// fraction (nil score vector).
+		if newBest && opts.HeatTopK >= 0 {
+			telemetry.EmitHeatTopK(tr, "heat.topk",
+				[]telemetry.Field{telemetry.F("input", res.Inputs-1)},
+				nil, g.InstrCounts, g.DynCount, opts.HeatTopK)
+		}
 	}
 	if res.BestSDC < 0 {
 		res.BestSDC = 0

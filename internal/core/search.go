@@ -71,6 +71,15 @@ type Options struct {
 	// clock advances with the pipeline's dynamic-instruction spend, so the
 	// trace is byte-identical for every worker count.
 	Trace *telemetry.Stream
+	// HeatTopK sizes the per-instruction heat events emitted alongside each
+	// traced checkpoint and the final measurement: the top-k static
+	// instructions by sensitivity score × dynamic-execution fraction, the
+	// live Figure 2-style heat map (0 = telemetry.DefaultHeatTopK, negative
+	// disables heat events). Heat is schedule-independent with ties broken
+	// by instruction id, so traces stay byte-identical across worker
+	// counts; the running top-k also mirrors into heat.instr gauges for the
+	// /metrics endpoint.
+	HeatTopK int
 }
 
 // DefaultOptions returns the paper's configuration.
@@ -260,9 +269,11 @@ func Search(b *prog.Benchmark, opts Options, rng *xrand.RNG) (*Result, error) {
 		for ci < len(checkpoints) && checkpoints[ci] == gen {
 			best := engine.Best()
 			cp := Checkpoint{Generation: gen, BestInput: best.Genome, Fitness: best.Fitness}
+			var heatG *campaign.Golden
 			if g, err := campaign.NewGoldenCheckpointed(b.Prog, b.Encode(best.Genome), b.MaxDyn, opts.CheckpointInterval); err == nil {
 				cp.Counts = campaign.Overall(b.Prog, g, opts.FinalTrials, fiRNG)
 				ckStats.Accumulate(g.CheckpointStats())
+				heatG = g
 			}
 			res.Checkpoints = append(res.Checkpoints, cp)
 			// Checkpoint FI is reporting cost, excluded from the search
@@ -272,6 +283,14 @@ func Search(b *prog.Benchmark, opts Options, rng *xrand.RNG) (*Result, error) {
 				telemetry.F("fitness", best.Fitness),
 				telemetry.F("sdc", cp.Counts.SDCProbability()),
 			}, cp.Counts.Fields()...)...)
+			// The live heat map: score-weighted dynamic-execution fractions
+			// of the checkpointed best input, deterministic by construction
+			// (both factors are schedule-independent, ties break by id).
+			if heatG != nil && opts.HeatTopK >= 0 {
+				telemetry.EmitHeat(tr, "heat.topk",
+					[]telemetry.Field{telemetry.F("gen", gen)},
+					dist.TopHeat(heatG.InstrCounts, heatG.DynCount, opts.HeatTopK))
+			}
 			ci++
 		}
 	}
@@ -301,6 +320,13 @@ func Search(b *prog.Benchmark, opts Options, rng *xrand.RNG) (*Result, error) {
 		telemetry.F("fitness", res.BestFitness),
 		telemetry.F("sdc", res.Final.SDCProbability()),
 	}, res.Final.Fields()...)...)
+	// Final heat map of the reported SDC-bound input — the state the
+	// /metrics heat gauges keep serving after the search ends.
+	if opts.HeatTopK >= 0 {
+		telemetry.EmitHeat(tr, "heat.topk",
+			[]telemetry.Field{telemetry.F("gen", opts.Generations)},
+			dist.TopHeat(g.InstrCounts, g.DynCount, opts.HeatTopK))
+	}
 	return res, nil
 }
 

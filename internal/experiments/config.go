@@ -79,6 +79,12 @@ type Config struct {
 	// any worker count even though experiments run concurrently. Nil
 	// disables telemetry.
 	Recorder *telemetry.Recorder
+
+	// HeatTopK sizes the per-instruction heat events traced at search
+	// checkpoints and baseline bests (0 = telemetry.DefaultHeatTopK,
+	// negative disables). Heat events are schedule-independent, so the
+	// worker-count trace equivalence holds with them enabled.
+	HeatTopK int
 }
 
 // DefaultConfig returns the full-scale configuration.

@@ -80,6 +80,7 @@ func (s *Suite) Search(name string) (*core.Result, error) {
 		opts.Workers = s.Cfg.Workers
 		opts.CheckpointInterval = s.Cfg.CheckpointInterval
 		opts.Trace = s.Cfg.Recorder.Stream("search/" + name)
+		opts.HeatTopK = s.Cfg.HeatTopK
 		r, err := core.Search(s.Bench(name), opts, s.rng("search", name))
 		if err != nil {
 			return nil, fmt.Errorf("experiments: search %s: %w", name, err)
@@ -126,6 +127,7 @@ func (s *Suite) Baseline(name string) (*core.BaselineResult, error) {
 			Workers:            s.Cfg.Workers,
 			CheckpointInterval: s.Cfg.CheckpointInterval,
 			Trace:              s.Cfg.Recorder.Stream("baseline/" + name),
+			HeatTopK:           s.Cfg.HeatTopK,
 		}, s.rng("baseline", name)), nil
 	})
 }

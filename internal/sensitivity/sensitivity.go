@@ -10,6 +10,7 @@ import (
 	"repro/internal/campaign"
 	"repro/internal/interp"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/xrand"
 )
 
@@ -97,6 +98,21 @@ func Derive(p *interp.Program, g *campaign.Golden, opts Options, rng *xrand.RNG)
 	}
 	d.Scores = stats.Normalize(d.RawProb)
 	return d
+}
+
+// TopHeat returns the distribution's k hottest static instructions under an
+// execution profile: Scores[i] weighted by the fraction of the profiled
+// run's dynTotal dynamic instructions that instruction i accounts for — the
+// per-instruction term of the Equation 2 fitness sum. counts is a
+// per-static-instruction execution count vector (a campaign.Golden's
+// InstrCounts or the fast-path profiler's reconstruction); ties break by
+// instruction id, so the selection is deterministic and safe to put in
+// traces. This is the data behind the live Figure 2-style heat map.
+func (d *Distribution) TopHeat(counts []int64, dynTotal int64, k int) []telemetry.HeatEntry {
+	if d == nil {
+		return nil
+	}
+	return telemetry.HeatTopK(d.Scores, counts, dynTotal, k)
 }
 
 // Stability measures how stationary the per-instruction SDC probability

@@ -234,9 +234,15 @@ func WilsonCI(k, n int, z float64) float64 {
 	return z * math.Sqrt(p*(1-p)/nf+z2/(4*nf*nf)) / (1 + z2/nf)
 }
 
-// Normalize scales xs into [0,1] by (x-min)/(max-min). When all values are
-// equal it returns a slice of zeros. Used to turn raw per-instruction SDC
-// probabilities into SDC scores (§4.2.3).
+// Normalize scales xs into [0,1] by (x-min)/(max-min). Used to turn raw
+// per-instruction SDC probabilities into SDC scores (§4.2.3).
+//
+// Degenerate inputs: when every value equals the same nonzero constant the
+// result is uniform ones, not zeros — a flat nonzero SDC probability means
+// "every instruction is equally vulnerable", and mapping it to all-zero
+// scores would collapse every candidate's fitness to 0 and blind the GA.
+// Only an all-zero input (no measured vulnerability at all) normalizes to
+// all-zero scores.
 func Normalize(xs []float64) []float64 {
 	out := make([]float64, len(xs))
 	if len(xs) == 0 {
@@ -244,6 +250,11 @@ func Normalize(xs []float64) []float64 {
 	}
 	lo, hi := Min(xs), Max(xs)
 	if hi == lo {
+		if hi != 0 {
+			for i := range out {
+				out[i] = 1
+			}
+		}
 		return out
 	}
 	for i, x := range xs {

@@ -244,13 +244,28 @@ func TestNormalize(t *testing.T) {
 			t.Fatalf("Normalize = %v", got)
 		}
 	}
-	for _, v := range Normalize([]float64{3, 3, 3}) {
-		if v != 0 {
-			t.Fatal("all-equal Normalize should be zeros")
-		}
-	}
 	if len(Normalize(nil)) != 0 {
 		t.Fatal("Normalize(nil) should be empty")
+	}
+}
+
+// Uniform nonzero inputs must normalize to uniform ones, not zeros: a flat
+// raw SDC probability vector carries no ranking signal but plenty of
+// vulnerability signal, and all-zero scores would flatten every candidate's
+// fitness to 0 (the Σᵢ scoreᵢ·Nᵢ/N sum loses every term).
+func TestNormalizeUniformInputs(t *testing.T) {
+	for _, v := range Normalize([]float64{3, 3, 3}) {
+		if v != 1 {
+			t.Fatal("uniform nonzero Normalize should be all ones")
+		}
+	}
+	for _, v := range Normalize([]float64{0, 0, 0}) {
+		if v != 0 {
+			t.Fatal("all-zero Normalize should stay all zeros")
+		}
+	}
+	if got := Normalize([]float64{0.25}); got[0] != 1 {
+		t.Fatalf("single nonzero value should normalize to 1, got %v", got[0])
 	}
 }
 

@@ -1,0 +1,125 @@
+// This file computes and emits per-instruction SDC heat — the live
+// Figure 2-style heat map. Heat of static instruction i is
+// Scores[i] · (InstrCounts[i] / DynCount): its normalized SDC score weighted
+// by the fraction of the run's dynamic instructions it accounts for, i.e.
+// the per-instruction term of the §4.2.5 fitness sum. Both factors are
+// schedule-independent, so heat events obey the trace determinism rule; the
+// running top-k is additionally mirrored into heat.instr{id="…"} float
+// gauges, which the /metrics endpoint exports as peppax_heat_instr{id="…"}.
+
+package telemetry
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// DefaultHeatTopK is the heat-event entry count used when a HeatTopK knob
+// is left at its zero value.
+const DefaultHeatTopK = 10
+
+// HeatEntry is one instruction of a heat top-k: a static instruction id and
+// its heat value.
+type HeatEntry struct {
+	ID   int
+	Heat float64
+}
+
+// HeatTopK returns the k hottest static instructions by
+// scores[i]·(counts[i]/dynTotal), hottest first, with ties broken by
+// ascending id so the selection — and therefore every trace that carries it
+// — is deterministic. A nil scores vector means "score every instruction
+// 1.0", reducing heat to the dynamic-execution fraction (the form the
+// score-free baseline emits). Zero-heat instructions are omitted; k <= 0
+// selects DefaultHeatTopK entries; a nil result means no instruction has
+// positive heat or the inputs are degenerate (dynTotal <= 0).
+func HeatTopK(scores []float64, counts []int64, dynTotal int64, k int) []HeatEntry {
+	if k <= 0 {
+		k = DefaultHeatTopK
+	}
+	if dynTotal <= 0 || len(counts) == 0 {
+		return nil
+	}
+	total := float64(dynTotal)
+	entries := make([]HeatEntry, 0, len(counts))
+	for id, n := range counts {
+		if n <= 0 {
+			continue
+		}
+		h := float64(n) / total
+		if scores != nil {
+			h *= scores[id]
+		}
+		if h > 0 {
+			entries = append(entries, HeatEntry{ID: id, Heat: h})
+		}
+	}
+	sort.Slice(entries, func(a, b int) bool {
+		if entries[a].Heat != entries[b].Heat {
+			return entries[a].Heat > entries[b].Heat
+		}
+		return entries[a].ID < entries[b].ID
+	})
+	if len(entries) > k {
+		entries = entries[:k]
+	}
+	if len(entries) == 0 {
+		return nil
+	}
+	return entries
+}
+
+// EmitHeat appends one heat event to the stream — ctx fields first, then
+// "k" and the parallel "ids"/"heat" vectors, hottest first — and mirrors
+// the entries into the recorder's heat gauges for the /metrics endpoint.
+// No-op on a nil stream or an empty top-k.
+func EmitHeat(s *Stream, event string, ctx []Field, entries []HeatEntry) {
+	if s == nil || len(entries) == 0 {
+		return
+	}
+	ids := make([]int, len(entries))
+	heat := make([]float64, len(entries))
+	for i, e := range entries {
+		ids[i] = e.ID
+		heat[i] = e.Heat
+	}
+	fields := make([]Field, 0, len(ctx)+3)
+	fields = append(fields, ctx...)
+	fields = append(fields, F("k", len(entries)), F("ids", ids), F("heat", heat))
+	s.Emit(event, fields...)
+	s.r.SetHeatGauges(entries)
+}
+
+// EmitHeatTopK is HeatTopK + EmitHeat in one call: compute the top-k heat
+// of a profiled execution and emit it. The stream nil-check comes first, so
+// untraced runs pay nothing.
+func EmitHeatTopK(s *Stream, event string, ctx []Field, scores []float64, counts []int64, dynTotal int64, k int) {
+	if s == nil {
+		return
+	}
+	EmitHeat(s, event, ctx, HeatTopK(scores, counts, dynTotal, k))
+}
+
+// heatGaugePrefix keys the mirrored heat gauges; the {id="…"} label block
+// passes through the Prometheus exposition verbatim.
+const heatGaugePrefix = "heat.instr{"
+
+// SetHeatGauges replaces the recorder's heat gauges with the given top-k:
+// stale instruction ids are deleted so the endpoint always shows exactly
+// the current heat map, never a union of past ones.
+func (r *Recorder) SetHeatGauges(entries []HeatEntry) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	for k := range r.gaugesF {
+		if strings.HasPrefix(k, heatGaugePrefix) {
+			delete(r.gaugesF, k)
+		}
+	}
+	for _, e := range entries {
+		r.gaugesF[heatGaugePrefix+"id=\""+strconv.Itoa(e.ID)+"\"}"] = e.Heat
+	}
+	r.mu.Unlock()
+}

@@ -1,0 +1,137 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestHeatTopKSelection(t *testing.T) {
+	scores := []float64{0.5, 1.0, 0.0, 0.25}
+	counts := []int64{10, 40, 50, 80}
+	// heat: 0 → 0.05, 1 → 0.4, 2 → 0 (score 0), 3 → 0.2
+	got := HeatTopK(scores, counts, 100, 2)
+	want := []HeatEntry{{ID: 1, Heat: 0.4}, {ID: 3, Heat: 0.2}}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("entry %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestHeatTopKTiesBreakByID(t *testing.T) {
+	// Equal heat everywhere: the selection must be the lowest ids, in order.
+	counts := []int64{5, 5, 5, 5, 5}
+	got := HeatTopK(nil, counts, 25, 3)
+	if len(got) != 3 {
+		t.Fatalf("got %d entries, want 3", len(got))
+	}
+	for i, e := range got {
+		if e.ID != i || e.Heat != 0.2 {
+			t.Fatalf("entry %d = %v, want {ID:%d Heat:0.2}", i, e, i)
+		}
+	}
+}
+
+func TestHeatTopKNilScoresAndDefaults(t *testing.T) {
+	counts := make([]int64, 20)
+	for i := range counts {
+		counts[i] = int64(i + 1)
+	}
+	// k <= 0 selects DefaultHeatTopK entries.
+	if got := HeatTopK(nil, counts, 210, 0); len(got) != DefaultHeatTopK {
+		t.Fatalf("k=0 selected %d entries, want %d", len(got), DefaultHeatTopK)
+	}
+	// Degenerate inputs give nil.
+	if HeatTopK(nil, counts, 0, 5) != nil {
+		t.Fatal("dynTotal=0 should yield nil")
+	}
+	if HeatTopK(nil, nil, 100, 5) != nil {
+		t.Fatal("no counts should yield nil")
+	}
+	if HeatTopK(make([]float64, 3), []int64{1, 2, 3}, 6, 5) != nil {
+		t.Fatal("all-zero scores should yield nil")
+	}
+}
+
+func TestEmitHeatEventAndGauges(t *testing.T) {
+	var buf bytes.Buffer
+	r := New(Options{Sink: &buf})
+	s := r.Stream("search/x")
+	s.Advance(100)
+	EmitHeatTopK(s, "heat.topk", []Field{F("gen", 7)},
+		[]float64{1.0, 0.5}, []int64{20, 80}, 100, 2)
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got := lines(&buf)
+	var ev map[string]any
+	if err := json.Unmarshal([]byte(got[len(got)-1]), &ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev["ev"] != "heat.topk" || ev["gen"] != float64(7) || ev["k"] != float64(2) {
+		t.Fatalf("bad heat event: %v", ev)
+	}
+	// heat: 0 → 0.2, 1 → 0.4; hottest first.
+	ids := ev["ids"].([]any)
+	heat := ev["heat"].([]any)
+	if len(ids) != 2 || ids[0] != float64(1) || ids[1] != float64(0) {
+		t.Fatalf("ids = %v", ids)
+	}
+	if heat[0] != float64(0.4) || heat[1] != float64(0.2) {
+		t.Fatalf("heat = %v", heat)
+	}
+	// The top-k is mirrored into float gauges for the /metrics endpoint.
+	if v, ok := r.FloatGauge(`heat.instr{id="1"}`); !ok || v != 0.4 {
+		t.Fatalf("gauge id=1: %v %v", v, ok)
+	}
+	var sb strings.Builder
+	if err := r.PromText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `peppax_heat_instr{id="1"} 0.4`) {
+		t.Fatalf("exposition missing heat gauge:\n%s", sb.String())
+	}
+}
+
+func TestSetHeatGaugesReplacesStaleEntries(t *testing.T) {
+	r := New(Options{})
+	r.SetHeatGauges([]HeatEntry{{ID: 1, Heat: 0.5}, {ID: 2, Heat: 0.25}})
+	r.SetHeatGauges([]HeatEntry{{ID: 3, Heat: 0.75}})
+	if _, ok := r.FloatGauge(`heat.instr{id="1"}`); ok {
+		t.Fatal("stale heat gauge id=1 survived")
+	}
+	if v, ok := r.FloatGauge(`heat.instr{id="3"}`); !ok || v != 0.75 {
+		t.Fatalf("gauge id=3: %v %v", v, ok)
+	}
+	// Non-heat float gauges are untouched by the replacement.
+	r.GaugeF("best.sdc", 0.5)
+	r.SetHeatGauges(nil)
+	if _, ok := r.FloatGauge("best.sdc"); !ok {
+		t.Fatal("unrelated float gauge deleted")
+	}
+	if _, ok := r.FloatGauge(`heat.instr{id="3"}`); ok {
+		t.Fatal("empty update should clear the heat map")
+	}
+}
+
+func TestEmitHeatNoOps(t *testing.T) {
+	// Nil stream and empty top-k must not panic or emit.
+	EmitHeat(nil, "heat.topk", nil, []HeatEntry{{ID: 1, Heat: 1}})
+	EmitHeatTopK(nil, "heat.topk", nil, nil, []int64{1}, 1, 1)
+	var buf bytes.Buffer
+	r := New(Options{Sink: &buf})
+	EmitHeat(r.Stream("s"), "heat.topk", nil, nil)
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(lines(&buf)) != 1 { // meta line only
+		t.Fatalf("empty top-k emitted an event: %q", buf.String())
+	}
+	var nilRec *Recorder
+	nilRec.SetHeatGauges([]HeatEntry{{ID: 1, Heat: 1}})
+}

@@ -1,0 +1,169 @@
+// This file is the service half of the telemetry layer: Prometheus text
+// exposition of a Recorder's counters and gauges, plus the opt-in embedded
+// HTTP server behind the -metrics-addr flags. The JSONL trace stays the
+// deterministic record of a run, while /metrics serves the same counters
+// and gauges the end-of-run Summary prints — including schedule-dependent
+// wall data — live, for scrapers and dashboards.
+
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// MetricNamePrefix is prepended to every exported metric name so the
+// reproduction's metrics namespace cleanly in a shared Prometheus.
+const MetricNamePrefix = "peppax_"
+
+// promMetric is one exposition sample: a sanitized metric name, an optional
+// {label="value"} block carried verbatim from the recorder key, the rendered
+// sample value and the metric type line to advertise.
+type promMetric struct {
+	name   string
+	labels string
+	value  string
+	typ    string
+}
+
+// PromText renders every counter and gauge in the Prometheus text exposition
+// format (version 0.0.4): samples sorted by metric name (then label block),
+// one "# TYPE" line per metric name, names sanitized to [a-zA-Z0-9_] and
+// prefixed with MetricNamePrefix. Counters export as counter, int64 and
+// float gauges as gauge. A recorder key may carry a literal label block —
+// `heat.instr{id="3"}` exports as `peppax_heat_instr{id="3"}` — which is how
+// the live heat map reaches the endpoint. Safe to call at any time,
+// including while the run is in flight and after Close.
+func (r *Recorder) PromText(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	metrics := make([]promMetric, 0, len(r.counters)+len(r.gauges)+len(r.gaugesF))
+	for k, v := range r.counters {
+		metrics = append(metrics, newPromMetric(k, strconv.FormatInt(v, 10), "counter"))
+	}
+	for k, v := range r.gauges {
+		metrics = append(metrics, newPromMetric(k, strconv.FormatInt(v, 10), "gauge"))
+	}
+	for k, v := range r.gaugesF {
+		metrics = append(metrics, newPromMetric(k, strconv.FormatFloat(v, 'g', -1, 64), "gauge"))
+	}
+	r.mu.Unlock()
+	sort.Slice(metrics, func(a, b int) bool {
+		if metrics[a].name != metrics[b].name {
+			return metrics[a].name < metrics[b].name
+		}
+		return metrics[a].labels < metrics[b].labels
+	})
+	var sb strings.Builder
+	prev := ""
+	for _, m := range metrics {
+		if m.name != prev {
+			fmt.Fprintf(&sb, "# TYPE %s %s\n", m.name, m.typ)
+			prev = m.name
+		}
+		sb.WriteString(m.name)
+		sb.WriteString(m.labels)
+		sb.WriteByte(' ')
+		sb.WriteString(m.value)
+		sb.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// newPromMetric splits an optional trailing {label} block off the recorder
+// key and sanitizes the name part.
+func newPromMetric(key, value, typ string) promMetric {
+	name, labels := key, ""
+	if i := strings.IndexByte(key, '{'); i >= 0 {
+		name, labels = key[:i], key[i:]
+	}
+	return promMetric{name: sanitizeMetricName(name), labels: labels, value: value, typ: typ}
+}
+
+// sanitizeMetricName maps a dotted recorder key to a valid Prometheus metric
+// name: every byte outside [a-zA-Z0-9_] becomes '_', and the result carries
+// the MetricNamePrefix (which also guarantees a non-digit first character).
+func sanitizeMetricName(key string) string {
+	var sb strings.Builder
+	sb.Grow(len(MetricNamePrefix) + len(key))
+	sb.WriteString(MetricNamePrefix)
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_':
+			sb.WriteByte(c)
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	return sb.String()
+}
+
+// Handler returns an http.Handler serving the Prometheus exposition — the
+// /metrics route of the embedded server, usable standalone under any mux.
+func (r *Recorder) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.PromText(w)
+	})
+}
+
+// MetricsServer is the embedded observability endpoint: /metrics with the
+// Prometheus exposition and /healthz for liveness probes.
+type MetricsServer struct {
+	srv  *http.Server
+	addr string
+}
+
+// ServeMetrics starts an HTTP server on addr (e.g. ":9464" or
+// "127.0.0.1:0") exposing /metrics and /healthz and returns once it is
+// listening. The caller owns the returned server and should Close it when
+// the run ends; requests after Recorder.Close still serve the final
+// counter/gauge state.
+func (r *Recorder) ServeMetrics(addr string) (*MetricsServer, error) {
+	if r == nil {
+		return nil, fmt.Errorf("telemetry: ServeMetrics on a nil Recorder")
+	}
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: metrics listener: %w", err)
+	}
+	start := time.Now()
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", r.Handler())
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		fmt.Fprintf(w, "{\"status\":\"ok\",\"uptime_seconds\":%.3f}\n", time.Since(start).Seconds())
+	})
+	ms := &MetricsServer{
+		srv:  &http.Server{Handler: mux},
+		addr: lis.Addr().String(),
+	}
+	go func() { _ = ms.srv.Serve(lis) }()
+	return ms, nil
+}
+
+// Addr returns the address the server is listening on (useful with ":0").
+func (m *MetricsServer) Addr() string {
+	if m == nil {
+		return ""
+	}
+	return m.addr
+}
+
+// Close stops the server and releases its listener.
+func (m *MetricsServer) Close() error {
+	if m == nil {
+		return nil
+	}
+	return m.srv.Close()
+}

@@ -1,0 +1,227 @@
+package telemetry
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// promNameRe / promLineRe encode the Prometheus text exposition grammar
+// (version 0.0.4) for the subset PromText emits: "# TYPE" comments and
+// sample lines with an optional label block.
+var (
+	promNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	promLineRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"\\]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"\\]*")*\})? (\S+)$`)
+)
+
+// validatePromText checks text against the exposition grammar: every line is
+// a well-formed TYPE comment or sample, every sample's metric name was
+// declared by a preceding TYPE line, no name is declared twice, and the
+// sample value parses as a float.
+func validatePromText(t *testing.T, text string) map[string]string {
+	t.Helper()
+	types := make(map[string]string)
+	for i, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 || !promNameRe.MatchString(parts[2]) ||
+				(parts[3] != "counter" && parts[3] != "gauge") {
+				t.Fatalf("line %d: bad TYPE comment: %s", i, line)
+			}
+			if _, dup := types[parts[2]]; dup {
+				t.Fatalf("line %d: duplicate TYPE for %s", i, parts[2])
+			}
+			types[parts[2]] = parts[3]
+			continue
+		}
+		m := promLineRe.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("line %d: not a valid sample: %s", i, line)
+		}
+		if _, ok := types[m[1]]; !ok {
+			t.Fatalf("line %d: sample %s has no preceding TYPE", i, m[1])
+		}
+		if _, err := strconv.ParseFloat(m[4], 64); err != nil {
+			t.Fatalf("line %d: bad sample value %q: %v", i, m[4], err)
+		}
+	}
+	return types
+}
+
+func TestPromTextFormat(t *testing.T) {
+	r := New(Options{})
+	r.Count("fi.trials", 1000)
+	r.Count("pool.drain.ns", 123456)
+	r.Gauge("pool.workers.max", 8)
+	r.GaugeF("best.sdc", 0.4375)
+	r.GaugeF(`heat.instr{id="3"}`, 0.25)
+	r.GaugeF(`heat.instr{id="17"}`, 0.125)
+
+	var sb strings.Builder
+	if err := r.PromText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	types := validatePromText(t, text)
+
+	wantTypes := map[string]string{
+		"peppax_fi_trials":        "counter",
+		"peppax_pool_drain_ns":    "counter",
+		"peppax_pool_workers_max": "gauge",
+		"peppax_best_sdc":         "gauge",
+		"peppax_heat_instr":       "gauge",
+	}
+	for name, typ := range wantTypes {
+		if types[name] != typ {
+			t.Fatalf("metric %s: type %q, want %q\n%s", name, types[name], typ, text)
+		}
+	}
+	for _, want := range []string{
+		"peppax_fi_trials 1000\n",
+		`peppax_heat_instr{id="17"} 0.125` + "\n",
+		`peppax_heat_instr{id="3"} 0.25` + "\n",
+		"peppax_best_sdc 0.4375\n",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+	// Output is sorted, so rendering twice gives identical bytes.
+	var sb2 strings.Builder
+	if err := r.PromText(&sb2); err != nil {
+		t.Fatal(err)
+	}
+	if sb2.String() != text {
+		t.Fatal("PromText not deterministic across calls")
+	}
+}
+
+func TestPromTextSanitizesNames(t *testing.T) {
+	r := New(Options{})
+	r.Count("phase.small-input.ns", 1)
+	var sb strings.Builder
+	if err := r.PromText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "peppax_phase_small_input_ns 1") {
+		t.Fatalf("dots/dashes not sanitized:\n%s", sb.String())
+	}
+	validatePromText(t, sb.String())
+}
+
+func TestPromTextNilAndEmpty(t *testing.T) {
+	var nilRec *Recorder
+	var sb strings.Builder
+	if err := nilRec.PromText(&sb); err != nil || sb.Len() != 0 {
+		t.Fatalf("nil recorder: err=%v out=%q", err, sb.String())
+	}
+	if err := New(Options{}).PromText(&sb); err != nil || sb.Len() != 0 {
+		t.Fatalf("empty recorder: err=%v out=%q", err, sb.String())
+	}
+}
+
+func TestMetricsHandler(t *testing.T) {
+	r := New(Options{})
+	r.Count("ga.evals", 64)
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Fatalf("content type %q", ct)
+	}
+	body := readAll(t, resp)
+	validatePromText(t, body)
+	if !strings.Contains(body, "peppax_ga_evals 64") {
+		t.Fatalf("handler body missing counter:\n%s", body)
+	}
+}
+
+func TestServeMetricsEndpoints(t *testing.T) {
+	r := New(Options{})
+	r.Count("c", 1)
+	ms, err := r.ServeMetrics("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ms.Close()
+
+	resp, err := http.Get("http://" + ms.Addr() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	health := readAll(t, resp)
+	resp.Body.Close()
+	if !strings.Contains(health, `"status":"ok"`) || !strings.Contains(health, "uptime_seconds") {
+		t.Fatalf("healthz body: %s", health)
+	}
+
+	resp, err = http.Get("http://" + ms.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := readAll(t, resp)
+	resp.Body.Close()
+	validatePromText(t, metrics)
+	if !strings.Contains(metrics, "peppax_c 1") {
+		t.Fatalf("metrics body: %s", metrics)
+	}
+
+	// The endpoint keeps serving the final state after the recorder closes.
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Get("http://" + ms.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := readAll(t, resp)
+	resp.Body.Close()
+	if !strings.Contains(after, "peppax_c 1") {
+		t.Fatalf("post-Close metrics body: %s", after)
+	}
+
+	if err := ms.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get("http://" + ms.Addr() + "/metrics"); err == nil {
+		t.Fatal("server still reachable after Close")
+	}
+}
+
+func TestServeMetricsNilAndBadAddr(t *testing.T) {
+	var nilRec *Recorder
+	if _, err := nilRec.ServeMetrics("127.0.0.1:0"); err == nil {
+		t.Fatal("nil recorder should refuse to serve")
+	}
+	if _, err := New(Options{}).ServeMetrics("256.0.0.1:bad"); err == nil {
+		t.Fatal("bad address should fail")
+	}
+	var nilSrv *MetricsServer
+	if nilSrv.Addr() != "" || nilSrv.Close() != nil {
+		t.Fatal("nil MetricsServer methods should no-op")
+	}
+}
+
+func readAll(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}

@@ -81,6 +81,7 @@ type Recorder struct {
 	streams  map[string]*Stream
 	counters map[string]int64
 	gauges   map[string]int64
+	gaugesF  map[string]float64
 	closed   bool
 }
 
@@ -92,12 +93,14 @@ func New(opts Options) *Recorder {
 		streams:  make(map[string]*Stream),
 		counters: make(map[string]int64),
 		gauges:   make(map[string]int64),
+		gaugesF:  make(map[string]float64),
 	}
 }
 
 // Stream returns (creating once) the event stream for key. A stream must be
 // fed by a single serially-ordered computation; concurrent work belongs in
-// separate streams. Returns nil on a nil Recorder.
+// separate streams. Returns nil on a nil Recorder. Streams requested after
+// Close start closed: their events are dropped and counted, never buffered.
 func (r *Recorder) Stream(key string) *Stream {
 	if r == nil {
 		return nil
@@ -106,7 +109,7 @@ func (r *Recorder) Stream(key string) *Stream {
 	defer r.mu.Unlock()
 	s, ok := r.streams[key]
 	if !ok {
-		s = &Stream{r: r, key: key}
+		s = &Stream{r: r, key: key, closed: r.closed}
 		r.streams[key] = s
 	}
 	return s
@@ -144,6 +147,18 @@ func (r *Recorder) MaxGauge(name string, v int64) {
 	r.mu.Unlock()
 }
 
+// GaugeF sets a named float gauge to v. Float gauges live beside the int64
+// gauges in Summary and the Prometheus exposition; they exist for metrics
+// whose natural unit is fractional (SDC heat, probabilities, ratios).
+func (r *Recorder) GaugeF(name string, v float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.gaugesF[name] = v
+	r.mu.Unlock()
+}
+
 // Counter reads a counter's current value (0 when unset).
 func (r *Recorder) Counter(name string) int64 {
 	if r == nil {
@@ -152,6 +167,17 @@ func (r *Recorder) Counter(name string) int64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.counters[name]
+}
+
+// FloatGauge reads a float gauge's current value (0, false when unset).
+func (r *Recorder) FloatGauge(name string) (float64, bool) {
+	if r == nil {
+		return 0, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v, ok := r.gaugesF[name]
+	return v, ok
 }
 
 // Summary renders every counter and gauge, sorted by name — the -metrics
@@ -181,9 +207,24 @@ func (r *Recorder) Summary() string {
 	}
 	writeSection("counters", r.counters)
 	writeSection("gauges", r.gauges)
+	if len(r.gaugesF) > 0 {
+		keys := make([]string, 0, len(r.gaugesF))
+		for k := range r.gaugesF {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		sb.WriteString("float gauges:\n")
+		for _, k := range keys {
+			fmt.Fprintf(&sb, "  %-32s %g\n", k, r.gaugesF[k])
+		}
+	}
+	// Streams are frozen by Close, so this count always agrees with what
+	// Close flushed (late events are dropped, not buffered).
 	events := 0
 	for _, s := range r.streams {
+		s.mu.Lock()
 		events += len(s.lines)
+		s.mu.Unlock()
 	}
 	fmt.Fprintf(&sb, "trace: %d streams, %d events\n", len(r.streams), events)
 	return sb.String()
@@ -191,27 +232,30 @@ func (r *Recorder) Summary() string {
 
 // Close flushes the trace to the sink: a meta line, then every stream's
 // events sorted by stream key (emission order within a stream). Close is
-// idempotent; only the first call writes.
+// idempotent; only the first call writes. Closing freezes every stream —
+// events emitted afterwards are dropped and tallied in the
+// "telemetry.dropped_events" counter instead of accumulating invisibly in
+// buffers the sink will never see, so Summary's event count always matches
+// the flushed trace.
 func (r *Recorder) Close() error {
 	if r == nil {
 		return nil
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if r.closed || r.opts.Sink == nil {
-		r.closed = true
+	if r.closed {
 		return nil
 	}
 	r.closed = true
-	clock := "cost"
-	if r.opts.WallClock {
-		clock = "wall"
-	}
 	keys := make([]string, 0, len(r.streams))
 	for k := range r.streams {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
+	clock := "cost"
+	if r.opts.WallClock {
+		clock = "wall"
+	}
 	var sb strings.Builder
 	// Wall-clock traces carry schedule-dependent timestamps, so the meta
 	// line marks them non-reproducible for downstream diffing tools.
@@ -220,11 +264,15 @@ func (r *Recorder) Close() error {
 	for _, k := range keys {
 		s := r.streams[k]
 		s.mu.Lock()
+		s.closed = true // an Emit either lands before this or is dropped
 		for _, line := range s.lines {
 			sb.WriteString(line)
 			sb.WriteByte('\n')
 		}
 		s.mu.Unlock()
+	}
+	if r.opts.Sink == nil {
+		return nil
 	}
 	_, err := io.WriteString(r.opts.Sink, sb.String())
 	return err
@@ -235,9 +283,10 @@ type Stream struct {
 	r   *Recorder
 	key string
 
-	mu    sync.Mutex
-	ticks int64
-	lines []string
+	mu     sync.Mutex
+	ticks  int64
+	lines  []string
+	closed bool
 }
 
 // Advance moves the stream's cost clock forward by n ticks (dynamic
@@ -266,7 +315,9 @@ func (s *Stream) Now() int64 {
 }
 
 // Emit appends one event to the stream, timestamped with the stream clock.
-// Fields keep their listed order.
+// Fields keep their listed order. After the Recorder is closed the event is
+// dropped and counted in "telemetry.dropped_events" — buffering it would
+// make Summary disagree with the trace Close already flushed.
 func (s *Stream) Emit(ev string, fields ...Field) {
 	if s == nil {
 		return
@@ -282,6 +333,11 @@ func (s *Stream) Emit(ev string, fields ...Field) {
 	}
 	sb.WriteByte('}')
 	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.r.Count("telemetry.dropped_events", 1)
+		return
+	}
 	s.lines = append(s.lines, sb.String())
 	s.mu.Unlock()
 }
@@ -347,7 +403,8 @@ func jsonString(s string) string {
 
 // jsonValue renders a field value deterministically. Floats use the
 // shortest round-trip decimal form; NaN and infinities (not representable
-// in JSON) become strings.
+// in JSON) become strings. Slices render as JSON arrays (heat events carry
+// parallel id/heat vectors).
 func jsonValue(v any) string {
 	switch x := v.(type) {
 	case string:
@@ -368,7 +425,29 @@ func jsonValue(v any) string {
 			return jsonString(strconv.FormatFloat(x, 'g', -1, 64))
 		}
 		return strconv.FormatFloat(x, 'g', -1, 64)
+	case []int:
+		return jsonArray(len(x), func(i int) string { return jsonValue(x[i]) })
+	case []int64:
+		return jsonArray(len(x), func(i int) string { return jsonValue(x[i]) })
+	case []float64:
+		return jsonArray(len(x), func(i int) string { return jsonValue(x[i]) })
+	case []string:
+		return jsonArray(len(x), func(i int) string { return jsonString(x[i]) })
 	default:
 		return jsonString(fmt.Sprintf("%v", x))
 	}
+}
+
+// jsonArray renders n elements as a JSON array.
+func jsonArray(n int, elem func(int) string) string {
+	var sb strings.Builder
+	sb.WriteByte('[')
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(elem(i))
+	}
+	sb.WriteByte(']')
+	return sb.String()
 }

@@ -225,6 +225,96 @@ func TestPoolObserver(t *testing.T) {
 	}
 }
 
+// Events emitted after Close must be dropped and tallied, not buffered:
+// buffering them would make Summary report events the flushed trace does not
+// contain.
+func TestEmitAfterCloseDropsAndCounts(t *testing.T) {
+	var buf bytes.Buffer
+	r := New(Options{Sink: &buf})
+	s := r.Stream("s")
+	s.Emit("before")
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	flushed := buf.String()
+
+	s.Emit("after")
+	r.Stream("late").Emit("after") // streams created post-Close start closed
+	if buf.String() != flushed {
+		t.Fatal("post-Close emit reached the sink")
+	}
+	if got := r.Counter("telemetry.dropped_events"); got != 2 {
+		t.Fatalf("telemetry.dropped_events = %d, want 2", got)
+	}
+	// Summary's event count agrees with the flushed trace: 1 event, not 3.
+	sum := r.Summary()
+	if !strings.Contains(sum, "2 streams, 1 events") {
+		t.Fatalf("summary disagrees with flushed trace:\n%s", sum)
+	}
+	if n := len(lines(&buf)); n != 2 { // meta + 1 event
+		t.Fatalf("trace has %d lines, want 2: %q", n, flushed)
+	}
+}
+
+// A sink-less recorder still freezes its streams on Close, so the metrics
+// summary cannot drift after the run is declared over.
+func TestCloseFreezesStreamsWithoutSink(t *testing.T) {
+	r := New(Options{})
+	s := r.Stream("s")
+	s.Emit("before")
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s.Emit("after")
+	if got := r.Counter("telemetry.dropped_events"); got != 1 {
+		t.Fatalf("telemetry.dropped_events = %d, want 1", got)
+	}
+	if !strings.Contains(r.Summary(), "1 streams, 1 events") {
+		t.Fatalf("summary counted a post-Close event:\n%s", r.Summary())
+	}
+}
+
+func TestFloatGauges(t *testing.T) {
+	r := New(Options{})
+	r.GaugeF("best.sdc", 0.4375)
+	if v, ok := r.FloatGauge("best.sdc"); !ok || v != 0.4375 {
+		t.Fatalf("FloatGauge = %v, %v", v, ok)
+	}
+	if _, ok := r.FloatGauge("unset"); ok {
+		t.Fatal("unset float gauge reported present")
+	}
+	if !strings.Contains(r.Summary(), "best.sdc") {
+		t.Fatalf("summary missing float gauge:\n%s", r.Summary())
+	}
+	var nilRec *Recorder
+	nilRec.GaugeF("g", 1)
+	if _, ok := nilRec.FloatGauge("g"); ok {
+		t.Fatal("nil recorder float gauge")
+	}
+}
+
+func TestJSONValueArrays(t *testing.T) {
+	var buf bytes.Buffer
+	r := New(Options{Sink: &buf})
+	r.Stream("s").Emit("ev",
+		F("ints", []int{3, 1}),
+		F("i64s", []int64{-2}),
+		F("floats", []float64{0.5, 0.25}),
+		F("strs", []string{"a", "b\"c"}))
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got := lines(&buf)
+	var ev map[string]any
+	if err := json.Unmarshal([]byte(got[1]), &ev); err != nil {
+		t.Fatalf("array event not valid JSON: %v\n%s", err, got[1])
+	}
+	if !strings.Contains(got[1], `"ints":[3,1]`) ||
+		!strings.Contains(got[1], `"floats":[0.5,0.25]`) {
+		t.Fatalf("bad array rendering: %s", got[1])
+	}
+}
+
 func TestJSONValueSpecialFloats(t *testing.T) {
 	var buf bytes.Buffer
 	r := New(Options{Sink: &buf})
