@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build lint test test-short race bench-smoke bench-workers test-telemetry test-observability test-checkpoint bench-fi test-fusion bench-fitness profile ci
+.PHONY: build lint test test-short race bench-smoke bench-workers test-telemetry test-observability test-checkpoint bench-fi bench-regression test-fusion bench-fitness profile ci
 
 build:
 	$(GO) build ./...
@@ -21,8 +21,10 @@ test-short:
 	$(GO) test -short ./...
 
 # Race-detect the internal packages; -short skips the FI-heavy validity
-# tests but keeps every parallel-layer test (worker-count equivalence,
-# the shared-RNG tripwire) in the run.
+# tests but keeps every parallel-layer test (worker-count equivalence, the
+# shared-RNG tripwire) and the batch/checkpoint suite — lockstep batching
+# forks trials off shared copy-on-write snapshot pages concurrently, so the
+# Batch|Checkpoint|RunFrom|Snapshot tests must stay inside the race scope.
 race:
 	$(GO) test -race -short ./internal/...
 
@@ -34,22 +36,35 @@ bench-smoke:
 bench-workers:
 	$(GO) test -bench=Workers -benchtime=3x -run='^$$' .
 
-# Checkpointed-execution equivalence gate: every resumed FI trial must be
-# bit-identical to a from-scratch one, at the interpreter, campaign and
-# parallel layers.
+# Checkpointed-execution equivalence gate: every resumed FI trial — and
+# every lockstep-batched one — must be bit-identical to a from-scratch one,
+# at the interpreter, campaign and parallel layers.
 test-checkpoint:
-	$(GO) test -count=1 -run 'Checkpoint|RunFrom|Snapshot' \
+	$(GO) test -count=1 -run 'Batch|Checkpoint|RunFrom|Snapshot' \
 		./internal/interp ./internal/campaign
 
-# Measure golden-run and 1000-trial campaign throughput, from scratch vs
-# resuming from golden-prefix snapshots, and render the machine-readable
-# BENCH_fi.json artifact (per-benchmark ns/op, dyn/op, skipped/op, and the
-# scratch/checkpointed campaign speedup).
+# Measure golden-run and 1000-trial campaign throughput — from scratch,
+# resuming per-trial from golden-prefix snapshots, and in lockstep batches
+# forked off a shared trunk — and render the machine-readable BENCH_fi.json
+# artifact (per-benchmark ns/op, dyn/op, skipped/op, the
+# scratch/checkpointed campaign speedup and the checkpointed/batched one).
 bench-fi:
 	$(GO) test -run='^$$' -bench='Benchmark(Overall|Golden)' -benchtime=3x \
 		./internal/interp | tee BENCH_fi.txt
 	$(GO) run ./cmd/benchjson < BENCH_fi.txt > BENCH_fi.json
 	@echo "wrote BENCH_fi.json"
+
+# CI bench-regression gate: re-run the bench-fi suite once (-benchtime=1x
+# keeps it fast) and fail if any per-benchmark speedup in the committed
+# BENCH_fi.json regressed by more than TOLERANCE. Speedup ratios cancel
+# absolute host speed, so the committed baseline is comparable across
+# machines.
+TOLERANCE ?= 0.15
+bench-regression:
+	$(GO) test -run='^$$' -bench='Benchmark(Overall|Golden)' -benchtime=1x \
+		./internal/interp | tee BENCH_fi.new.txt
+	$(GO) run ./cmd/benchjson < BENCH_fi.new.txt > BENCH_fi.new.json
+	$(GO) run ./cmd/benchjson -compare BENCH_fi.json BENCH_fi.new.json -tolerance $(TOLERANCE)
 
 # Profiling fast-path equivalence gate: block-granular and fused-
 # superinstruction profiled runs must be bit-identical to the legacy
@@ -122,4 +137,9 @@ test-observability:
 	rc=$$?; kill $$pid 2> /dev/null; wait $$pid 2> /dev/null; exit $$rc
 	@echo "live /metrics and /healthz endpoints answered mid-run"
 
-ci: build lint test race bench-smoke test-telemetry test-observability test-checkpoint test-fusion
+# Every GitHub workflow job's target, in workflow order: build, lint, test,
+# race, bench-smoke, fi-checkpoint (test-checkpoint + bench-fi),
+# fitness-perf (test-fusion + bench-fitness), test-telemetry,
+# test-observability, bench-regression. Keep this list in sync with
+# .github/workflows/ci.yml.
+ci: build lint test race bench-smoke test-checkpoint bench-fi test-fusion bench-fitness test-telemetry test-observability bench-regression

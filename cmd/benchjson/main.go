@@ -2,24 +2,34 @@
 // machine-readable JSON artifact: one record per benchmark (ns/op plus any
 // custom metrics such as dyn/op, skipped/op and allocs/op) and derived
 // speedup tables — for the BenchmarkOverall scratch/checkpointed pairs the
-// per-program campaign speedup of golden-prefix checkpointing
-// (BENCH_fi.json), and for the BenchmarkFitnessProfile perinstr/fused pairs
-// the per-program and geomean speedup of the fused profiling fast path
-// (BENCH_fitness.json).
+// per-program campaign speedup of golden-prefix checkpointing, for the
+// checkpointed/batched pairs the additional speedup of lockstep batching
+// (both in BENCH_fi.json), and for the BenchmarkFitnessProfile
+// perinstr/fused pairs the per-program and geomean speedup of the fused
+// profiling fast path (BENCH_fitness.json).
 //
 // Usage:
 //
 //	go test -run '^$' -bench 'Benchmark(Overall|Golden)' ./internal/interp | benchjson > BENCH_fi.json
 //	go test -run '^$' -bench BenchmarkFitnessProfile ./internal/interp | benchjson > BENCH_fitness.json
+//
+// With -compare it acts as the CI bench-regression gate instead of a
+// converter: it reads two previously generated reports and exits non-zero
+// when any per-benchmark speedup present in both files regressed by more
+// than -tolerance (a fraction; 0.15 allows a 15% drop):
+//
+//	benchjson -compare BENCH_fi.json BENCH_fi.new.json -tolerance 0.15
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"math"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -39,6 +49,11 @@ type Report struct {
 	// OverallSpeedup maps each program benchmark to
 	// scratch ns/op ÷ checkpointed ns/op for BenchmarkOverall.
 	OverallSpeedup map[string]float64 `json:"overall_speedup,omitempty"`
+	// BatchSpeedup maps each program benchmark to
+	// checkpointed ns/op ÷ batched ns/op for BenchmarkOverall — the
+	// additional campaign speedup of lockstep batching over per-trial
+	// checkpointed execution.
+	BatchSpeedup map[string]float64 `json:"batch_speedup,omitempty"`
 	// FitnessSpeedup maps each program benchmark to perinstr ns/op ÷
 	// fused ns/op for BenchmarkFitnessProfile, plus a "geomean" entry —
 	// the speedup of the fused profiling fast path over the legacy
@@ -50,10 +65,114 @@ type Report struct {
 }
 
 func main() {
-	if err := run(os.Stdin, os.Stdout, os.Stderr); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+	os.Exit(cli(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func cli(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	compare := fs.Bool("compare", false, "compare two reports (old.json new.json) instead of converting bench output; exits non-zero on regression")
+	tolerance := fs.Float64("tolerance", 0.15, "allowed fractional speedup drop before -compare fails (0.15 = 15%)")
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
+	// The flag package stops at the first positional argument; re-parse the
+	// remainder so `-compare old.json new.json -tolerance 0.1` works with
+	// the flags in any position.
+	var files []string
+	rest := fs.Args()
+	for len(rest) > 0 {
+		files = append(files, rest[0])
+		if err := fs.Parse(rest[1:]); err != nil {
+			return 2
+		}
+		rest = fs.Args()
+	}
+	if *compare {
+		if len(files) != 2 {
+			fmt.Fprintln(stderr, "benchjson: -compare needs exactly two report files: old.json new.json")
+			return 2
+		}
+		ok, err := compareReports(files[0], files[1], *tolerance, stdout)
+		if err != nil {
+			fmt.Fprintln(stderr, "benchjson:", err)
+			return 1
+		}
+		if !ok {
+			return 1
+		}
+		return 0
+	}
+	if len(files) != 0 {
+		fmt.Fprintf(stderr, "benchjson: unexpected arguments %v (bench output is read from stdin)\n", files)
+		return 2
+	}
+	if err := run(stdin, stdout, stderr); err != nil {
+		fmt.Fprintln(stderr, "benchjson:", err)
+		return 1
+	}
+	return 0
+}
+
+// compareReports is the CI bench-regression gate: every per-benchmark
+// speedup present in the old report must still exist in the new one and be
+// no worse than old×(1−tolerance). Speedup ratios are used rather than raw
+// ns/op because both sides of each ratio ran on the same machine, so the
+// ratio cancels absolute host-speed differences between the committed
+// baseline and the CI runner.
+func compareReports(oldPath, newPath string, tolerance float64, out io.Writer) (bool, error) {
+	oldRep, err := loadReport(oldPath)
+	if err != nil {
+		return false, err
+	}
+	newRep, err := loadReport(newPath)
+	if err != nil {
+		return false, err
+	}
+	ok := true
+	check := func(metric string, oldS, newS map[string]float64) {
+		names := make([]string, 0, len(oldS))
+		for name := range oldS {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			want := oldS[name]
+			floor := want * (1 - tolerance)
+			got, present := newS[name]
+			switch {
+			case !present:
+				fmt.Fprintf(out, "FAIL %s/%s: %.2fx in %s but missing from %s\n",
+					metric, name, want, oldPath, newPath)
+				ok = false
+			case got < floor:
+				fmt.Fprintf(out, "FAIL %s/%s: %.2fx → %.2fx (floor %.2fx at %.0f%% tolerance)\n",
+					metric, name, want, got, floor, tolerance*100)
+				ok = false
+			default:
+				fmt.Fprintf(out, "ok   %s/%s: %.2fx → %.2fx (floor %.2fx)\n",
+					metric, name, want, got, floor)
+			}
+		}
+	}
+	check("overall_speedup", oldRep.OverallSpeedup, newRep.OverallSpeedup)
+	check("batch_speedup", oldRep.BatchSpeedup, newRep.BatchSpeedup)
+	if ok {
+		fmt.Fprintln(out, "bench-regression gate passed")
+	}
+	return ok, nil
+}
+
+func loadReport(path string) (*Report, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
 }
 
 func run(in io.Reader, out, errw io.Writer) error {
@@ -83,6 +202,7 @@ func run(in io.Reader, out, errw io.Writer) error {
 		return fmt.Errorf("no benchmark lines on stdin")
 	}
 	rep.OverallSpeedup = speedups(rep.Benchmarks)
+	rep.BatchSpeedup = batchSpeedups(rep.Benchmarks)
 	rep.FitnessSpeedup = fitnessSpeedups(rep.Benchmarks, errw)
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
@@ -157,6 +277,12 @@ func ratios(benches []Benchmark, numPrefix, denPrefix string) map[string]float64
 // and reports their ns/op ratios.
 func speedups(benches []Benchmark) map[string]float64 {
 	return ratios(benches, "BenchmarkOverall/scratch/", "BenchmarkOverall/checkpointed/")
+}
+
+// batchSpeedups pairs BenchmarkOverall/checkpointed/<prog> with
+// .../batched/<prog> and reports their ns/op ratios.
+func batchSpeedups(benches []Benchmark) map[string]float64 {
+	return ratios(benches, "BenchmarkOverall/checkpointed/", "BenchmarkOverall/batched/")
 }
 
 // fitnessSpeedups pairs BenchmarkFitnessProfile/perinstr/<prog> with

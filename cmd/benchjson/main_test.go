@@ -3,9 +3,14 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"os"
 	"strings"
 	"testing"
 )
+
+func writeFile(path string, blob []byte) error {
+	return os.WriteFile(path, blob, 0o644)
+}
 
 const sample = `goos: linux
 goarch: amd64
@@ -126,5 +131,101 @@ func TestRunEmpty(t *testing.T) {
 	var out, errOut bytes.Buffer
 	if err := run(strings.NewReader("PASS\n"), &out, &errOut); err == nil {
 		t.Fatal("expected error for input without benchmark lines")
+	}
+}
+
+const batchedSample = `goos: linux
+BenchmarkOverall/scratch/pathfinder-8       	2	165783610 ns/op
+BenchmarkOverall/checkpointed/pathfinder-8  	2	 74611850 ns/op
+BenchmarkOverall/batched/pathfinder-8       	2	 37305925 ns/op
+PASS
+`
+
+func TestRunBatchSpeedup(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run(strings.NewReader(batchedSample), &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if got := rep.BatchSpeedup["pathfinder"]; got != 2 {
+		t.Fatalf("pathfinder batch speedup = %v, want 2", got)
+	}
+	if got := rep.OverallSpeedup["pathfinder"]; got < 2.2 || got > 2.23 {
+		t.Fatalf("pathfinder overall speedup = %v, want ~2.22", got)
+	}
+}
+
+func writeReport(t *testing.T, rep Report) string {
+	t.Helper()
+	blob, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/report.json"
+	if err := writeFile(path, blob); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func runCompare(t *testing.T, oldRep, newRep Report, extra ...string) (int, string) {
+	t.Helper()
+	args := append([]string{"-compare", writeReport(t, oldRep), writeReport(t, newRep)}, extra...)
+	var out, errOut bytes.Buffer
+	code := cli(args, strings.NewReader(""), &out, &errOut)
+	return code, out.String() + errOut.String()
+}
+
+func TestComparePass(t *testing.T) {
+	oldRep := Report{OverallSpeedup: map[string]float64{"pathfinder": 2.2, "hpccg": 1.8},
+		BatchSpeedup: map[string]float64{"pathfinder": 1.9}}
+	newRep := Report{OverallSpeedup: map[string]float64{"pathfinder": 2.0, "hpccg": 1.9},
+		BatchSpeedup: map[string]float64{"pathfinder": 1.8}}
+	code, log := runCompare(t, oldRep, newRep)
+	if code != 0 {
+		t.Fatalf("within-tolerance compare exited %d:\n%s", code, log)
+	}
+	if !strings.Contains(log, "bench-regression gate passed") {
+		t.Fatalf("missing pass marker:\n%s", log)
+	}
+}
+
+func TestCompareRegression(t *testing.T) {
+	oldRep := Report{OverallSpeedup: map[string]float64{"pathfinder": 2.2}}
+	newRep := Report{OverallSpeedup: map[string]float64{"pathfinder": 1.5}}
+	code, log := runCompare(t, oldRep, newRep)
+	if code == 0 {
+		t.Fatalf("regressed compare exited 0:\n%s", log)
+	}
+	if !strings.Contains(log, "FAIL overall_speedup/pathfinder") {
+		t.Fatalf("missing failure line:\n%s", log)
+	}
+}
+
+func TestCompareMissingBenchmarkFails(t *testing.T) {
+	oldRep := Report{OverallSpeedup: map[string]float64{"pathfinder": 2.2, "fft": 1.7}}
+	newRep := Report{OverallSpeedup: map[string]float64{"pathfinder": 2.2}}
+	code, log := runCompare(t, oldRep, newRep)
+	if code == 0 {
+		t.Fatalf("compare with a missing benchmark exited 0:\n%s", log)
+	}
+	if !strings.Contains(log, "missing from") {
+		t.Fatalf("missing-benchmark failure not reported:\n%s", log)
+	}
+}
+
+func TestCompareToleranceFlagAfterPositionals(t *testing.T) {
+	oldRep := Report{OverallSpeedup: map[string]float64{"pathfinder": 2.0}}
+	newRep := Report{OverallSpeedup: map[string]float64{"pathfinder": 1.2}}
+	// 1.2 fails the default 15% tolerance but passes 50%; the flag comes
+	// after the file arguments, as the Makefile invokes it.
+	if code, log := runCompare(t, oldRep, newRep); code == 0 {
+		t.Fatalf("default tolerance should fail:\n%s", log)
+	}
+	if code, log := runCompare(t, oldRep, newRep, "-tolerance", "0.5"); code != 0 {
+		t.Fatalf("-tolerance 0.5 after positionals should pass, exited %d:\n%s", code, log)
 	}
 }

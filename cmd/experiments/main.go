@@ -58,6 +58,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		metricsAddr = fs.String("metrics-addr", "", "serve live Prometheus metrics on this address (e.g. 127.0.0.1:9464) at /metrics, with /healthz liveness")
 		heatTopK    = fs.Int("heat-topk", 0, "per-instruction heat events in the trace carry this many instructions (0 = default 10, negative disables)")
 		ckptIval    = fs.Int64("checkpoint-interval", 0, "golden-prefix snapshot spacing for FI campaigns, in dynamic instructions (0 = auto, -1 = disable; reports are identical either way)")
+		batch       = fs.Int("batch", 0, "lockstep batch size for FI campaigns: trials sharing a checkpoint run as one batch (0 = per-trial; search campaigns switch to per-trial RNG streams when batched)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -87,6 +88,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	cfg.Workers = *workers
 	cfg.CheckpointInterval = *ckptIval
+	cfg.BatchSize = *batch
 	cfg.HeatTopK = *heatTopK
 
 	var rec *telemetry.Recorder

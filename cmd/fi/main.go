@@ -62,6 +62,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		metricsAddr = fs.String("metrics-addr", "", "serve live Prometheus metrics on this address (e.g. 127.0.0.1:9464) at /metrics, with /healthz liveness")
 		heatTopK    = fs.Int("heat-topk", 0, "per-instruction heat events in the trace carry this many instructions (0 = default 10, negative disables; -perinstr mode)")
 		ckptIval    = fs.Int64("checkpoint-interval", 0, "golden-prefix snapshot spacing in dynamic instructions (0 = auto, -1 = disable)")
+		batch       = fs.Int("batch", 0, "lockstep batch size: run trials sharing a checkpoint as one batch with a shared trunk replay (0 = per-trial; implies per-trial RNG streams like -parallel)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -139,7 +140,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	if *perInstr {
 		ids := campaign.AllInstructionIDs(b.Prog)
-		results := campaign.PerInstruction(b.Prog, g, ids, *trials, rng)
+		var results []campaign.InstrResult
+		if *batch > 0 || *workers >= 1 {
+			// The parallel runner seeds each instruction's stream from its
+			// ID, so tallies are identical for any -parallel and -batch.
+			results = campaign.PerInstructionParallel(b.Prog, g, ids, *trials, campaign.ParallelOptions{
+				Workers: *workers, Seed: *seed, BatchSize: *batch,
+			})
+		} else {
+			results = campaign.PerInstruction(b.Prog, g, ids, *trials, rng)
+		}
 		var dyn int64
 		var total int
 		for _, r := range results {
@@ -161,7 +171,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 				scores, g.InstrCounts, g.DynCount, *heatTopK)
 		}
 		campaign.EmitCheckpointTelemetry(tr, "fi.checkpoints", g.CheckpointStats())
+		campaign.EmitBatchTelemetry(tr, "fi.batch", g.CheckpointStats(), *batch)
 		printCheckpointSummary(stdout, g)
+		printBatchSummary(stdout, g)
 		sort.Slice(results, func(a, c int) bool {
 			return results[a].Counts.SDCProbability() > results[c].Counts.SDCProbability()
 		})
@@ -192,11 +204,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 			c.Add(o)
 			c.DynInstrs += dyn
 		}
-	case *workers >= 1:
+	case *workers >= 1 || *batch > 0:
 		// Per-trial RNG streams derived from (seed, trial index): the tally
-		// and the trace are identical for every worker count ≥ 1.
+		// and the trace are identical for every worker count ≥ 1 and every
+		// -batch size (batched trials keep their private streams).
 		c = campaign.OverallParallel(b.Prog, g, *trials, campaign.ParallelOptions{
-			Workers: *workers, Seed: *seed,
+			Workers: *workers, Seed: *seed, BatchSize: *batch,
 		})
 	default:
 		c = campaign.Overall(b.Prog, g, *trials, rng)
@@ -206,7 +219,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		telemetry.F("model", model),
 	}, c.Fields()...)...)
 	campaign.EmitCheckpointTelemetry(tr, "fi.checkpoints", g.CheckpointStats())
+	campaign.EmitBatchTelemetry(tr, "fi.batch", g.CheckpointStats(), *batch)
 	printCheckpointSummary(stdout, g)
+	printBatchSummary(stdout, g)
 	fmt.Fprintf(stdout, "%d fault-injection trials (%s in random dynamic instruction results):\n", c.Trials, model)
 	fmt.Fprintf(stdout, "  SDC:    %4d  (%.2f%% ±%.2f%%)\n", c.SDC, c.SDCProbability()*100, c.CI95()*100)
 	fmt.Fprintf(stdout, "  crash:  %4d  (%.2f%%)\n", c.Crash, float64(c.Crash)/float64(c.Trials)*100)
@@ -224,6 +239,17 @@ func printCheckpointSummary(w io.Writer, g *campaign.Golden) {
 	}
 	fmt.Fprintf(w, "checkpoints: %d snapshots every %d dynamic instructions; %d/%d trials resumed, %d prefix instructions skipped\n\n",
 		st.Snapshots, st.Interval, st.Restored, st.Restored+st.Scratch, st.SkippedDyn)
+}
+
+// printBatchSummary reports lockstep batch usage; silent when no batches
+// ran (per-trial mode, or -batch without checkpoints to group on).
+func printBatchSummary(w io.Writer, g *campaign.Golden) {
+	st := g.CheckpointStats()
+	if st.Batches == 0 {
+		return
+	}
+	fmt.Fprintf(w, "batches: %d trials in %d lockstep batches, %d shared trunk instructions executed once per batch\n\n",
+		st.BatchedTrials, st.Batches, st.TrunkDyn)
 }
 
 func pctS(p float64) string { return fmt.Sprintf("%.1f%%", p*100) }

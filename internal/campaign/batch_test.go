@@ -1,0 +1,97 @@
+package campaign
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/prog"
+)
+
+// TestBatchedOverallEquivalence is the lockstep-batching differential gate:
+// for every prog benchmark, whole-program campaign tallies on a
+// checkpointed golden must be bit-identical between the per-trial path and
+// the batched path at every batch size and worker count. The reference is
+// the per-trial run itself, which TestCheckpointedParallelEquivalence ties
+// back to the from-scratch serial campaign.
+func TestBatchedOverallEquivalence(t *testing.T) {
+	trials := 300
+	if testing.Short() {
+		trials = 80
+	}
+	for _, name := range prog.Names() {
+		if testing.Short() && heavyBenches[name] {
+			continue
+		}
+		t.Run(name, func(t *testing.T) {
+			b := prog.Build(name)
+			in := b.Encode(b.RefInput())
+			g, err := NewGoldenCheckpointed(b.Prog, in, b.MaxDyn, CheckpointAuto)
+			if err != nil {
+				t.Fatal(err)
+			}
+			const seed = 11
+			ref := OverallParallel(b.Prog, g, trials, ParallelOptions{Workers: 1, Seed: seed})
+			for _, workers := range []int{1, 4} {
+				for _, batch := range []int{1, 8, 64} {
+					got := OverallParallel(b.Prog, g, trials, ParallelOptions{Workers: workers, Seed: seed, BatchSize: batch})
+					if got != ref {
+						t.Fatalf("workers=%d batch=%d: %+v vs per-trial %+v", workers, batch, got, ref)
+					}
+				}
+			}
+			st := g.CheckpointStats()
+			if st.Batches == 0 || st.BatchedTrials == 0 {
+				t.Fatalf("no batches recorded: %+v", st)
+			}
+		})
+	}
+}
+
+// TestBatchedPerInstructionEquivalence covers the static-mode campaign:
+// per-instruction tallies must be identical between per-trial and batched
+// execution for every batch size and worker count.
+func TestBatchedPerInstructionEquivalence(t *testing.T) {
+	trialsPerInstr := 5
+	for _, name := range prog.Names() {
+		if testing.Short() && heavyBenches[name] {
+			continue
+		}
+		t.Run(name, func(t *testing.T) {
+			b := prog.Build(name)
+			in := b.Encode(b.RefInput())
+			g, err := NewGoldenCheckpointed(b.Prog, in, b.MaxDyn, CheckpointAuto)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ids := AllInstructionIDs(b.Prog)
+			const seed = 42
+			ref := PerInstructionParallel(b.Prog, g, ids, trialsPerInstr, ParallelOptions{Workers: 1, Seed: seed})
+			for _, workers := range []int{1, 4} {
+				for _, batch := range []int{1, 8, 64} {
+					got := PerInstructionParallel(b.Prog, g, ids, trialsPerInstr, ParallelOptions{Workers: workers, Seed: seed, BatchSize: batch})
+					if !reflect.DeepEqual(got, ref) {
+						t.Fatalf("workers=%d batch=%d: per-instruction tallies diverged from per-trial", workers, batch)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestBatchedScratchGolden pins the base-less corner: a golden without
+// checkpoints groups every trial into entry-rooted batches, and the tallies
+// must still match the per-trial path.
+func TestBatchedScratchGolden(t *testing.T) {
+	b := prog.Build("pathfinder")
+	in := b.Encode(b.RefInput())
+	g, err := NewGolden(b.Prog, in, b.MaxDyn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trials := 60
+	ref := OverallParallel(b.Prog, g, trials, ParallelOptions{Workers: 1, Seed: 7})
+	got := OverallParallel(b.Prog, g, trials, ParallelOptions{Workers: 4, Seed: 7, BatchSize: 16})
+	if got != ref {
+		t.Fatalf("scratch-golden batched %+v vs per-trial %+v", got, ref)
+	}
+}

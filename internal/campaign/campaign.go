@@ -187,7 +187,11 @@ func NewGoldenCheckpointed(p *interp.Program, input []uint64, maxDyn, interval i
 		}
 		return g, nil
 	}
-	return newGolden(p, input, interp.Options{Profile: true, MaxDyn: maxDyn, CheckpointInterval: interval})
+	// Campaign snapshots are recorded on the fused engine so batched trials
+	// resume — and their shared trunks run — over the superinstruction code
+	// arrays; serial resumes pick the engine from the snapshot and stay
+	// bit-identical either way.
+	return newGolden(p, input, interp.Options{Profile: true, MaxDyn: maxDyn, CheckpointInterval: interval, Fused: true})
 }
 
 // EnsureCheckpoints attaches golden-prefix snapshots to an existing golden
@@ -203,7 +207,10 @@ func (g *Golden) EnsureCheckpoints(p *interp.Program, interval int64) error {
 	if interval == CheckpointAuto {
 		interval = interp.AutoCheckpointInterval(g.DynCount)
 	}
-	r := interp.Run(p, g.Input, interp.Options{Profile: true, CheckpointInterval: interval})
+	// The replay records fused-engine snapshots (see NewGoldenCheckpointed);
+	// since the original golden may have run unfused, the divergence check
+	// below doubles as a cross-engine differential test.
+	r := interp.Run(p, g.Input, interp.Options{Profile: true, CheckpointInterval: interval, Fused: true})
 	if r.Trap != nil || r.BudgetExceeded || r.DynCount != g.DynCount || !interp.OutputEqual(r.Output, g.Output) {
 		return fmt.Errorf("campaign: checkpoint replay diverged from the golden run")
 	}
@@ -238,6 +245,26 @@ func EmitCheckpointTelemetry(tr *telemetry.Stream, event string, st interp.Check
 		telemetry.F("skipped_dyn", st.SkippedDyn))
 }
 
+// EmitBatchTelemetry folds a lockstep-batching usage sample into a
+// telemetry stream: fi.batch.* recorder gauges (exported by /metrics as
+// peppax_fi_batch_*) plus one trace event. Every value derives from the
+// dyn clock and the deterministic trial grouping, so traces stay
+// byte-identical across worker counts. No-op when no batches ran.
+func EmitBatchTelemetry(tr *telemetry.Stream, event string, st interp.CheckpointStats, size int) {
+	if st.Batches == 0 {
+		return
+	}
+	tr.Gauge("fi.batch.size", int64(size))
+	tr.Gauge("fi.batch.batches", st.Batches)
+	tr.Gauge("fi.batch.trials", st.BatchedTrials)
+	tr.Gauge("fi.batch.trunk_dyn", st.TrunkDyn)
+	tr.Emit(event,
+		telemetry.F("size", size),
+		telemetry.F("batches", st.Batches),
+		telemetry.F("trials", st.BatchedTrials),
+		telemetry.F("trunk_dyn", st.TrunkDyn))
+}
+
 // Classify runs one faulty execution under plan and classifies it against
 // the golden run. The returned static ID is the instruction that received
 // the fault (-1 if the fault did not activate, which Classify reports as
@@ -252,30 +279,39 @@ func Classify(p *interp.Program, g *Golden, plan fault.Plan, rng *xrand.RNG, det
 		FaultRNG: rng,
 		MaxDyn:   budget,
 	})
+	o, id := classifyResult(g, r, detector)
+	return o, id, r.DynCount
+}
+
+// classifyResult classifies an already-executed trial Result against the
+// golden — the decision half of Classify, shared with the lockstep batch
+// path, which classifies inside BatchRun's report callback (the Result's
+// buffers are only borrowed there).
+func classifyResult(g *Golden, r *interp.Result, detector func(staticID int) bool) (Outcome, int) {
 	if !r.Injected {
-		return Benign, -1, r.DynCount
+		return Benign, -1
 	}
 	if r.DetectedFlag {
 		// The program's own duplication instrumentation (duplication pass)
 		// caught the corruption and fail-stopped.
-		return Detected, r.InjectedID, r.DynCount
+		return Detected, r.InjectedID
 	}
 	if detector != nil && detector(r.InjectedID) {
 		// Selective instruction duplication compares the original and
 		// duplicated results at the protected instruction, detecting any
 		// corruption of its return value before it propagates.
-		return Detected, r.InjectedID, r.DynCount
+		return Detected, r.InjectedID
 	}
 	if r.Trap != nil {
-		return Crash, r.InjectedID, r.DynCount
+		return Crash, r.InjectedID
 	}
 	if r.BudgetExceeded {
-		return Hang, r.InjectedID, r.DynCount
+		return Hang, r.InjectedID
 	}
 	if !interp.OutputEqual(g.Output, r.Output) {
-		return SDC, r.InjectedID, r.DynCount
+		return SDC, r.InjectedID
 	}
-	return Benign, r.InjectedID, r.DynCount
+	return Benign, r.InjectedID
 }
 
 // Counts aggregates trial outcomes.

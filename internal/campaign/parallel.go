@@ -23,6 +23,12 @@ type ParallelOptions struct {
 	Seed uint64
 	// Detector optionally models protection (see OverallProtected).
 	Detector func(staticID int) bool
+	// BatchSize groups trials that resume from the same checkpoint into
+	// lockstep interp.BatchRun executions of at most this size, sharing one
+	// trunk replay per batch (<= 1 keeps the per-trial path). Trial plans
+	// and RNG streams are derived exactly as on the per-trial path, so
+	// results are bit-identical at every batch size and worker count.
+	BatchSize int
 }
 
 // trialRNG derives the deterministic per-trial stream.
@@ -42,6 +48,9 @@ type trialOutcome struct {
 // (Seed, trials) configuration the result is identical regardless of
 // Workers — including the serial Workers=1 schedule.
 func OverallParallel(p *interp.Program, g *Golden, trials int, opts ParallelOptions) Counts {
+	if opts.BatchSize > 1 {
+		return overallBatched(p, g, trials, opts)
+	}
 	outcomes := parallel.Map(opts.Workers, trials, func(i int) trialOutcome {
 		rng := trialRNG(opts.Seed, i)
 		plan := fault.SampleDynamic(rng, g.DynCount)
@@ -58,21 +67,114 @@ func OverallParallel(p *interp.Program, g *Golden, trials int, opts ParallelOpti
 
 // PerInstructionParallel is the parallel form of PerInstruction: the
 // instruction list is distributed across workers, each instruction's trials
-// seeded by its ID so the results match any worker count.
+// seeded by its ID so the results match any worker count. With
+// opts.BatchSize > 1 each instruction's trials run in lockstep batches;
+// plans are pre-sampled from the same per-ID stream in the same order (and
+// static plans draw their fault bits eagerly, never at injection), so the
+// batched counts are bit-identical to the per-trial ones.
 func PerInstructionParallel(p *interp.Program, g *Golden, ids []int, trialsPerInstr int, opts ParallelOptions) []InstrResult {
 	return parallel.Map(opts.Workers, len(ids), func(k int) InstrResult {
 		id := ids[k]
 		res := InstrResult{ID: id}
-		if execCount := g.InstrCounts[id]; execCount > 0 {
-			ty := p.InstrType(id)
-			rng := trialRNG(opts.Seed, id)
-			for t := 0; t < trialsPerInstr; t++ {
-				plan := fault.SampleStatic(rng, id, ty, execCount)
-				o, _, dyn := Classify(p, g, plan, rng, nil)
-				res.Counts.Add(o)
-				res.Counts.DynInstrs += dyn
+		execCount := g.InstrCounts[id]
+		if execCount <= 0 {
+			return res
+		}
+		ty := p.InstrType(id)
+		rng := trialRNG(opts.Seed, id)
+		if opts.BatchSize > 1 {
+			plans := make([]fault.Plan, trialsPerInstr)
+			for t := range plans {
+				plans[t] = fault.SampleStatic(rng, id, ty, execCount)
 			}
+			outs := make([]trialOutcome, trialsPerInstr)
+			// workers=1: instruction-level fan-out already occupies the
+			// pool; nesting another ForEach would oversubscribe it.
+			runBatchJobs(p, g, plans, func(int) *xrand.RNG { return rng }, opts.BatchSize, 1, nil, outs)
+			for _, t := range outs {
+				res.Counts.Add(t.o)
+				res.Counts.DynInstrs += t.dyn
+			}
+			return res
+		}
+		for t := 0; t < trialsPerInstr; t++ {
+			plan := fault.SampleStatic(rng, id, ty, execCount)
+			o, _, dyn := Classify(p, g, plan, rng, nil)
+			res.Counts.Add(o)
+			res.Counts.DynInstrs += dyn
 		}
 		return res
 	})
+}
+
+// overallBatched is OverallParallel's lockstep path. Plans and per-trial
+// RNGs are derived exactly as on the per-trial path (SampleDynamic is the
+// first draw on each trial's private stream; the fault-bit draw at
+// injection continues the same stream inside BatchRun), trials are grouped
+// by the snapshot ForPlan selects, and batches fan out across workers while
+// outcomes fold in trial-index order — so the counts are bit-identical for
+// every batch size and worker count.
+func overallBatched(p *interp.Program, g *Golden, trials int, opts ParallelOptions) Counts {
+	plans := make([]fault.Plan, trials)
+	rngs := make([]*xrand.RNG, trials)
+	for i := range plans {
+		rngs[i] = trialRNG(opts.Seed, i)
+		plans[i] = fault.SampleDynamic(rngs[i], g.DynCount)
+	}
+	outcomes := make([]trialOutcome, trials)
+	runBatchJobs(p, g, plans, func(i int) *xrand.RNG { return rngs[i] }, opts.BatchSize, opts.Workers, opts.Detector, outcomes)
+	var c Counts
+	for _, t := range outcomes {
+		c.Add(t.o)
+		c.DynInstrs += t.dyn
+	}
+	return c
+}
+
+// runBatchJobs executes the planned trials in lockstep batches, fanning the
+// batches across workers, and writes each trial's classified outcome into
+// outs[i]. rngFor supplies the RNG a trial injects with; batch telemetry
+// accumulates into g.Checkpoints (atomic, nil-safe).
+func runBatchJobs(p *interp.Program, g *Golden, plans []fault.Plan, rngFor func(i int) *xrand.RNG, size, workers int, detector func(staticID int) bool, outs []trialOutcome) {
+	jobs := batchJobs(g, plans, size)
+	budget := g.DynCount*hangBudgetMultiplier + hangBudgetSlack
+	parallel.ForEach(workers, len(jobs), func(j int) {
+		job := &jobs[j]
+		bt := make([]interp.BatchTrial, len(job.idx))
+		for k, i := range job.idx {
+			bt[k] = interp.BatchTrial{Plan: plans[i], RNG: rngFor(i)}
+		}
+		st := interp.BatchRun(p, g.Input, job.snap, bt, interp.Options{MaxDyn: budget, Fused: true}, func(k int, r *interp.Result) {
+			o, _ := classifyResult(g, r, detector)
+			outs[job.idx[k]] = trialOutcome{o: o, dyn: r.DynCount}
+		})
+		g.Checkpoints.NoteBatch(st)
+	})
+}
+
+// batchJob is one BatchRun dispatch: trial indices sharing a base snapshot.
+type batchJob struct {
+	snap *interp.Snapshot
+	idx  []int
+}
+
+// batchJobs groups trial indices by the snapshot each plan resumes from,
+// preserving index order within a group, then chunks groups to at most size
+// trials (the final chunk of a group may be smaller). The grouping is a
+// pure function of the plans and the golden's snapshots, so the job list —
+// and with it every fork point — is deterministic.
+func batchJobs(g *Golden, plans []fault.Plan, size int) []batchJob {
+	groups := make(map[*interp.Snapshot]int)
+	var jobs []batchJob
+	for i := range plans {
+		s := g.Checkpoints.ForPlan(&plans[i])
+		j, ok := groups[s]
+		if !ok || len(jobs[j].idx) >= size {
+			jobs = append(jobs, batchJob{snap: s})
+			j = len(jobs) - 1
+			groups[s] = j
+		}
+		jobs[j].idx = append(jobs[j].idx, i)
+	}
+	return jobs
 }

@@ -29,6 +29,11 @@ type BaselineOptions struct {
 	// serially, and every trial's RNG is derived from (campaign seed,
 	// trial index), so the result is identical for every worker count.
 	Workers int
+	// BatchSize > 0 runs each candidate's FI campaign in lockstep batches
+	// of at most this size (see campaign.ParallelOptions.BatchSize). The
+	// campaign already derives per-trial RNG streams, so tallies — and the
+	// whole search — are bit-identical at every batch size.
+	BatchSize int
 	// CheckpointInterval enables golden-prefix snapshots for each
 	// candidate's FI campaign: campaign.CheckpointAuto (0) auto-tunes the
 	// spacing, a positive value fixes it, campaign.CheckpointDisabled (-1)
@@ -104,8 +109,9 @@ func RandomSearch(b *prog.Benchmark, opts BaselineOptions, rng *xrand.RNG) *Base
 		}
 		res.DynSpent += g.DynCount
 		c := campaign.OverallParallel(b.Prog, g, opts.TrialsPerInput, campaign.ParallelOptions{
-			Workers: opts.Workers,
-			Seed:    rng.Uint64(),
+			Workers:   opts.Workers,
+			Seed:      rng.Uint64(),
+			BatchSize: opts.BatchSize,
 		})
 		res.DynSpent += c.DynInstrs
 		ckStats.Accumulate(g.CheckpointStats())
@@ -141,6 +147,7 @@ func RandomSearch(b *prog.Benchmark, opts BaselineOptions, rng *xrand.RNG) *Base
 	res.Elapsed = time.Since(start)
 	endPhase()
 	campaign.EmitCheckpointTelemetry(tr, "baseline.checkpoints", ckStats)
+	campaign.EmitBatchTelemetry(tr, "fi.batch", ckStats, opts.BatchSize)
 	tr.Emit("baseline.done",
 		telemetry.F("inputs", res.Inputs),
 		telemetry.F("best_sdc", res.BestSDC))

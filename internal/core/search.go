@@ -50,6 +50,17 @@ type Options struct {
 	// the closing FI campaign always consume the search RNG serially, so
 	// the result is bit-identical for every worker count.
 	Workers int
+	// BatchSize > 0 routes the pipeline's whole-program FI campaigns
+	// (Figure 5 checkpoints and the closing measurement) through the
+	// lockstep batch executor: trials grouped by nearest golden snapshot
+	// run interp.BatchRun batches of at most this size, sharing one trunk
+	// replay per batch. Batched campaigns derive per-trial RNG streams from
+	// one seed drawn off the search RNG instead of classifying on the
+	// shared serial stream, so enabling batching changes which plans a
+	// given seed produces — but the batched tallies themselves are
+	// bit-identical for every batch size and worker count. 0 keeps the
+	// serial shared-stream campaign.
+	BatchSize int
 	// ProfileMode selects the interpreter engine for candidate profiling
 	// (GA fitness and the small-input fuzzer's coverage checks). The zero
 	// value is interp.ProfileFused — block-granular counting over the fused
@@ -271,7 +282,7 @@ func Search(b *prog.Benchmark, opts Options, rng *xrand.RNG) (*Result, error) {
 			cp := Checkpoint{Generation: gen, BestInput: best.Genome, Fitness: best.Fitness}
 			var heatG *campaign.Golden
 			if g, err := campaign.NewGoldenCheckpointed(b.Prog, b.Encode(best.Genome), b.MaxDyn, opts.CheckpointInterval); err == nil {
-				cp.Counts = campaign.Overall(b.Prog, g, opts.FinalTrials, fiRNG)
+				cp.Counts = overallCampaign(b.Prog, g, opts.FinalTrials, fiRNG, opts)
 				ckStats.Accumulate(g.CheckpointStats())
 				heatG = g
 			}
@@ -309,13 +320,14 @@ func Search(b *prog.Benchmark, opts Options, rng *xrand.RNG) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: reported input of %s is invalid: %w", b.Name, err)
 	}
-	res.Final = campaign.Overall(b.Prog, g, opts.FinalTrials, rng)
+	res.Final = overallCampaign(b.Prog, g, opts.FinalTrials, rng, opts)
 	ckStats.Accumulate(g.CheckpointStats())
 	res.Cost.FinalFIDyn = res.Final.DynInstrs + g.DynCount
 	res.Cost.FinalFITime = time.Since(t0)
 	tr.Advance(res.Cost.FinalFIDyn)
 	endPhase()
 	campaign.EmitCheckpointTelemetry(tr, "search.fi_checkpoints", ckStats)
+	campaign.EmitBatchTelemetry(tr, "fi.batch", ckStats, opts.BatchSize)
 	tr.Emit("search.final", append([]telemetry.Field{
 		telemetry.F("fitness", res.BestFitness),
 		telemetry.F("sdc", res.Final.SDCProbability()),
@@ -328,6 +340,25 @@ func Search(b *prog.Benchmark, opts Options, rng *xrand.RNG) (*Result, error) {
 			dist.TopHeat(g.InstrCounts, g.DynCount, opts.HeatTopK))
 	}
 	return res, nil
+}
+
+// overallCampaign routes one whole-program FI campaign of the pipeline:
+// the serial shared-stream path by default, or — with Options.BatchSize
+// > 0 — the lockstep batched runner. The serial path interleaves each
+// trial's plan and fault-bit draws on one shared stream and therefore
+// cannot be regrouped into batches without changing the draws; the batched
+// path instead seeds per-trial streams from a single serial draw off the
+// same search RNG, keeping the search deterministic and the tallies
+// bit-identical for every batch size and worker count.
+func overallCampaign(p *interp.Program, g *campaign.Golden, trials int, rng *xrand.RNG, opts Options) campaign.Counts {
+	if opts.BatchSize > 0 {
+		return campaign.OverallParallel(p, g, trials, campaign.ParallelOptions{
+			Workers:   opts.Workers,
+			Seed:      rng.Uint64(),
+			BatchSize: opts.BatchSize,
+		})
+	}
+	return campaign.Overall(p, g, trials, rng)
 }
 
 // Fitness is PEPPA-X's per-candidate evaluation (§4.2.5): one profiled

@@ -78,6 +78,7 @@ func (s *Suite) Search(name string) (*core.Result, error) {
 		opts.FinalTrials = s.Cfg.OverallTrials
 		opts.Checkpoints = append([]int(nil), s.Cfg.Checkpoints...)
 		opts.Workers = s.Cfg.Workers
+		opts.BatchSize = s.Cfg.BatchSize
 		opts.CheckpointInterval = s.Cfg.CheckpointInterval
 		opts.Trace = s.Cfg.Recorder.Stream("search/" + name)
 		opts.HeatTopK = s.Cfg.HeatTopK
@@ -125,6 +126,7 @@ func (s *Suite) Baseline(name string) (*core.BaselineResult, error) {
 			TrialsPerInput:     s.Cfg.OverallTrials,
 			DynBudget:          s.maxBaselineBudget(r),
 			Workers:            s.Cfg.Workers,
+			BatchSize:          s.Cfg.BatchSize,
 			CheckpointInterval: s.Cfg.CheckpointInterval,
 			Trace:              s.Cfg.Recorder.Stream("baseline/" + name),
 			HeatTopK:           s.Cfg.HeatTopK,
@@ -200,8 +202,9 @@ func (s *Suite) Study(name string) (*RandomStudy, error) {
 				return StudyPoint{}, err
 			}
 			c := campaign.OverallParallel(b.Prog, g, s.Cfg.OverallTrials, campaign.ParallelOptions{
-				Workers: s.Cfg.Workers,
-				Seed:    rng.Uint64(),
+				Workers:   s.Cfg.Workers,
+				Seed:      rng.Uint64(),
+				BatchSize: s.Cfg.BatchSize,
 			})
 			tr.Advance(g.DynCount + c.DynInstrs)
 			tr.Emit("study.point", append([]telemetry.Field{
@@ -257,8 +260,9 @@ func (s *Suite) PerInstr(name string) (*PerInstrStudy, error) {
 				continue
 			}
 			res := campaign.PerInstructionParallel(b.Prog, g, ids, s.Cfg.PerInstrTrials, campaign.ParallelOptions{
-				Workers: s.Cfg.Workers,
-				Seed:    rng.Uint64(),
+				Workers:   s.Cfg.Workers,
+				Seed:      rng.Uint64(),
+				BatchSize: s.Cfg.BatchSize,
 			})
 			var trials int
 			var dyn int64

@@ -1,0 +1,295 @@
+package interp
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"repro/internal/fault"
+	"repro/internal/xrand"
+)
+
+// Lockstep batch execution. A fault-injection campaign resumes many trials
+// from the same golden checkpoint and replays the same fault-free stretch
+// up to each injection point; BatchRun pays that stretch once. A single
+// profiled trunk runs forward from the shared base snapshot on the engine
+// the snapshot belongs to (campaign goldens record fused checkpoints) and
+// captures a copy-on-write fork — pages shared with the previous fork via
+// the dirty map, exactly like interval checkpoints — at an instruction
+// boundary strictly before each trial's injection point. Every trial then
+// restores its fork, runs the generic engine only across the short
+// fork-to-injection window (so injections keep their exact per-dynamic-
+// instruction semantics, including targets inside fused pairs), and
+// finishes the post-injection tail on the lean fast-path loop.
+//
+// Determinism: the fork points are functions of the dyn clock and the
+// trials' plans alone, each trial consumes only its own RNG (first at
+// injection, same as the serial path), and a fork restore reproduces the
+// golden prefix bit for bit — so results are identical to per-trial
+// RunWithCheckpoints for every batch size and worker count.
+
+// BatchTrial is one planned trial of a lockstep batch.
+type BatchTrial struct {
+	// Plan is the trial's fault plan. Its injection point must lie strictly
+	// after the batch's base snapshot (Checkpoints.ForPlan selects such
+	// snapshots); dynamic- and static-mode plans are supported.
+	Plan fault.Plan
+	// RNG resolves the plan's deferred bit draws at injection time. Each
+	// trial carries its own stream so outcomes are independent of how the
+	// campaign groups trials into batches.
+	RNG *xrand.RNG
+}
+
+// BatchStats summarizes one BatchRun for the Checkpoints usage counters.
+type BatchStats struct {
+	// Trials is the batch size; Forked counts trials resumed from a COW
+	// fork of the shared trunk; Fallback counts trials run individually
+	// because the trunk ended (return, trap or budget) before their fork.
+	Trials   int
+	Forked   int
+	Fallback int
+	// TrunkDyn is the dynamic instructions the shared trunk executed once
+	// on behalf of the whole batch; ForkSkipped sums the forked trials'
+	// fork.Dyn() — prefix work no trial had to re-execute.
+	TrunkDyn    int64
+	ForkSkipped int64
+	// FallbackRestored/FallbackSkipped cover fallback trials that still
+	// resumed from the base snapshot on the serial path.
+	FallbackRestored int
+	FallbackSkipped  int64
+}
+
+// forkEvent is one pending trial fork, keyed by a conservative lower bound
+// on the dyn value at which the trial's fault can fire. Dynamic plans have
+// an exact bound (TargetDyn); for static plans the bound is re-tightened at
+// every boundary from the trunk's live occurrence counts, which grow by at
+// most one per dynamic instruction.
+type forkEvent struct {
+	idx int
+	due int64
+}
+
+type forkHeap []forkEvent
+
+func (h forkHeap) Len() int { return len(h) }
+func (h forkHeap) Less(a, b int) bool {
+	if h[a].due != h[b].due {
+		return h[a].due < h[b].due
+	}
+	return h[a].idx < h[b].idx
+}
+func (h forkHeap) Swap(a, b int)       { h[a], h[b] = h[b], h[a] }
+func (h *forkHeap) Push(x interface{}) { *h = append(*h, x.(forkEvent)) }
+func (h *forkHeap) Pop() interface{} {
+	old := *h
+	n := len(old) - 1
+	ev := old[n]
+	*h = old[:n]
+	return ev
+}
+
+// BatchRun executes a batch of fault-injection trials that share the base
+// snapshot (nil to share the program entry) in lockstep, calling report
+// once per trial index, in index order, with a Result that is only valid
+// during the call — its Output buffer is reused by the next trial. opts
+// supplies the per-trial limits (MaxDyn, MaxMemWords, MaxDepth) and the
+// engine for base-less batches (Fused); Plan, FaultRNG, Profile,
+// TrackPropagation and CheckpointInterval must be unset — trials carry
+// their own plans and streams. Static-mode trials require a profiled base
+// (or a base-less batch), like RunFrom.
+func BatchRun(p *Program, args []uint64, base *Snapshot, trials []BatchTrial, opts Options, report func(i int, r *Result)) BatchStats {
+	if opts.Plan != nil || opts.FaultRNG != nil || opts.Profile || opts.TrackPropagation || opts.CheckpointInterval > 0 {
+		panic("interp: BatchRun options must not set Plan, FaultRNG, Profile, TrackPropagation or CheckpointInterval")
+	}
+	st := BatchStats{Trials: len(trials)}
+	if len(trials) == 0 {
+		return st
+	}
+
+	// The trunk profiles only when a static-mode plan needs occurrence
+	// counts in its fork; dynamic-only batches skip the counting (and may
+	// share an unprofiled base).
+	trunkProfile := false
+	for i := range trials {
+		switch m := trials[i].Plan.Mode; m {
+		case fault.ModeDynamic:
+		case fault.ModeStatic:
+			if sid := trials[i].Plan.StaticID; sid < 0 || sid >= p.numInstrs {
+				panic(fmt.Sprintf("interp: BatchRun static plan targets instruction %d of %d", sid, p.numInstrs))
+			}
+			trunkProfile = true
+		default:
+			panic(fmt.Sprintf("interp: BatchRun on unsupported fault mode %d", m))
+		}
+	}
+
+	te := newExec(p, Options{
+		MaxDyn: opts.MaxDyn, MaxMemWords: opts.MaxMemWords, MaxDepth: opts.MaxDepth,
+		Profile: trunkProfile, Fused: opts.Fused,
+	})
+	startDyn := int64(0)
+	if base != nil {
+		base.restoreInto(te)
+		startDyn = base.dyn
+	} else {
+		entry := p.funcs[p.entry]
+		if len(args) != entry.nParams {
+			panic(fmt.Sprintf("interp: entry %s takes %d args, got %d", entry.name, entry.nParams, len(args)))
+		}
+		te.pushFrame(p.entry)
+		copy(te.regSlab[:len(args)], args)
+	}
+	te.dirty = make([]bool, pageCount(int64(len(te.mem))))
+
+	// Seed the fork events with each trial's initial due bound; the base
+	// must be strictly before every injection point (the ForPlan contract).
+	h := make(forkHeap, 0, len(trials))
+	for i := range trials {
+		pl := &trials[i].Plan
+		var due int64
+		if pl.Mode == fault.ModeDynamic {
+			due = pl.TargetDyn
+		} else {
+			due = startDyn + pl.Occurrence
+			if base != nil {
+				if base.counts == nil {
+					panic("interp: static-mode batch trial on a snapshot of an unprofiled run")
+				}
+				due -= base.counts[pl.StaticID]
+			}
+		}
+		if due <= startDyn {
+			panic("interp: BatchRun trial injects at or before the base snapshot")
+		}
+		h = append(h, forkEvent{idx: i, due: due})
+	}
+	heap.Init(&h)
+
+	// Trunk: run forward, capturing one COW fork per boundary at which at
+	// least one trial comes due. slack is the worst-case dyn advance of a
+	// single dispatch slot, so arming nextCkpt = due-slack guarantees a
+	// boundary fires at dyn < due — strictly before the injection.
+	forks := make([]*Snapshot, len(trials))
+	slack := p.maxSlotDyn
+	lastSnap := base
+	te.onBoundary = func() bool {
+		var snap *Snapshot
+		// Drain until the heap MINIMUM exceeds dyn+slack. Keys are lower
+		// bounds that only tighten, so a merely re-keyed event must be
+		// re-compared against the other (still stale) keys — breaking after
+		// one re-sift would let it resurface only after its occurrence
+		// already executed, capturing a fork past the injection point.
+		for h.Len() > 0 && h[0].due <= te.dyn+slack {
+			ev := &h[0]
+			due := ev.due
+			if pl := &trials[ev.idx].Plan; pl.Mode == fault.ModeStatic {
+				due = te.dyn + (pl.Occurrence - te.counts[pl.StaticID])
+			}
+			if due > te.dyn+slack {
+				// Stale key undershot: re-key to the tightened bound and
+				// re-examine the new top.
+				ev.due = due
+				heap.Fix(&h, 0)
+				continue
+			}
+			if snap == nil {
+				snap = te.captureSnapshot(lastSnap)
+				lastSnap = snap
+			}
+			forks[ev.idx] = snap
+			heap.Pop(&h)
+		}
+		if h.Len() == 0 {
+			return false // every fork captured; suspend the trunk
+		}
+		te.nextCkpt = h[0].due - slack
+		return true
+	}
+	te.nextCkpt = h[0].due - slack
+	_, trunkOK := te.run()
+	st.TrunkDyn = te.dyn - startDyn
+	_ = trunkOK // trunk end states (suspended, returned, trapped) all leave
+	// unforked trials to the serial fallback below.
+
+	// Trials, in index order: forked ones run on a single reused exec —
+	// generic engine to the injection, fast-path loop for the tail.
+	tx := newExec(p, Options{MaxDyn: opts.MaxDyn, MaxMemWords: opts.MaxMemWords, MaxDepth: opts.MaxDepth})
+	tx.blockCounts = make([]int64, p.CounterLen()) // runFast scratch; never read
+	tx.onBoundary = tx.injectBoundary
+	for i := range trials {
+		f := forks[i]
+		if f == nil {
+			topts := opts
+			topts.Plan = &trials[i].Plan
+			topts.FaultRNG = trials[i].RNG
+			st.Fallback++
+			var r *Result
+			if base != nil {
+				st.FallbackRestored++
+				st.FallbackSkipped += base.dyn
+				r = RunFrom(p, base, topts)
+			} else {
+				r = Run(p, args, topts)
+			}
+			report(i, r)
+			continue
+		}
+		st.Forked++
+		st.ForkSkipped += f.dyn
+		report(i, runForked(tx, f, &trials[i]))
+	}
+	return st
+}
+
+// runForked executes one batched trial on the reused exec e: restore the
+// fork, run the generic engine until the fault fires (pausing at the next
+// boundary), then finish on the fast-path loop. Bit-identical to
+// RunFrom(p, fork, opts-with-plan): both phases replicate the serial
+// engine's dyn clock, trap points and budget ordering, and the fast path
+// takes over only downstream of the injection, where no plan state is
+// consulted anymore.
+func runForked(e *exec, f *Snapshot, t *BatchTrial) *Result {
+	e.trap = nil
+	e.budget = false
+	e.injected = false
+	e.injID = 0
+	e.injBit = 0
+	e.occSeen = 0
+	e.paused = false
+	e.overlay = e.overlay[:0]
+	f.restoreInto(e)
+	pl := &t.Plan
+	e.plan = pl
+	e.rng = t.RNG
+	if pl.Mode == fault.ModeStatic {
+		e.occSeen = f.counts[pl.StaticID]
+		e.nextCkpt = e.dyn + (pl.Occurrence - e.occSeen)
+	} else {
+		e.nextCkpt = pl.TargetDyn
+	}
+	ret, ok := e.run()
+	if !ok && e.paused {
+		e.paused = false
+		e.nextCkpt = math.MaxInt64
+		ret, _ = e.runFast(e.fusedExec)
+	}
+	return e.finish(ret)
+}
+
+// injectBoundary is the batch trial's boundary hook: once the fault has
+// fired the run suspends so runForked can switch to the fast-path tail.
+// Until then (a static plan whose conservative stop undershot the actual
+// occurrence) the stop is re-armed from the remaining occurrence distance,
+// which the target's at-most-one-per-dyn execution rate makes safe.
+func (e *exec) injectBoundary() bool {
+	if e.injected {
+		return false
+	}
+	if pl := e.plan; pl.Mode == fault.ModeStatic {
+		e.nextCkpt = e.dyn + (pl.Occurrence - e.occSeen)
+	} else {
+		// A dynamic target at or below the current dyn can no longer fire.
+		e.nextCkpt = math.MaxInt64
+	}
+	return true
+}

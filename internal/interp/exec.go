@@ -100,6 +100,14 @@ type Options struct {
 	// CheckpointInterval with a fault Plan panics: snapshots must capture
 	// fault-free state.
 	CheckpointInterval int64
+	// Fused executes the superinstruction code arrays instead of the
+	// unfused ones. The generic engine dispatches each fused slot
+	// sub-instruction by sub-instruction — the dyn clock, injection points
+	// (including mid-pair targets), traps, budget ordering and taint
+	// propagation are bit-identical to the unfused array; only dispatch
+	// count changes. Snapshots recorded by a fused run carry fused pcs and
+	// resume on the fused engine automatically.
+	Fused bool
 }
 
 const (
@@ -250,12 +258,25 @@ type exec struct {
 	blockCounts []int64
 	overlay     []int32
 
+	// fusedExec selects the fused superinstruction code arrays in run().
+	// Restoring a Snapshot overwrites it with the engine the snapshot's pcs
+	// belong to.
+	fusedExec bool
+
 	// Golden-prefix checkpointing (nil / maxInt unless the run was started
 	// with Options.CheckpointInterval). dirty tracks written memory pages so
 	// snapshots can share unchanged pages with their predecessor.
 	ckpt     *Checkpoints
 	nextCkpt int64
 	dirty    []bool
+
+	// Batch-execution hooks (see batch.go). onBoundary, when non-nil,
+	// replaces snapshot recording at armed instruction boundaries
+	// (dyn >= nextCkpt): the batch trunk captures COW forks there and batch
+	// trials pause once their fault has fired. Returning false suspends the
+	// run with paused set and the frame stack in a resumable state.
+	onBoundary func() bool
+	paused     bool
 
 	// Taint tracking state (nil unless Options.TrackPropagation).
 	taintMem     []bool
@@ -267,17 +288,18 @@ type exec struct {
 
 func newExec(p *Program, opts Options) *exec {
 	e := &exec{
-		p:        p,
-		mem:      make([]uint64, 4096),
-		memTop:   1, // word 0 is the null page
-		maxMem:   int64(opts.MaxMemWords),
-		maxDep:   opts.MaxDepth,
-		maxDyn:   opts.MaxDyn,
-		plan:     opts.Plan,
-		rng:      opts.FaultRNG,
-		frames:   make([]frame, 0, 8),
-		regSlab:  make([]uint64, initialSlabSlots),
-		nextCkpt: math.MaxInt64,
+		p:         p,
+		mem:       make([]uint64, 4096),
+		memTop:    1, // word 0 is the null page
+		maxMem:    int64(opts.MaxMemWords),
+		maxDep:    opts.MaxDepth,
+		maxDyn:    opts.MaxDyn,
+		plan:      opts.Plan,
+		rng:       opts.FaultRNG,
+		frames:    make([]frame, 0, 8),
+		regSlab:   make([]uint64, initialSlabSlots),
+		nextCkpt:  math.MaxInt64,
+		fusedExec: opts.Fused,
 	}
 	if e.maxMem <= 0 {
 		e.maxMem = defaultMaxMemWords
@@ -552,7 +574,11 @@ func (e *exec) run() (uint64, bool) {
 			taint = e.taintSlab[fr.regOff : fr.regOff+fr.nSlots]
 		}
 		consts = cf.consts
-		code = cf.code
+		if e.fusedExec {
+			code = cf.fused
+		} else {
+			code = cf.code
+		}
 		pc = fr.pc
 	}
 	reenter()
@@ -562,7 +588,14 @@ func (e *exec) run() (uint64, bool) {
 			// Instruction boundaries are the only points where the cached pc
 			// and the frame stack describe a resumable state.
 			fr.pc = pc
-			e.takeSnapshot()
+			if e.onBoundary != nil {
+				if !e.onBoundary() {
+					e.paused = true
+					return 0, false
+				}
+			} else {
+				e.takeSnapshot()
+			}
 		}
 		in := &code[pc]
 		switch in.op {
@@ -625,6 +658,213 @@ func (e *exec) run() (uint64, bool) {
 				taint[cin.dst] = t
 				if t {
 					e.noteTaint(cin.id)
+				}
+			}
+			pc++
+			continue
+
+		// Fused superinstructions (fusedExec runs only). Each handler
+		// replays its pair sub-instruction by sub-instruction — result()
+		// per value, taint per operand set, traps and dirty marks in
+		// source order — so injections landing on either half (including
+		// mid-pair dynamic targets) behave exactly as on the unfused array.
+		case opFusedCmpBr:
+			var tIn bool
+			if track {
+				tIn = taintOf(taint, in.a) || taintOf(taint, in.b)
+			}
+			v := evalCmp(in.op1, in.srcTy, get(regs, consts, in.a), get(regs, consts, in.b))
+			preInj := e.injected
+			v, ok := e.result(in.id, in.ty, v)
+			if !ok {
+				return 0, false
+			}
+			regs[in.dst] = v
+			if track {
+				t := tIn || (e.injected && !preInj)
+				taint[in.dst] = t
+				if t {
+					e.noteTaint(in.id)
+					e.taintStats.TaintedBranches++
+				}
+			}
+			if v&1 != 0 {
+				if !e.applyMoves(in.movesA, regs, consts, taint) {
+					return 0, false
+				}
+				pc = in.jumpA
+			} else {
+				if !e.applyMoves(in.movesB, regs, consts, taint) {
+					return 0, false
+				}
+				pc = in.jumpB
+			}
+			continue
+
+		case opFusedLoadArith:
+			addr := get(regs, consts, in.a)
+			if !e.checkAddr(cf.name, addr) {
+				return 0, false
+			}
+			var tIn bool
+			if track {
+				tIn = taintOf(taint, in.a) || e.taintMem[addr]
+			}
+			v := ir.CanonInt(in.ty, e.mem[addr])
+			preInj := e.injected
+			v, ok := e.result(in.id, in.ty, v)
+			if !ok {
+				return 0, false
+			}
+			regs[in.dst] = v
+			if track {
+				t := tIn || (e.injected && !preInj)
+				taint[in.dst] = t
+				if t {
+					e.noteTaint(in.id)
+				}
+			}
+			var tIn2 bool
+			if track {
+				tIn2 = taintOf(taint, in.a2) || taintOf(taint, in.b2)
+			}
+			v2 := evalFusedArith(in.op2, in.ty2, get(regs, consts, in.a2), get(regs, consts, in.b2))
+			preInj = e.injected
+			v2, ok = e.result(in.id2, in.ty2, v2)
+			if !ok {
+				return 0, false
+			}
+			regs[in.dst2] = v2
+			if track {
+				t := tIn2 || (e.injected && !preInj)
+				taint[in.dst2] = t
+				if t {
+					e.noteTaint(in.id2)
+				}
+			}
+			pc++
+			continue
+
+		case opFusedArithLoad:
+			var tIn bool
+			if track {
+				tIn = taintOf(taint, in.a) || taintOf(taint, in.b)
+			}
+			v := evalFusedArith(in.op1, in.ty, get(regs, consts, in.a), get(regs, consts, in.b))
+			preInj := e.injected
+			v, ok := e.result(in.id, in.ty, v)
+			if !ok {
+				return 0, false
+			}
+			regs[in.dst] = v
+			if track {
+				t := tIn || (e.injected && !preInj)
+				taint[in.dst] = t
+				if t {
+					e.noteTaint(in.id)
+				}
+			}
+			addr := get(regs, consts, in.a2)
+			if !e.checkAddr(cf.name, addr) {
+				return 0, false
+			}
+			var tIn2 bool
+			if track {
+				tIn2 = taintOf(taint, in.a2) || e.taintMem[addr]
+			}
+			v2 := ir.CanonInt(in.ty2, e.mem[addr])
+			preInj = e.injected
+			v2, ok = e.result(in.id2, in.ty2, v2)
+			if !ok {
+				return 0, false
+			}
+			regs[in.dst2] = v2
+			if track {
+				t := tIn2 || (e.injected && !preInj)
+				taint[in.dst2] = t
+				if t {
+					e.noteTaint(in.id2)
+				}
+			}
+			pc++
+			continue
+
+		case opFusedArithStore:
+			var tIn bool
+			if track {
+				tIn = taintOf(taint, in.a) || taintOf(taint, in.b)
+			}
+			v := evalFusedArith(in.op1, in.ty, get(regs, consts, in.a), get(regs, consts, in.b))
+			preInj := e.injected
+			v, ok := e.result(in.id, in.ty, v)
+			if !ok {
+				return 0, false
+			}
+			regs[in.dst] = v
+			if track {
+				t := tIn || (e.injected && !preInj)
+				taint[in.dst] = t
+				if t {
+					e.noteTaint(in.id)
+				}
+			}
+			addr := get(regs, consts, in.b2)
+			if !e.checkAddr(cf.name, addr) {
+				return 0, false
+			}
+			e.mem[addr] = get(regs, consts, in.a2)
+			if e.dirty != nil {
+				e.dirty[addr>>pageShift] = true
+			}
+			if track {
+				tVal := taintOf(taint, in.a2)
+				tPtr := taintOf(taint, in.b2)
+				e.taintMem[addr] = tVal || tPtr
+				if tVal || tPtr {
+					e.taintStats.TaintedMemWrites++
+				}
+				if tPtr {
+					e.taintStats.WildStores++
+				}
+			}
+			pc++
+			continue
+
+		case opFusedArithArith:
+			var tIn bool
+			if track {
+				tIn = taintOf(taint, in.a) || taintOf(taint, in.b)
+			}
+			v := evalFusedArith(in.op1, in.ty, get(regs, consts, in.a), get(regs, consts, in.b))
+			preInj := e.injected
+			v, ok := e.result(in.id, in.ty, v)
+			if !ok {
+				return 0, false
+			}
+			regs[in.dst] = v
+			if track {
+				t := tIn || (e.injected && !preInj)
+				taint[in.dst] = t
+				if t {
+					e.noteTaint(in.id)
+				}
+			}
+			var tIn2 bool
+			if track {
+				tIn2 = taintOf(taint, in.a2) || taintOf(taint, in.b2)
+			}
+			v2 := evalFusedArith(in.op2, in.ty2, get(regs, consts, in.a2), get(regs, consts, in.b2))
+			preInj = e.injected
+			v2, ok = e.result(in.id2, in.ty2, v2)
+			if !ok {
+				return 0, false
+			}
+			regs[in.dst2] = v2
+			if track {
+				t := tIn2 || (e.injected && !preInj)
+				taint[in.dst2] = t
+				if t {
+					e.noteTaint(in.id2)
 				}
 			}
 			pc++

@@ -350,6 +350,14 @@ func (s *Stream) Count(name string, delta int64) {
 	s.r.Count(name, delta)
 }
 
+// Gauge delegates to the parent Recorder's gauges (metrics only).
+func (s *Stream) Gauge(name string, v int64) {
+	if s == nil {
+		return
+	}
+	s.r.Gauge(name, v)
+}
+
 // Phase starts a phase timer and returns its closer. The closer emits a
 // "phase" event carrying the deterministic cost-clock span (start tick and
 // ticks elapsed) and accumulates the wall-clock nanoseconds into the
