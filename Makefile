@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build lint test test-short race bench-smoke bench-workers test-telemetry test-observability test-checkpoint bench-fi bench-regression test-fusion bench-fitness profile ci
+.PHONY: build lint test test-short race bench-smoke bench-workers test-telemetry test-observability test-checkpoint bench-fi bench-regression test-fusion bench-fitness test-adaptive report profile ci
 
 build:
 	$(GO) build ./...
@@ -85,6 +85,24 @@ bench-fitness:
 	$(GO) run ./cmd/benchjson < BENCH_fitness.txt > BENCH_fitness.json
 	@echo "wrote BENCH_fitness.json"
 
+# Adaptive stratified FI gate, in two parts: (1) the adaptive-vs-full
+# equivalence suite — on >=5/7 benchmarks the composed stratified estimate
+# must land inside the full 1000-trial campaign's Wilson interval while
+# spending >=30% fewer trials — plus worker/batch invariance (bit-identical
+# results at workers 1/4 and batch sizes 1/8/64) and the Wilson-interval
+# property tests; (2) the core/experiments threading tests (adaptive final
+# campaign, adaptive baseline, rejection bound).
+test-adaptive:
+	$(GO) test -count=1 -run 'Adaptive|BuildStrata|Wilson|PercentileOfValue|RandomSearchBoundsRejections' \
+		./internal/campaign ./internal/stats ./internal/core ./internal/experiments
+
+# Regenerate the full experiment report (report_full.txt/report_full.json
+# are generated artifacts, not committed; the default configuration takes
+# minutes — add ARGS="-quick" for a fast smoke report).
+report:
+	$(GO) run ./cmd/experiments $(ARGS) -out report_full.txt -json report_full.json
+	@echo "wrote report_full.txt and report_full.json"
+
 # Capture CPU and heap pprof profiles of a representative search run.
 profile:
 	$(GO) run ./cmd/peppax -bench hpccg -generations 50 -pop 16 \
@@ -139,7 +157,7 @@ test-observability:
 
 # Every GitHub workflow job's target, in workflow order: build, lint, test,
 # race, bench-smoke, fi-checkpoint (test-checkpoint + bench-fi),
-# fitness-perf (test-fusion + bench-fitness), test-telemetry,
-# test-observability, bench-regression. Keep this list in sync with
-# .github/workflows/ci.yml.
-ci: build lint test race bench-smoke test-checkpoint bench-fi test-fusion bench-fitness test-telemetry test-observability bench-regression
+# fitness-perf (test-fusion + bench-fitness), test-adaptive,
+# test-telemetry, test-observability, bench-regression. Keep this list in
+# sync with .github/workflows/ci.yml.
+ci: build lint test race bench-smoke test-checkpoint bench-fi test-fusion bench-fitness test-adaptive test-telemetry test-observability bench-regression

@@ -5,7 +5,7 @@
 //	experiments [-exp table1,fig5,...] [-quick] [-seed N] [-benches a,b]
 //	            [-workers N] [-out report.txt] [-list]
 //	            [-trace out.jsonl] [-metrics] [-metrics-addr 127.0.0.1:9464]
-//	            [-heat-topk 10]
+//	            [-heat-topk 10] [-adaptive] [-ci-target 0.035]
 //
 // Without -exp it runs the full evaluation (every table and figure in the
 // paper, §3/§5/§6). -quick shrinks trial counts so the whole suite runs in
@@ -31,6 +31,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/campaign"
 	"repro/internal/experiments"
 	"repro/internal/parallel"
 	"repro/internal/telemetry"
@@ -59,6 +60,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		heatTopK    = fs.Int("heat-topk", 0, "per-instruction heat events in the trace carry this many instructions (0 = default 10, negative disables)")
 		ckptIval    = fs.Int64("checkpoint-interval", 0, "golden-prefix snapshot spacing for FI campaigns, in dynamic instructions (0 = auto, -1 = disable; reports are identical either way)")
 		batch       = fs.Int("batch", 0, "lockstep batch size for FI campaigns: trials sharing a checkpoint run as one batch (0 = per-trial; search campaigns switch to per-trial RNG streams when batched)")
+		adaptive    = fs.Bool("adaptive", false, "adaptive stratified FI for search finals and baseline candidates: stop each campaign once its composed 95% CI half-width falls below -ci-target")
+		ciTarget    = fs.Float64("ci-target", 0, "95% CI half-width target for -adaptive (0 = default 0.035; setting this implies -adaptive)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -90,6 +93,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cfg.CheckpointInterval = *ckptIval
 	cfg.BatchSize = *batch
 	cfg.HeatTopK = *heatTopK
+	if *adaptive || *ciTarget > 0 {
+		cfg.CITarget = *ciTarget
+		if cfg.CITarget <= 0 {
+			cfg.CITarget = campaign.DefaultCITarget
+		}
+	}
 
 	var rec *telemetry.Recorder
 	if *tracePath != "" || *metrics || *metricsAddr != "" {

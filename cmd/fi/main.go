@@ -6,7 +6,14 @@
 //
 //	fi -bench hpccg [-input "3,3,3,15,17"] [-trials 1000] [-perinstr]
 //	   [-top 10] [-seed 1] [-checkpoint-interval 0] [-trace out.jsonl] [-metrics]
-//	   [-metrics-addr 127.0.0.1:9464] [-heat-topk 10]
+//	   [-metrics-addr 127.0.0.1:9464] [-heat-topk 10] [-adaptive] [-ci-target 0.035]
+//
+// -adaptive switches the whole-program campaign to the adaptive stratified
+// runner: injection targets are partitioned into dyn-count-ranked strata,
+// trials are allocated by estimated variance, and the campaign stops once
+// the composed 95% Wilson half-width falls below -ci-target (default
+// 0.035, the flat 1000-trial campaign's worst-case accuracy) — so -trials
+// becomes a cap, not a constant. Setting -ci-target > 0 implies -adaptive.
 //
 // Without -input the benchmark's default reference input is used. -trace
 // writes a deterministic JSONL trace (golden-run profile plus the campaign
@@ -63,6 +70,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		heatTopK    = fs.Int("heat-topk", 0, "per-instruction heat events in the trace carry this many instructions (0 = default 10, negative disables; -perinstr mode)")
 		ckptIval    = fs.Int64("checkpoint-interval", 0, "golden-prefix snapshot spacing in dynamic instructions (0 = auto, -1 = disable)")
 		batch       = fs.Int("batch", 0, "lockstep batch size: run trials sharing a checkpoint as one batch with a shared trunk replay (0 = per-trial; implies per-trial RNG streams like -parallel)")
+		adaptive    = fs.Bool("adaptive", false, "adaptive stratified campaign: stop once the composed 95% CI half-width falls below -ci-target; -trials becomes the spend cap")
+		ciTarget    = fs.Float64("ci-target", 0, "95% CI half-width target for -adaptive (0 = default 0.035; setting this implies -adaptive)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -193,6 +202,33 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
+	if *adaptive || *ciTarget > 0 {
+		if *multibit {
+			return fail(fmt.Errorf("-adaptive supports the single-bit model only"))
+		}
+		ar := campaign.OverallAdaptive(b.Prog, g, campaign.AdaptiveOptions{
+			Workers:   *workers,
+			Seed:      *seed,
+			BatchSize: *batch,
+			CITarget:  *ciTarget,
+			MaxTrials: *trials,
+		})
+		tr.Advance(ar.Counts.DynInstrs)
+		campaign.EmitAdaptiveTelemetry(tr, "fi.adaptive", ar)
+		campaign.EmitCheckpointTelemetry(tr, "fi.checkpoints", g.CheckpointStats())
+		campaign.EmitBatchTelemetry(tr, "fi.batch", g.CheckpointStats(), *batch)
+		printCheckpointSummary(stdout, g)
+		printBatchSummary(stdout, g)
+		c := ar.Counts
+		fmt.Fprintf(stdout, "%d adaptive stratified fault-injection trials (%d strata, %d converged, %d rounds, %d/%d trials saved):\n",
+			c.Trials, len(ar.Strata), ar.StrataConverged(), ar.Rounds, ar.TrialsSaved(), ar.MaxTrials)
+		fmt.Fprintf(stdout, "  SDC estimate: %.2f%%  (95%% CI [%.2f%%, %.2f%%], target half-width %.2f%%)\n",
+			ar.Estimate*100, ar.Lo*100, ar.Hi*100, ar.CITarget*100)
+		fmt.Fprintf(stdout, "  crash:  %4d  hang: %4d  benign: %4d  (pooled across strata)\n",
+			c.Crash, c.Hang, c.Benign)
+		return 0
+	}
+
 	var c campaign.Counts
 	model := "single bit flips"
 	switch {
@@ -222,8 +258,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	campaign.EmitBatchTelemetry(tr, "fi.batch", g.CheckpointStats(), *batch)
 	printCheckpointSummary(stdout, g)
 	printBatchSummary(stdout, g)
+	lo, hi := c.SDCInterval()
 	fmt.Fprintf(stdout, "%d fault-injection trials (%s in random dynamic instruction results):\n", c.Trials, model)
-	fmt.Fprintf(stdout, "  SDC:    %4d  (%.2f%% ±%.2f%%)\n", c.SDC, c.SDCProbability()*100, c.CI95()*100)
+	fmt.Fprintf(stdout, "  SDC:    %4d  (%.2f%%, 95%% CI [%.2f%%, %.2f%%])\n", c.SDC, c.SDCProbability()*100, lo*100, hi*100)
 	fmt.Fprintf(stdout, "  crash:  %4d  (%.2f%%)\n", c.Crash, float64(c.Crash)/float64(c.Trials)*100)
 	fmt.Fprintf(stdout, "  hang:   %4d  (%.2f%%)\n", c.Hang, float64(c.Hang)/float64(c.Trials)*100)
 	fmt.Fprintf(stdout, "  benign: %4d  (%.2f%%)\n", c.Benign, float64(c.Benign)/float64(c.Trials)*100)

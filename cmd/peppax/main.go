@@ -10,8 +10,16 @@
 //	       [-seed 1] [-workers N] [-baseline] [-checkpoints 50,100,200]
 //	       [-max-sdc 0.2] [-trace out.jsonl] [-trace-wallclock] [-metrics]
 //	       [-metrics-addr 127.0.0.1:9464] [-heat-topk 10]
+//	       [-adaptive] [-ci-target 0.035]
 //	       [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //	peppax -file prog.ir -spec "n:int:4:64:8,seed:int:1:100:7"
+//
+// -adaptive switches the closing FI measurement (and, with -baseline, each
+// baseline candidate's campaign) to the adaptive stratified runner: strata
+// heat-ranked by the derived sensitivity scores, trials allocated by
+// estimated variance, stopping once the composed 95% Wilson half-width
+// falls below -ci-target (default 0.035) — -trials becomes the cap.
+// Setting -ci-target > 0 implies -adaptive.
 //
 // -trace writes a deterministic JSONL event trace (per-generation GA
 // progress, pipeline phase costs, FI tallies) timestamped on the virtual
@@ -38,6 +46,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/parallel"
 	"repro/internal/prog"
@@ -74,6 +83,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		batch       = fs.Int("batch", 0, "lockstep batch size for FI campaigns: trials sharing a checkpoint run as one batch (0 = per-trial; switches campaigns to per-trial RNG streams, see core.Options.BatchSize)")
 		cpuProfile  = fs.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 		memProfile  = fs.String("memprofile", "", "write an end-of-run heap profile to this file (go tool pprof)")
+		adaptive    = fs.Bool("adaptive", false, "adaptive stratified FI for the final measurement (and -baseline candidates): stop once the composed 95% CI half-width falls below -ci-target; -trials becomes the spend cap")
+		ciTarget    = fs.Float64("ci-target", 0, "95% CI half-width target for -adaptive (0 = default 0.035; setting this implies -adaptive)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -165,6 +176,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	opts.BatchSize = *batch
 	opts.HeatTopK = *heatTopK
 	opts.Trace = rec.Stream("search/" + b.Name)
+	if *adaptive || *ciTarget > 0 {
+		opts.CITarget = *ciTarget
+		if opts.CITarget <= 0 {
+			opts.CITarget = campaign.DefaultCITarget
+		}
+	}
 	for _, c := range strings.Split(*checkpoints, ",") {
 		if c = strings.TrimSpace(c); c != "" {
 			n, err := strconv.Atoi(c)
@@ -196,9 +213,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	fmt.Fprintf(stdout, "SDC-bound input:   %v\n", res.BestInput)
 	fmt.Fprintf(stdout, "fitness score:     %.4f\n", res.BestFitness)
-	fmt.Fprintf(stdout, "SDC probability:   %.2f%% ±%.2f%% (%d/%d trials; crash %d, hang %d, benign %d)\n",
-		res.Final.SDCProbability()*100, res.Final.CI95()*100,
+	lo, hi := res.SDCInterval()
+	fmt.Fprintf(stdout, "SDC probability:   %.2f%% (95%% CI [%.2f%%, %.2f%%]; %d/%d trials; crash %d, hang %d, benign %d)\n",
+		res.SDCBound()*100, lo*100, hi*100,
 		res.Final.SDC, res.Final.Trials, res.Final.Crash, res.Final.Hang, res.Final.Benign)
+	if ar := res.FinalAdaptive; ar != nil {
+		fmt.Fprintf(stdout, "adaptive campaign: %d strata (%d converged), %d rounds, %d/%d trials saved at CI target %.2f%%\n",
+			len(ar.Strata), ar.StrataConverged(), ar.Rounds, ar.TrialsSaved(), ar.MaxTrials, ar.CITarget*100)
+	}
 	fmt.Fprintf(stdout, "total cost:        %.1fM dyn instrs, %v wall clock\n",
 		float64(res.Cost.TotalDyn())/1e6, res.Cost.TotalTime().Round(1000000))
 
@@ -216,13 +238,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 			Workers:        *workers,
 			BatchSize:      *batch,
 			HeatTopK:       *heatTopK,
+			CITarget:       opts.CITarget,
 			Trace:          rec.Stream("baseline/" + b.Name),
 		}, xrand.New(*seed+1))
-		fmt.Fprintf(stdout, "  evaluated %d inputs, best SDC %.2f%% with input %v\n",
-			base.Inputs, base.BestSDC*100, base.BestInput)
-		if base.BestSDC < res.Final.SDCProbability() {
+		fmt.Fprintf(stdout, "  evaluated %d inputs (%d rejected), best SDC %.2f%% with input %v\n",
+			base.Inputs, base.Rejected, base.BestSDC*100, base.BestInput)
+		if base.BestSDC < res.SDCBound() {
 			fmt.Fprintf(stdout, "  PEPPA-X bound is %.1fx higher\n",
-				res.Final.SDCProbability()/maxf(base.BestSDC, 1e-9))
+				res.SDCBound()/maxf(base.BestSDC, 1e-9))
 		}
 	}
 
@@ -230,7 +253,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		// CI-gate mode (§7.1.2): a conservative release check. The SDC
 		// bound found by the search must stay within the reliability
 		// target, or the build fails.
-		bound := res.Final.SDCProbability()
+		bound := res.SDCBound()
 		if bound > *maxSDC {
 			fmt.Fprintf(stdout, "\nCI gate FAILED: SDC bound %.2f%% exceeds target %.2f%%\n", bound*100, *maxSDC*100)
 			return 2

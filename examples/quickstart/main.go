@@ -34,8 +34,9 @@ func main() {
 
 	fmt.Printf("benchmark:       %s — %s\n", bench.Name, bench.Description)
 	fmt.Printf("SDC-bound input: %v\n", res.BestInput)
-	fmt.Printf("SDC probability: %.1f%% (±%.1f%%, %d FI trials)\n\n",
-		res.SDCBound()*100, res.Final.CI95()*100, res.Final.Trials)
+	lo, hi := res.SDCInterval()
+	fmt.Printf("SDC probability: %.1f%% (95%% CI [%.1f%%, %.1f%%], %d FI trials)\n\n",
+		res.SDCBound()*100, lo*100, hi*100, res.Final.Trials)
 
 	// How over-optimistic would an evaluation with the suite's default
 	// reference input have been?

@@ -376,7 +376,18 @@ func (c Counts) SDCProbability() float64 {
 }
 
 // CI95 returns the 95% confidence half-width of the SDC probability.
+//
+// LEGACY SHIM: the Wilson interval this width comes from is centered on the
+// adjusted midpoint, not on SDCProbability, so SDCProbability ± CI95 is NOT
+// the interval (it goes negative at SDC=0). Use SDCInterval for report
+// sites; CI95 remains for width-only comparisons.
 func (c Counts) CI95() float64 { return stats.BinomialCI(c.SDC, c.Trials) }
+
+// SDCInterval returns the true 95% Wilson score bounds of the SDC
+// probability — the honest interval to report alongside SDCProbability.
+func (c Counts) SDCInterval() (lo, hi float64) {
+	return stats.WilsonInterval95(c.SDC, c.Trials)
+}
 
 // Overall measures the whole-program SDC probability of an input with the
 // given number of random single-bit-flip trials (the paper uses 1000).

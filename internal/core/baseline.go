@@ -53,7 +53,34 @@ type BaselineOptions struct {
 	// are folded serially, so heat events are identical for every worker
 	// count.
 	HeatTopK int
+	// CITarget > 0 switches each candidate's FI campaign to the adaptive
+	// stratified runner (campaign.OverallAdaptive, dyn-count strata — the
+	// baseline has no sensitivity scores), stopping once the composed 95%
+	// Wilson half-width falls below this target. Candidate SDC rates are
+	// then the composed stratified estimates, which is what makes the
+	// paper's full-campaign-per-candidate baseline tractable at scale.
+	CITarget float64
+	// MinTrialsPerStratum seeds each adaptive stratum before allocation
+	// (<= 0: campaign.DefaultMinTrialsPerStratum). Adaptive only.
+	MinTrialsPerStratum int
+	// MaxTrials caps each adaptive candidate campaign (<= 0:
+	// TrialsPerInput, so adaptive never costs more than the flat campaign
+	// it replaces). Adaptive only.
+	MaxTrials int
+	// MaxConsecutiveRejects bounds runs of invalid candidates (§3.1.2
+	// excludes error-raising inputs): rejected candidates advance neither
+	// DynSpent nor Inputs, so a benchmark whose random inputs are mostly
+	// invalid could otherwise spin forever against a DynBudget/MaxInputs
+	// stop. After this many rejections in a row the search stops
+	// (<= 0: DefaultMaxConsecutiveRejects).
+	MaxConsecutiveRejects int
 }
+
+// DefaultMaxConsecutiveRejects is the rejection run length at which
+// RandomSearch gives up on finding a valid candidate. Benchmarks draw valid
+// inputs with probability near 1, so a thousand straight rejections means
+// the generator and the validity predicate disagree, not bad luck.
+const DefaultMaxConsecutiveRejects = 1000
 
 // BaselinePoint is one step of the baseline's progress curve.
 type BaselinePoint struct {
@@ -69,9 +96,12 @@ type BaselineResult struct {
 	Best      campaign.Counts
 	BestSDC   float64
 	Inputs    int // candidates evaluated
-	History   []BaselinePoint
-	DynSpent  int64
-	Elapsed   time.Duration
+	// Rejected counts invalid candidates (golden run failed), which are
+	// excluded per §3.1.2 and advance neither Inputs nor DynSpent.
+	Rejected int
+	History  []BaselinePoint
+	DynSpent int64
+	Elapsed  time.Duration
 }
 
 // RandomSearch runs the baseline: draw uniform random inputs, measure each
@@ -88,12 +118,21 @@ func RandomSearch(b *prog.Benchmark, opts BaselineOptions, rng *xrand.RNG) *Base
 	if opts.TrialsPerInput <= 0 {
 		opts.TrialsPerInput = 1000
 	}
+	maxRejects := opts.MaxConsecutiveRejects
+	if maxRejects <= 0 {
+		maxRejects = DefaultMaxConsecutiveRejects
+	}
+	adaptiveMax := opts.MaxTrials
+	if adaptiveMax <= 0 {
+		adaptiveMax = opts.TrialsPerInput
+	}
 	start := time.Now()
 	tr := opts.Trace
 	endPhase := tr.Phase("baseline")
 	res := &BaselineResult{BestSDC: -1}
 	var ckStats interp.CheckpointStats
 	var args []uint64 // reused encoding buffer; goldens are per-iteration
+	rejects := 0
 	for {
 		if opts.DynBudget > 0 && res.DynSpent >= opts.DynBudget {
 			break
@@ -105,18 +144,44 @@ func RandomSearch(b *prog.Benchmark, opts BaselineOptions, rng *xrand.RNG) *Base
 		args = b.EncodeInto(args[:0], in)
 		g, err := campaign.NewGoldenCheckpointed(b.Prog, args, b.MaxDyn, opts.CheckpointInterval)
 		if err != nil {
-			continue // invalid input, excluded per §3.1.2
+			// Invalid input, excluded per §3.1.2. Rejections advance neither
+			// budget nor input count, so a bounded run of them is the only
+			// guard against spinning forever on a generator that cannot
+			// produce valid candidates.
+			res.Rejected++
+			rejects++
+			if rejects >= maxRejects {
+				break
+			}
+			continue
 		}
+		rejects = 0
 		res.DynSpent += g.DynCount
-		c := campaign.OverallParallel(b.Prog, g, opts.TrialsPerInput, campaign.ParallelOptions{
-			Workers:   opts.Workers,
-			Seed:      rng.Uint64(),
-			BatchSize: opts.BatchSize,
-		})
+		var c campaign.Counts
+		var sdc float64
+		if opts.CITarget > 0 {
+			ar := campaign.OverallAdaptive(b.Prog, g, campaign.AdaptiveOptions{
+				Workers:             opts.Workers,
+				Seed:                rng.Uint64(),
+				BatchSize:           opts.BatchSize,
+				CITarget:            opts.CITarget,
+				MinTrialsPerStratum: opts.MinTrialsPerStratum,
+				MaxTrials:           adaptiveMax,
+			})
+			c = ar.Counts
+			sdc = ar.Estimate
+			campaign.EmitAdaptiveTelemetry(tr, "fi.adaptive", ar)
+		} else {
+			c = campaign.OverallParallel(b.Prog, g, opts.TrialsPerInput, campaign.ParallelOptions{
+				Workers:   opts.Workers,
+				Seed:      rng.Uint64(),
+				BatchSize: opts.BatchSize,
+			})
+			sdc = c.SDCProbability()
+		}
 		res.DynSpent += c.DynInstrs
 		ckStats.Accumulate(g.CheckpointStats())
 		res.Inputs++
-		sdc := c.SDCProbability()
 		newBest := sdc > res.BestSDC
 		if newBest {
 			res.BestSDC = sdc
@@ -131,6 +196,7 @@ func RandomSearch(b *prog.Benchmark, opts BaselineOptions, rng *xrand.RNG) *Base
 			telemetry.F("input", res.Inputs-1),
 			telemetry.F("sdc", sdc),
 			telemetry.F("best_sdc", res.BestSDC),
+			telemetry.F("rejected", res.Rejected),
 		}, c.Fields()...)...)
 		// Each new best updates the live heat map. With no sensitivity
 		// scores in the baseline, heat is the pure dynamic-execution
@@ -150,7 +216,8 @@ func RandomSearch(b *prog.Benchmark, opts BaselineOptions, rng *xrand.RNG) *Base
 	campaign.EmitBatchTelemetry(tr, "fi.batch", ckStats, opts.BatchSize)
 	tr.Emit("baseline.done",
 		telemetry.F("inputs", res.Inputs),
-		telemetry.F("best_sdc", res.BestSDC))
+		telemetry.F("best_sdc", res.BestSDC),
+		telemetry.F("rejected", res.Rejected))
 	return res
 }
 

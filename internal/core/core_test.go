@@ -190,6 +190,90 @@ func TestRandomSearchMaxInputs(t *testing.T) {
 	}
 }
 
+func TestRandomSearchBoundsRejections(t *testing.T) {
+	// An always-invalid benchmark: with a 1-instruction dynamic budget every
+	// golden run is over budget, so every candidate is rejected. Rejected
+	// candidates advance neither DynSpent nor Inputs, so without the
+	// consecutive-rejection bound this search would spin forever against its
+	// DynBudget stop.
+	b := prog.Build("pathfinder")
+	b.MaxDyn = 1
+	res := RandomSearch(b, BaselineOptions{TrialsPerInput: 10, DynBudget: 1 << 40, MaxConsecutiveRejects: 25}, xrand.New(4))
+	if res.Inputs != 0 {
+		t.Fatalf("inputs = %d, want 0 (all candidates invalid)", res.Inputs)
+	}
+	if res.Rejected != 25 {
+		t.Fatalf("rejected = %d, want 25 (the consecutive bound)", res.Rejected)
+	}
+	if res.BestSDC != 0 {
+		t.Fatalf("best SDC = %v, want 0", res.BestSDC)
+	}
+	// The default bound also terminates (quickly enough to test).
+	b2 := prog.Build("pathfinder")
+	b2.MaxDyn = 1
+	res = RandomSearch(b2, BaselineOptions{TrialsPerInput: 10, DynBudget: 1 << 40}, xrand.New(4))
+	if res.Rejected != DefaultMaxConsecutiveRejects {
+		t.Fatalf("rejected = %d, want default bound %d", res.Rejected, DefaultMaxConsecutiveRejects)
+	}
+}
+
+func TestRandomSearchAdaptive(t *testing.T) {
+	// CITarget switches per-candidate campaigns to the adaptive stratified
+	// runner: candidate SDC rates are composed estimates in [0,1], trials
+	// never exceed the flat campaign size, and the search stays deterministic.
+	b := prog.Build("pathfinder")
+	opts := BaselineOptions{TrialsPerInput: 200, MaxInputs: 3, CITarget: 0.05, Workers: 4, BatchSize: 16}
+	res := RandomSearch(b, opts, xrand.New(7))
+	if res.Inputs != 3 {
+		t.Fatalf("inputs = %d, want 3", res.Inputs)
+	}
+	for _, pt := range res.History {
+		if pt.SDC < 0 || pt.SDC > 1 {
+			t.Fatalf("candidate SDC %v outside [0,1]", pt.SDC)
+		}
+	}
+	if res.Best.Trials > 200 {
+		t.Fatalf("adaptive candidate spent %d trials, cap 200", res.Best.Trials)
+	}
+	again := RandomSearch(b, opts, xrand.New(7))
+	if res.BestSDC != again.BestSDC || res.Inputs != again.Inputs {
+		t.Fatalf("adaptive baseline is not deterministic: %v/%d vs %v/%d",
+			res.BestSDC, res.Inputs, again.BestSDC, again.Inputs)
+	}
+}
+
+func TestSearchAdaptiveFinal(t *testing.T) {
+	// CITarget > 0 routes the closing campaign through the adaptive runner:
+	// the result carries the composed estimate with honest bounds, and the
+	// reported bound is the estimate, not the allocation-biased pooled ratio.
+	b := prog.Build("xsbench")
+	opts := DefaultOptions()
+	opts.Generations = 3
+	opts.PopSize = 6
+	opts.TrialsPerRep = 5
+	opts.FinalTrials = 400
+	opts.CITarget = 0.06
+	opts.Workers = 4
+	opts.BatchSize = 16
+	res, err := Search(b, opts, xrand.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalAdaptive == nil {
+		t.Fatal("adaptive search did not record FinalAdaptive")
+	}
+	if res.FinalAdaptive.Counts.Trials > 400 {
+		t.Fatalf("adaptive final spent %d trials, cap 400", res.FinalAdaptive.Counts.Trials)
+	}
+	if res.SDCBound() != res.FinalAdaptive.Estimate {
+		t.Fatalf("SDCBound %v != composed estimate %v", res.SDCBound(), res.FinalAdaptive.Estimate)
+	}
+	lo, hi := res.SDCInterval()
+	if lo > res.SDCBound() || hi < res.SDCBound() || lo < 0 || hi > 1 {
+		t.Fatalf("interval [%v,%v] does not bracket bound %v", lo, hi, res.SDCBound())
+	}
+}
+
 func TestEvaluateInputCostGap(t *testing.T) {
 	// Table 6's claim: per-input evaluation is orders of magnitude cheaper
 	// in PEPPA-X (one run) than the baseline (a full FI campaign).

@@ -91,6 +91,32 @@ type Options struct {
 	// counts; the running top-k also mirrors into heat.instr gauges for the
 	// /metrics endpoint.
 	HeatTopK int
+	// CITarget > 0 switches the closing FI campaign to the adaptive
+	// stratified runner (campaign.OverallAdaptive): strata are heat-ranked by
+	// the §4.2.3 sensitivity scores, trials are allocated by estimated
+	// variance, and the campaign stops once the composed 95% Wilson
+	// half-width falls below this target — trial count becomes an accuracy
+	// knob instead of a constant. The measured bound is then
+	// Result.FinalAdaptive's composed estimate with honest bounds. Figure 5
+	// checkpoint measurements keep the flat FinalTrials campaign, so curves
+	// remain comparable across generations.
+	CITarget float64
+	// MinTrialsPerStratum seeds each adaptive stratum before allocation
+	// (<= 0: campaign.DefaultMinTrialsPerStratum). Adaptive only.
+	MinTrialsPerStratum int
+	// MaxTrials caps the adaptive campaign's total spend (<= 0:
+	// FinalTrials, so an adaptive run never costs more than the flat
+	// campaign it replaces). Adaptive only.
+	MaxTrials int
+}
+
+// adaptiveMaxTrials resolves the adaptive trial cap against the flat
+// campaign size.
+func (o Options) adaptiveMaxTrials() int {
+	if o.MaxTrials > 0 {
+		return o.MaxTrials
+	}
+	return o.FinalTrials
 }
 
 // DefaultOptions returns the paper's configuration.
@@ -128,8 +154,15 @@ type Result struct {
 	BestInput   []float64
 	BestFitness float64
 	// Final is the closing statistical FI campaign on BestInput — the
-	// paper's reported program SDC probability bound.
+	// paper's reported program SDC probability bound. Under an adaptive
+	// campaign (Options.CITarget > 0) Final holds the pooled per-stratum
+	// tally, whose raw ratio is allocation-weighted; the honest bound is
+	// FinalAdaptive's composed estimate, which SDCBound reports.
 	Final campaign.Counts
+	// FinalAdaptive is the adaptive campaign's full result (stratum tallies,
+	// composed estimate and honest interval); nil when the closing campaign
+	// ran flat.
+	FinalAdaptive *campaign.AdaptiveResult
 
 	// Checkpoints are the Figure 5 measurements, ordered by generation.
 	Checkpoints []Checkpoint
@@ -145,8 +178,25 @@ type Result struct {
 	Cost Cost
 }
 
-// SDCBound returns the SDC probability measured for the reported input.
-func (r *Result) SDCBound() float64 { return r.Final.SDCProbability() }
+// SDCBound returns the SDC probability measured for the reported input: the
+// flat campaign's trial ratio, or the adaptive campaign's composed
+// stratified estimate (the pooled ratio would be allocation-biased).
+func (r *Result) SDCBound() float64 {
+	if r.FinalAdaptive != nil {
+		return r.FinalAdaptive.Estimate
+	}
+	return r.Final.SDCProbability()
+}
+
+// SDCInterval returns the true 95% bounds of the measured SDC probability:
+// Wilson bounds for a flat campaign, the composed stratified interval for
+// an adaptive one.
+func (r *Result) SDCInterval() (lo, hi float64) {
+	if r.FinalAdaptive != nil {
+		return r.FinalAdaptive.Lo, r.FinalAdaptive.Hi
+	}
+	return r.Final.SDCInterval()
+}
 
 // PipelineDynAt returns the total pipeline cost, in dynamic instructions,
 // had the search been stopped at the given generation: the fixed small-input
@@ -320,7 +370,24 @@ func Search(b *prog.Benchmark, opts Options, rng *xrand.RNG) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: reported input of %s is invalid: %w", b.Name, err)
 	}
-	res.Final = overallCampaign(b.Prog, g, opts.FinalTrials, rng, opts)
+	if opts.CITarget > 0 {
+		// Adaptive closing campaign: strata heat-ranked by the sensitivity
+		// scores the pipeline already derived, seeded off one serial draw so
+		// the search RNG stays deterministic.
+		res.FinalAdaptive = campaign.OverallAdaptive(b.Prog, g, campaign.AdaptiveOptions{
+			Workers:             opts.Workers,
+			Seed:                rng.Uint64(),
+			BatchSize:           opts.BatchSize,
+			CITarget:            opts.CITarget,
+			MinTrialsPerStratum: opts.MinTrialsPerStratum,
+			MaxTrials:           opts.adaptiveMaxTrials(),
+			Scores:              dist.Scores,
+		})
+		res.Final = res.FinalAdaptive.Counts
+		campaign.EmitAdaptiveTelemetry(tr, "fi.adaptive", res.FinalAdaptive)
+	} else {
+		res.Final = overallCampaign(b.Prog, g, opts.FinalTrials, rng, opts)
+	}
 	ckStats.Accumulate(g.CheckpointStats())
 	res.Cost.FinalFIDyn = res.Final.DynInstrs + g.DynCount
 	res.Cost.FinalFITime = time.Since(t0)
@@ -330,7 +397,7 @@ func Search(b *prog.Benchmark, opts Options, rng *xrand.RNG) (*Result, error) {
 	campaign.EmitBatchTelemetry(tr, "fi.batch", ckStats, opts.BatchSize)
 	tr.Emit("search.final", append([]telemetry.Field{
 		telemetry.F("fitness", res.BestFitness),
-		telemetry.F("sdc", res.Final.SDCProbability()),
+		telemetry.F("sdc", res.SDCBound()),
 	}, res.Final.Fields()...)...)
 	// Final heat map of the reported SDC-bound input — the state the
 	// /metrics heat gauges keep serving after the search ends.

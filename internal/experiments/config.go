@@ -96,6 +96,20 @@ type Config struct {
 	// negative disables). Heat events are schedule-independent, so the
 	// worker-count trace equivalence holds with them enabled.
 	HeatTopK int
+
+	// CITarget > 0 switches the suite's closing search campaigns and the
+	// baseline's per-candidate campaigns to the adaptive stratified runner
+	// (campaign.OverallAdaptive), stopping each campaign once its composed
+	// 95% Wilson half-width falls below the target instead of always
+	// spending OverallTrials. Reported bounds become composed stratified
+	// estimates with honest intervals; 0 keeps the flat campaigns.
+	CITarget float64
+	// MinTrialsPerStratum seeds each adaptive stratum before allocation
+	// (<= 0: campaign.DefaultMinTrialsPerStratum). Adaptive only.
+	MinTrialsPerStratum int
+	// MaxTrials caps each adaptive campaign's spend (<= 0: OverallTrials).
+	// Adaptive only.
+	MaxTrials int
 }
 
 // DefaultConfig returns the full-scale configuration.

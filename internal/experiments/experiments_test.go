@@ -20,6 +20,37 @@ func quickSuite(t testing.TB, benches ...string) *Suite {
 	return s
 }
 
+func TestSuiteAdaptiveThreading(t *testing.T) {
+	// Config.CITarget must reach both the search's closing campaign and the
+	// baseline's per-candidate campaigns.
+	cfg := QuickConfig()
+	cfg.Benches = []string{"pathfinder"}
+	cfg.CITarget = 0.08
+	s, err := NewSuite(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.Search("pathfinder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.FinalAdaptive == nil {
+		t.Fatal("suite CITarget did not reach the search's closing campaign")
+	}
+	if r.FinalAdaptive.Counts.Trials > cfg.OverallTrials {
+		t.Fatalf("adaptive final spent %d trials, cap %d", r.FinalAdaptive.Counts.Trials, cfg.OverallTrials)
+	}
+	b, err := s.Baseline("pathfinder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pt := range b.History {
+		if pt.SDC < 0 || pt.SDC > 1 {
+			t.Fatalf("baseline candidate estimate %v outside [0,1]", pt.SDC)
+		}
+	}
+}
+
 func TestConfigValidate(t *testing.T) {
 	if err := DefaultConfig().Validate(); err != nil {
 		t.Fatalf("default config invalid: %v", err)
@@ -233,6 +264,36 @@ func TestFigure6(t *testing.T) {
 	}
 	if !strings.Contains(r.Render(), "pathfinder") {
 		t.Fatal("render missing map")
+	}
+	// Regression pin for the PercentileOfValue tie fix: the map's mean-input
+	// percentile standing must agree with the midrank definition computed
+	// directly from the grid. Under the old strictly-below counting, a grid
+	// with heavy ties at the mean (common in sparse maps whose cells are
+	// mostly 0) understated the standing.
+	var all []float64
+	var sum float64
+	for _, row := range hm.SDC {
+		for _, v := range row {
+			all = append(all, v)
+			sum += v
+		}
+	}
+	mean := sum / float64(len(all))
+	below, equal := 0, 0
+	for _, v := range all {
+		switch {
+		case v < mean:
+			below++
+		case v == mean:
+			equal++
+		}
+	}
+	want := (float64(below) + float64(equal)/2) / float64(len(all))
+	if hm.RandomPercentile != want {
+		t.Fatalf("RandomPercentile = %v, want midrank standing %v", hm.RandomPercentile, want)
+	}
+	if hm.RandomPercentile <= 0 || hm.RandomPercentile >= 1 {
+		t.Fatalf("RandomPercentile = %v, want interior standing", hm.RandomPercentile)
 	}
 }
 

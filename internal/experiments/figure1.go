@@ -16,7 +16,11 @@ type Figure1Row struct {
 	MeanSDC            float64
 	RefSDC             float64
 	RefInsideLowerHalf bool
-	CI                 float64 // widest 95% CI half-width among the campaigns
+	// CI is the widest 95% Wilson-interval half-width among the campaigns
+	// ((hi-lo)/2 of the true bounds, so clamping at 0 and 1 is respected) —
+	// the paper's "error bars ranged 0.26%–3.10%" shape check. It is a
+	// width, not a symmetric offset from the point estimates.
+	CI float64
 }
 
 // Figure1Result reproduces Figure 1: the range of overall program SDC
@@ -38,9 +42,13 @@ func Figure1(s *Suite) (*Figure1Result, error) {
 		}
 		sdcs := st.SDCs()
 		lo, hi := stats.Min(sdcs), stats.Max(sdcs)
-		ci := st.Ref.Counts.CI95()
+		ciWidth := func(c interface{ SDCInterval() (float64, float64) }) float64 {
+			l, h := c.SDCInterval()
+			return (h - l) / 2
+		}
+		ci := ciWidth(st.Ref.Counts)
 		for _, p := range st.Points {
-			if w := p.Counts.CI95(); w > ci {
+			if w := ciWidth(p.Counts); w > ci {
 				ci = w
 			}
 		}
@@ -78,7 +86,7 @@ func (r *Figure1Result) Render() string {
 		}
 		rows = append(rows, []string{
 			row.Bench, pct(row.MinSDC), pct(row.MaxSDC), pct(row.MeanSDC),
-			pct(row.RefSDC), mark, "±" + pct(row.CI),
+			pct(row.RefSDC), mark, pct(row.CI),
 			rangeBar(row.MinSDC, row.MaxSDC, row.RefSDC, scaleMax, 32),
 		})
 	}
@@ -86,7 +94,7 @@ func (r *Figure1Result) Render() string {
 	fmt.Fprintf(&sb, "Figure 1: Range of overall program SDC probability across %d random inputs (%d FI trials each)\n", r.Inputs, r.Trials)
 	sb.WriteString("Paper shape: ranges are wide and application-dependent; every reference input sits in the lower half of its range.\n\n")
 	sb.WriteString(renderTable(
-		[]string{"Benchmark", "Min", "Max", "Mean", "RefInput", "Ref in lower half", "95% CI", "0 .. max"}, rows))
+		[]string{"Benchmark", "Min", "Max", "Mean", "RefInput", "Ref in lower half", "Max CI half-width", "0 .. max"}, rows))
 	fmt.Fprintf(&sb, "\nReference input in lower half: %d/%d benchmarks\n", lowerHalf, len(r.Rows))
 	return sb.String()
 }

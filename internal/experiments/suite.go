@@ -82,6 +82,9 @@ func (s *Suite) Search(name string) (*core.Result, error) {
 		opts.CheckpointInterval = s.Cfg.CheckpointInterval
 		opts.Trace = s.Cfg.Recorder.Stream("search/" + name)
 		opts.HeatTopK = s.Cfg.HeatTopK
+		opts.CITarget = s.Cfg.CITarget
+		opts.MinTrialsPerStratum = s.Cfg.MinTrialsPerStratum
+		opts.MaxTrials = s.Cfg.MaxTrials
 		r, err := core.Search(s.Bench(name), opts, s.rng("search", name))
 		if err != nil {
 			return nil, fmt.Errorf("experiments: search %s: %w", name, err)
@@ -123,13 +126,16 @@ func (s *Suite) Baseline(name string) (*core.BaselineResult, error) {
 			return nil, err
 		}
 		return core.RandomSearch(s.Bench(name), core.BaselineOptions{
-			TrialsPerInput:     s.Cfg.OverallTrials,
-			DynBudget:          s.maxBaselineBudget(r),
-			Workers:            s.Cfg.Workers,
-			BatchSize:          s.Cfg.BatchSize,
-			CheckpointInterval: s.Cfg.CheckpointInterval,
-			Trace:              s.Cfg.Recorder.Stream("baseline/" + name),
-			HeatTopK:           s.Cfg.HeatTopK,
+			TrialsPerInput:      s.Cfg.OverallTrials,
+			DynBudget:           s.maxBaselineBudget(r),
+			Workers:             s.Cfg.Workers,
+			BatchSize:           s.Cfg.BatchSize,
+			CheckpointInterval:  s.Cfg.CheckpointInterval,
+			Trace:               s.Cfg.Recorder.Stream("baseline/" + name),
+			HeatTopK:            s.Cfg.HeatTopK,
+			CITarget:            s.Cfg.CITarget,
+			MinTrialsPerStratum: s.Cfg.MinTrialsPerStratum,
+			MaxTrials:           s.Cfg.MaxTrials,
 		}, s.rng("baseline", name)), nil
 	})
 }

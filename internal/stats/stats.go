@@ -100,21 +100,31 @@ func Percentile(xs []float64, p float64) float64 {
 	return s[lo]*(1-frac) + s[hi]*frac
 }
 
-// PercentileOfValue returns the fraction (0..1) of values in xs that are
-// strictly below v — the percentile standing of v in the sample. Used for the
+// PercentileOfValue returns the percentile standing (0..1) of v in the
+// sample xs, using midrank tie handling: (below + equal/2) / n. Used for the
 // heat-map analysis of Figure 6 ("a randomly sampled input is above the 96th
 // percentile").
+//
+// Strictly-below counting alone is tie-blind: a value equal to the entire
+// sample would stand at the 0th percentile even though it sits exactly in
+// the middle of the distribution — a flat SDC heat map would report its mean
+// grid point as "bottom of the distribution". Midrank standing places a
+// value tied with the whole sample at 0.5 and degrades gracefully for
+// partial ties.
 func PercentileOfValue(xs []float64, v float64) float64 {
 	if len(xs) == 0 {
 		return 0
 	}
-	below := 0
+	below, equal := 0, 0
 	for _, x := range xs {
-		if x < v {
+		switch {
+		case x < v:
 			below++
+		case x == v:
+			equal++
 		}
 	}
-	return float64(below) / float64(len(xs))
+	return (float64(below) + float64(equal)/2) / float64(len(xs))
 }
 
 // Ranks assigns fractional ranks (average rank for ties), 1-based, as used by
@@ -213,8 +223,74 @@ const z95 = 1.959963984540054
 // quotes away from the boundary, but unlike Wald its width never degenerates
 // to zero at k=0 or k=n — a 0-of-1000 campaign is evidence the rate is
 // small, not proof it is exactly zero.
+//
+// LEGACY SHIM — width only. The Wilson interval is centered on the adjusted
+// midpoint (k + z²/2)/(n + z²), NOT on p̂ = k/n, so reporting p̂ ± this
+// half-width misstates the interval and produces a negative lower bound at
+// k=0 (and an upper bound above 1 at k=n). Call sites that report or test
+// interval BOUNDS must use WilsonInterval / WilsonInterval95; this function
+// remains only for callers that genuinely need a width (error-bar sizing,
+// width-convergence comparisons).
 func BinomialCI(k, n int) float64 {
 	return WilsonCI(k, n, z95)
+}
+
+// WilsonInterval returns the true bounds of the Wilson score interval for k
+// successes in n trials at normal quantile z:
+//
+//	(k + z²/2)/(n + z²)  ±  z·sqrt(k(n-k)/n + z²/4)/(n + z²)
+//
+// The interval is centered on the adjusted midpoint, not on p̂ = k/n, which
+// is what keeps it inside [0,1] at the boundaries: at k=0 the lower bound is
+// exactly 0 and the upper bound is z²/(n+z²); symmetrically at k=n. Both
+// bounds always bracket p̂. n <= 0 returns the vacuous interval [0,1] — no
+// data constrains nothing.
+func WilsonInterval(k, n int, z float64) (lo, hi float64) {
+	if n <= 0 {
+		return 0, 1
+	}
+	if k < 0 {
+		k = 0
+	}
+	if k > n {
+		k = n
+	}
+	nf, kf := float64(n), float64(k)
+	z2 := z * z
+	center := (kf + z2/2) / (nf + z2)
+	half := z * math.Sqrt(kf*(nf-kf)/nf+z2/4) / (nf + z2)
+	lo, hi = center-half, center+half
+	// At the boundaries the true bound is exactly 0 (resp. 1): the center
+	// and half-width are algebraically equal there. Pin the exact value
+	// rather than leaving an ulp of floating-point dust, and clamp the
+	// interior bounds the same way.
+	if k == 0 || lo < 0 {
+		lo = 0
+	}
+	if k == n || hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// WilsonInterval95 is WilsonInterval at 95% confidence — the bounds behind
+// every reported FI confidence interval in this repository.
+func WilsonInterval95(k, n int) (lo, hi float64) {
+	return WilsonInterval(k, n, z95)
+}
+
+// WilsonMidpoint returns the center of the Wilson score interval,
+// (k + z²/2)/(n + z²) — the shrunk proportion estimate the interval is
+// symmetric around. Unlike p̂ it is never exactly 0 or 1 for n ≥ 1, which
+// makes it the right plug-in for variance estimates p(1-p) on small or
+// one-sided samples (a stratum with k=0 still has nonzero estimated
+// variance and keeps attracting trials until its interval converges).
+func WilsonMidpoint(k, n int, z float64) float64 {
+	if n <= 0 {
+		return 0.5
+	}
+	z2 := z * z
+	return (float64(k) + z2/2) / (float64(n) + z2)
 }
 
 // WilsonCI returns the half-width of the Wilson score interval for k
@@ -264,18 +340,24 @@ func Normalize(xs []float64) []float64 {
 }
 
 // Histogram counts xs into nbins equal-width bins over [lo, hi]. Values
-// outside the range clamp to the end bins. It panics if nbins <= 0 or
-// hi <= lo.
-func Histogram(xs []float64, lo, hi float64, nbins int) []int {
+// outside the range clamp to the end bins. NaNs are skipped and returned as
+// a separate tally rather than binned: int(NaN) is 0 in Go, so the old code
+// silently clamped every NaN into bin 0, inventing mass at the low end of
+// the distribution. It panics if nbins <= 0 or hi <= lo.
+func Histogram(xs []float64, lo, hi float64, nbins int) (counts []int, nan int) {
 	if nbins <= 0 {
 		panic("stats: Histogram with nbins <= 0")
 	}
 	if hi <= lo {
 		panic("stats: Histogram with hi <= lo")
 	}
-	counts := make([]int, nbins)
+	counts = make([]int, nbins)
 	w := (hi - lo) / float64(nbins)
 	for _, x := range xs {
+		if math.IsNaN(x) {
+			nan++
+			continue
+		}
 		b := int((x - lo) / w)
 		if b < 0 {
 			b = 0
@@ -285,5 +367,5 @@ func Histogram(xs []float64, lo, hi float64, nbins int) []int {
 		}
 		counts[b]++
 	}
-	return counts
+	return counts, nan
 }

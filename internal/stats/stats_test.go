@@ -67,6 +67,31 @@ func TestPercentileOfValue(t *testing.T) {
 	}
 }
 
+// Midrank tie handling: a value equal to part (or all) of the sample stands
+// at (below + equal/2)/n, never at the strictly-below rank alone. The
+// all-equal case is the Figure 6 regression: a flat heat map's mean grid
+// point must stand at the 50th percentile, not the 0th.
+func TestPercentileOfValueTies(t *testing.T) {
+	flat := []float64{0.3, 0.3, 0.3, 0.3}
+	if got := PercentileOfValue(flat, 0.3); got != 0.5 {
+		t.Fatalf("all-equal sample: standing = %v, want 0.5", got)
+	}
+	// One exact tie among distinct values: below=2, equal=1, n=5.
+	xs := []float64{1, 2, 3, 4, 5}
+	if got := PercentileOfValue(xs, 3); got != 0.5 {
+		t.Fatalf("midrank standing of 3 in 1..5 = %v, want 0.5", got)
+	}
+	// Two ties: below=1, equal=2, n=4 → (1+1)/4.
+	xs = []float64{1, 2, 2, 3}
+	if got := PercentileOfValue(xs, 2); got != 0.5 {
+		t.Fatalf("midrank standing of 2 = %v, want 0.5", got)
+	}
+	// Untied values are unaffected by the midrank term.
+	if got := PercentileOfValue(xs, 2.5); got != 0.75 {
+		t.Fatalf("untied standing = %v, want 0.75", got)
+	}
+}
+
 func TestRanksSimple(t *testing.T) {
 	got := Ranks([]float64{30, 10, 20})
 	want := []float64{3, 1, 2}
@@ -236,6 +261,63 @@ func TestWilsonCI(t *testing.T) {
 	}
 }
 
+func TestWilsonInterval(t *testing.T) {
+	// Known value: k=10, n=40 at 95% → [0.1419, 0.4019] around the adjusted
+	// midpoint ≈ 0.2719 (NOT around p̂ = 0.25).
+	lo, hi := WilsonInterval(10, 40, z95)
+	if !almostEqual(lo, 0.1419, 1e-3) || !almostEqual(hi, 0.4019, 1e-3) {
+		t.Fatalf("WilsonInterval(10,40) = [%v, %v], want ~[0.1419, 0.4019]", lo, hi)
+	}
+	mid := WilsonMidpoint(10, 40, z95)
+	if !almostEqual(mid, (lo+hi)/2, 1e-12) {
+		t.Fatalf("midpoint %v is not the interval center %v", mid, (lo+hi)/2)
+	}
+	if !almostEqual(hi-lo, 2*WilsonCI(10, 40, z95), 1e-12) {
+		t.Fatal("interval width disagrees with WilsonCI half-width")
+	}
+	// The p̂ ± half-width misuse this interval replaces: at k=0 the naive
+	// lower bound 0 - BinomialCI(0,n) is negative; the true bound is 0.
+	if p := 0.0 - BinomialCI(0, 100); p >= 0 {
+		t.Fatal("test premise broken: naive k=0 lower bound should be negative")
+	}
+	if lo, _ := WilsonInterval95(0, 100); lo != 0 {
+		t.Fatalf("WilsonInterval95(0,100) lower bound = %v, want exactly 0", lo)
+	}
+	if _, hi := WilsonInterval95(100, 100); hi != 1 {
+		t.Fatalf("WilsonInterval95(n,n) upper bound = %v, want exactly 1", hi)
+	}
+	// No data constrains nothing.
+	if lo, hi := WilsonInterval(0, 0, z95); lo != 0 || hi != 1 {
+		t.Fatalf("n=0 interval = [%v, %v], want [0, 1]", lo, hi)
+	}
+}
+
+// Property: for every (k, n, z) the Wilson bounds stay inside [0,1], bracket
+// p̂, and are exactly 0 at k=0 / exactly 1 at k=n. This is the acceptance
+// property of the interval-asymmetry bugfix.
+func TestWilsonIntervalProperty(t *testing.T) {
+	rng := xrand.New(7)
+	for i := 0; i < 2000; i++ {
+		n := 1 + rng.Intn(5000)
+		k := rng.Intn(n + 1)
+		z := 0.5 + rng.Float64()*3 // quantiles from ~69% to ~99.97%
+		lo, hi := WilsonInterval(k, n, z)
+		p := float64(k) / float64(n)
+		if lo < 0 || hi > 1 || lo > hi {
+			t.Fatalf("WilsonInterval(%d,%d,%v) = [%v, %v] outside [0,1]", k, n, z, lo, hi)
+		}
+		if p < lo-1e-12 || p > hi+1e-12 {
+			t.Fatalf("WilsonInterval(%d,%d,%v) = [%v, %v] does not bracket p̂=%v", k, n, z, lo, hi, p)
+		}
+		if lo0, _ := WilsonInterval(0, n, z); lo0 != 0 {
+			t.Fatalf("k=0 lower bound = %v, want 0 (n=%d z=%v)", lo0, n, z)
+		}
+		if _, hin := WilsonInterval(n, n, z); hin != 1 {
+			t.Fatalf("k=n upper bound = %v, want 1 (n=%d z=%v)", hin, n, z)
+		}
+	}
+}
+
 func TestNormalize(t *testing.T) {
 	got := Normalize([]float64{2, 4, 6})
 	want := []float64{0, 0.5, 1}
@@ -270,7 +352,10 @@ func TestNormalizeUniformInputs(t *testing.T) {
 }
 
 func TestHistogram(t *testing.T) {
-	counts := Histogram([]float64{0.05, 0.15, 0.95, -1, 2}, 0, 1, 10)
+	counts, nan := Histogram([]float64{0.05, 0.15, 0.95, -1, 2}, 0, 1, 10)
+	if nan != 0 {
+		t.Fatalf("nan count = %d, want 0", nan)
+	}
 	if counts[0] != 2 { // 0.05 and clamped -1
 		t.Fatalf("bin 0 = %d", counts[0])
 	}
@@ -286,6 +371,33 @@ func TestHistogram(t *testing.T) {
 	}
 	if total != 5 {
 		t.Fatalf("histogram total = %d", total)
+	}
+}
+
+// NaNs must be skipped and tallied, not clamped into bin 0: int(NaN) is 0 in
+// Go, so the old code invented mass at the low end of the distribution.
+func TestHistogramNaN(t *testing.T) {
+	nanv := math.NaN()
+	counts, nan := Histogram([]float64{nanv, 0.05, nanv, 0.95, nanv}, 0, 1, 10)
+	if nan != 3 {
+		t.Fatalf("nan count = %d, want 3", nan)
+	}
+	if counts[0] != 1 {
+		t.Fatalf("bin 0 = %d, want 1 (NaNs must not clamp into bin 0)", counts[0])
+	}
+	if counts[9] != 1 {
+		t.Fatalf("bin 9 = %d, want 1", counts[9])
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 2 {
+		t.Fatalf("binned total = %d, want 2", total)
+	}
+	counts, nan = Histogram([]float64{nanv, nanv}, 0, 1, 4)
+	if nan != 2 || counts[0] != 0 {
+		t.Fatalf("all-NaN histogram: counts=%v nan=%d", counts, nan)
 	}
 }
 

@@ -358,6 +358,15 @@ func (s *Stream) Gauge(name string, v int64) {
 	s.r.Gauge(name, v)
 }
 
+// GaugeF delegates to the parent Recorder's float gauges (metrics only) —
+// for fractional readings like composed CI widths and SDC estimates.
+func (s *Stream) GaugeF(name string, v float64) {
+	if s == nil {
+		return
+	}
+	s.r.GaugeF(name, v)
+}
+
 // Phase starts a phase timer and returns its closer. The closer emits a
 // "phase" event carrying the deterministic cost-clock span (start tick and
 // ticks elapsed) and accumulates the wall-clock nanoseconds into the
