@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build lint test test-short race bench-smoke bench-workers test-telemetry test-observability test-checkpoint bench-fi bench-regression test-fusion bench-fitness test-adaptive report profile ci
+.PHONY: build lint test test-short race bench-smoke bench-workers test-telemetry test-observability test-checkpoint bench-fi bench-regression test-fusion bench-fitness test-adaptive test-compose bench-compose report profile ci
 
 build:
 	$(GO) build ./...
@@ -65,6 +65,10 @@ bench-regression:
 		./internal/interp | tee BENCH_fi.new.txt
 	$(GO) run ./cmd/benchjson < BENCH_fi.new.txt > BENCH_fi.new.json
 	$(GO) run ./cmd/benchjson -compare BENCH_fi.json BENCH_fi.new.json -tolerance $(TOLERANCE)
+	$(GO) test -run='^$$' -bench=BenchmarkSensitivityCompose -benchtime=1x \
+		./internal/sensitivity | tee BENCH_compose.new.txt
+	$(GO) run ./cmd/benchjson < BENCH_compose.new.txt > BENCH_compose.new.json
+	$(GO) run ./cmd/benchjson -compare BENCH_compose.json BENCH_compose.new.json -tolerance $(TOLERANCE)
 
 # Profiling fast-path equivalence gate: block-granular and fused-
 # superinstruction profiled runs must be bit-identical to the legacy
@@ -95,6 +99,37 @@ bench-fitness:
 test-adaptive:
 	$(GO) test -count=1 -run 'Adaptive|BuildStrata|Wilson|PercentileOfValue|RandomSearchBoundsRejections' \
 		./internal/campaign ./internal/stats ./internal/core ./internal/experiments
+
+# Compositional-estimation gate, in two parts: (1) the compose test suite —
+# partition coverage, cache reuse/staleness, the 7-benchmark equivalence
+# check (composed estimate inside the direct campaign's 95% Wilson
+# interval) and exact-reuse bit-identity at workers 1/4 × batch 1/8/64 —
+# plus the sensitivity/core/experiments threading tests and the benchjson
+# compose_speedup tests; (2) end-to-end trace determinism — the same
+# fi -compose run at 1 and 4 workers must write byte-identical JSONL.
+test-compose:
+	$(GO) test -count=1 -run 'Compose' \
+		./internal/compose ./internal/sensitivity ./internal/core \
+		./internal/experiments ./cmd/benchjson
+	$(GO) build -o bin/fi ./cmd/fi
+	./bin/fi -bench needle -trials 300 -compose -seed 7 -parallel 1 \
+		-batch 8 -trace compose-w1.jsonl > /dev/null
+	./bin/fi -bench needle -trials 300 -compose -seed 7 -parallel 4 \
+		-batch 8 -trace compose-w4.jsonl > /dev/null
+	grep -c '"ev":"compose.profile"' compose-w1.jsonl > /dev/null
+	cmp compose-w1.jsonl compose-w4.jsonl
+	@echo "compose traces byte-identical across worker counts"
+
+# Measure scratch vs incremental (compositional) sensitivity derivation
+# over a GA-like input sequence and render BENCH_compose.json
+# (per-benchmark dyn/op and the scratch/incremental compose_speedup).
+# dyn/op is deterministic, so -benchtime=1x is exact, and the committed
+# speedups are host-independent.
+bench-compose:
+	$(GO) test -run='^$$' -bench=BenchmarkSensitivityCompose -benchtime=1x \
+		./internal/sensitivity | tee BENCH_compose.txt
+	$(GO) run ./cmd/benchjson < BENCH_compose.txt > BENCH_compose.json
+	@echo "wrote BENCH_compose.json"
 
 # Regenerate the full experiment report (report_full.txt/report_full.json
 # are generated artifacts, not committed; the default configuration takes
@@ -157,7 +192,7 @@ test-observability:
 
 # Every GitHub workflow job's target, in workflow order: build, lint, test,
 # race, bench-smoke, fi-checkpoint (test-checkpoint + bench-fi),
-# fitness-perf (test-fusion + bench-fitness), test-adaptive,
+# fitness-perf (test-fusion + bench-fitness), test-adaptive, test-compose,
 # test-telemetry, test-observability, bench-regression. Keep this list in
 # sync with .github/workflows/ci.yml.
-ci: build lint test race bench-smoke test-checkpoint bench-fi test-fusion bench-fitness test-adaptive test-telemetry test-observability bench-regression
+ci: build lint test race bench-smoke test-checkpoint bench-fi test-fusion bench-fitness test-adaptive test-compose test-telemetry test-observability bench-regression

@@ -4,14 +4,18 @@
 // speedup tables — for the BenchmarkOverall scratch/checkpointed pairs the
 // per-program campaign speedup of golden-prefix checkpointing, for the
 // checkpointed/batched pairs the additional speedup of lockstep batching
-// (both in BENCH_fi.json), and for the BenchmarkFitnessProfile
+// (both in BENCH_fi.json), for the BenchmarkFitnessProfile
 // perinstr/fused pairs the per-program and geomean speedup of the fused
-// profiling fast path (BENCH_fitness.json).
+// profiling fast path (BENCH_fitness.json), and for the
+// BenchmarkSensitivityCompose scratch/incremental pairs the dyn/op-based
+// FI-spend saving of compositional sensitivity derivation
+// (BENCH_compose.json).
 //
 // Usage:
 //
 //	go test -run '^$' -bench 'Benchmark(Overall|Golden)' ./internal/interp | benchjson > BENCH_fi.json
 //	go test -run '^$' -bench BenchmarkFitnessProfile ./internal/interp | benchjson > BENCH_fitness.json
+//	go test -run '^$' -bench BenchmarkSensitivityCompose ./internal/sensitivity | benchjson > BENCH_compose.json
 //
 // With -compare it acts as the CI bench-regression gate instead of a
 // converter: it reads two previously generated reports and exits non-zero
@@ -62,6 +66,13 @@ type Report struct {
 	// average — committing NaN or -Inf into a BENCH artifact would poison
 	// every downstream consumer of the file.
 	FitnessSpeedup map[string]*float64 `json:"fitness_speedup,omitempty"`
+	// ComposeSpeedup maps each program benchmark to scratch dyn/op ÷
+	// incremental dyn/op for BenchmarkSensitivityCompose — the FI-spend
+	// saving of composing cached per-segment profiles across a GA-like
+	// input sequence instead of deriving sensitivity from scratch per
+	// input. The ratio is over the deterministic dyn/op metric, not
+	// ns/op, so it is immune to host-speed noise.
+	ComposeSpeedup map[string]float64 `json:"compose_speedup,omitempty"`
 }
 
 func main() {
@@ -157,6 +168,7 @@ func compareReports(oldPath, newPath string, tolerance float64, out io.Writer) (
 	}
 	check("overall_speedup", oldRep.OverallSpeedup, newRep.OverallSpeedup)
 	check("batch_speedup", oldRep.BatchSpeedup, newRep.BatchSpeedup)
+	check("compose_speedup", oldRep.ComposeSpeedup, newRep.ComposeSpeedup)
 	if ok {
 		fmt.Fprintln(out, "bench-regression gate passed")
 	}
@@ -204,6 +216,7 @@ func run(in io.Reader, out, errw io.Writer) error {
 	rep.OverallSpeedup = speedups(rep.Benchmarks)
 	rep.BatchSpeedup = batchSpeedups(rep.Benchmarks)
 	rep.FitnessSpeedup = fitnessSpeedups(rep.Benchmarks, errw)
+	rep.ComposeSpeedup = composeSpeedups(rep.Benchmarks)
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
 	return enc.Encode(rep)
@@ -252,13 +265,30 @@ func trimProcs(name string) string {
 // ratios pairs <prefix><num>/<prog> with <prefix><den>/<prog> lines and
 // reports their ns/op ratios, rounded to two decimals.
 func ratios(benches []Benchmark, numPrefix, denPrefix string) map[string]float64 {
+	return metricRatios(benches, numPrefix, denPrefix, "")
+}
+
+// metricRatios is ratios over an arbitrary custom metric ("" = ns/op):
+// deterministic metrics like dyn/op give host-independent ratios.
+func metricRatios(benches []Benchmark, numPrefix, denPrefix, metric string) map[string]float64 {
+	value := func(b Benchmark) (float64, bool) {
+		if metric == "" {
+			return b.NsPerOp, true
+		}
+		v, ok := b.Metrics[metric]
+		return v, ok
+	}
 	num, den := map[string]float64{}, map[string]float64{}
 	for _, b := range benches {
+		v, ok := value(b)
+		if !ok {
+			continue
+		}
 		name := trimProcs(b.Name)
 		if p, ok := strings.CutPrefix(name, numPrefix); ok {
-			num[p] = b.NsPerOp
+			num[p] = v
 		} else if p, ok := strings.CutPrefix(name, denPrefix); ok {
-			den[p] = b.NsPerOp
+			den[p] = v
 		}
 	}
 	out := map[string]float64{}
@@ -271,6 +301,14 @@ func ratios(benches []Benchmark, numPrefix, denPrefix string) map[string]float64
 		return nil
 	}
 	return out
+}
+
+// composeSpeedups pairs BenchmarkSensitivityCompose/scratch/<prog> with
+// .../incremental/<prog> on the dyn/op metric.
+func composeSpeedups(benches []Benchmark) map[string]float64 {
+	return metricRatios(benches,
+		"BenchmarkSensitivityCompose/scratch/",
+		"BenchmarkSensitivityCompose/incremental/", "dyn/op")
 }
 
 // speedups pairs BenchmarkOverall/scratch/<prog> with .../checkpointed/<prog>

@@ -158,6 +158,48 @@ func TestRunBatchSpeedup(t *testing.T) {
 	}
 }
 
+// The compose speedup must come from the dyn/op metric, not ns/op: dyn/op
+// is deterministic, so the committed ratio is host-independent.
+const composeSample = `goos: linux
+BenchmarkSensitivityCompose/scratch/pathfinder-8       	1	 513199611 ns/op	  89090550 dyn/op
+BenchmarkSensitivityCompose/incremental/pathfinder-8   	1	 132301750 ns/op	  22272637 dyn/op
+BenchmarkSensitivityCompose/scratch/needle-8           	1	 487310864 ns/op	  48587760 dyn/op
+BenchmarkSensitivityCompose/incremental/needle-8       	1	  71746597 ns/op	  97175520 dyn/op
+PASS
+`
+
+func TestRunComposeSpeedup(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run(strings.NewReader(composeSample), &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if got := rep.ComposeSpeedup["pathfinder"]; got != 4 {
+		t.Fatalf("pathfinder compose speedup = %v, want 4 (dyn/op ratio, not ns/op)", got)
+	}
+	if got := rep.ComposeSpeedup["needle"]; got != 0.5 {
+		t.Fatalf("needle compose speedup = %v, want 0.5", got)
+	}
+	if rep.OverallSpeedup != nil || rep.FitnessSpeedup != nil {
+		t.Fatalf("unexpected unrelated speedups: %+v", rep)
+	}
+}
+
+func TestCompareComposeRegression(t *testing.T) {
+	oldRep := Report{ComposeSpeedup: map[string]float64{"pathfinder": 4.0}}
+	newRep := Report{ComposeSpeedup: map[string]float64{"pathfinder": 2.0}}
+	code, log := runCompare(t, oldRep, newRep)
+	if code == 0 {
+		t.Fatalf("regressed compose compare exited 0:\n%s", log)
+	}
+	if !strings.Contains(log, "FAIL compose_speedup/pathfinder") {
+		t.Fatalf("missing failure line:\n%s", log)
+	}
+}
+
 func writeReport(t *testing.T, rep Report) string {
 	t.Helper()
 	blob, err := json.Marshal(rep)

@@ -62,6 +62,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		batch       = fs.Int("batch", 0, "lockstep batch size for FI campaigns: trials sharing a checkpoint run as one batch (0 = per-trial; search campaigns switch to per-trial RNG streams when batched)")
 		adaptive    = fs.Bool("adaptive", false, "adaptive stratified FI for search finals and baseline candidates: stop each campaign once its composed 95% CI half-width falls below -ci-target")
 		ciTarget    = fs.Float64("ci-target", 0, "95% CI half-width target for -adaptive (0 = default 0.035; setting this implies -adaptive)")
+		composeMode = fs.Bool("compose", false, "compositional SDC estimation for the suite's searches and baselines: per-segment profiles measured once per benchmark, cached suite-wide, composed under each input's dynamic mix")
+		composeThr  = fs.Float64("compose-threshold", 0, "profile re-measurement drift trigger for -compose (0 = default 0.05, negative = never re-measure)")
+		composeTr   = fs.Int("compose-trials", 0, "trial budget of a full -compose profile pass (0 = default 1600)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -98,6 +101,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if cfg.CITarget <= 0 {
 			cfg.CITarget = campaign.DefaultCITarget
 		}
+	}
+	if *composeMode {
+		cfg.Compose = true
+		cfg.ComposeThreshold = *composeThr
+		cfg.ComposeTrials = *composeTr
 	}
 
 	var rec *telemetry.Recorder

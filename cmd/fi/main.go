@@ -39,6 +39,7 @@ import (
 	"strings"
 
 	"repro/internal/campaign"
+	"repro/internal/compose"
 	"repro/internal/fault"
 	"repro/internal/parallel"
 	"repro/internal/prog"
@@ -72,6 +73,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		batch       = fs.Int("batch", 0, "lockstep batch size: run trials sharing a checkpoint as one batch with a shared trunk replay (0 = per-trial; implies per-trial RNG streams like -parallel)")
 		adaptive    = fs.Bool("adaptive", false, "adaptive stratified campaign: stop once the composed 95% CI half-width falls below -ci-target; -trials becomes the spend cap")
 		ciTarget    = fs.Float64("ci-target", 0, "95% CI half-width target for -adaptive (0 = default 0.035; setting this implies -adaptive)")
+		composeMode = fs.Bool("compose", false, "compositional estimate: measure per-segment SDC profiles once, compose them under the input's dynamic mix, and compare against a direct -trials campaign")
+		composeThr  = fs.Float64("compose-threshold", 0, "profile re-measurement drift trigger for -compose (0 = default 0.05, negative = never re-measure)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -199,6 +202,61 @@ func run(args []string, stdout, stderr io.Writer) int {
 				pctS(float64(c.Crash)/float64(maxi(c.Trials, 1))),
 				c.Hang, g.InstrCounts[r.ID], instrs[r.ID].Op)
 		}
+		return 0
+	}
+
+	if *composeMode {
+		if *multibit {
+			return fail(fmt.Errorf("-compose supports the single-bit model only"))
+		}
+		e := compose.NewEstimator(b.Prog, nil, compose.Options{
+			Trials:    *trials,
+			Threshold: *composeThr,
+			Workers:   *workers,
+			BatchSize: *batch,
+			Seed:      *seed,
+			Trace:     tr,
+		})
+		est := e.EstimateGolden(g)
+		tr.Advance(est.MeasureDyn)
+		part := e.Partition()
+		// Direct reference campaign of the same size: the composed estimate
+		// should land inside this interval (the equivalence contract).
+		direct := campaign.OverallParallel(b.Prog, g, *trials, campaign.ParallelOptions{
+			Workers: *workers, Seed: *seed, BatchSize: *batch,
+		})
+		tr.Advance(direct.DynInstrs)
+		dLo, dHi := direct.SDCInterval()
+		tr.Emit("fi.compose",
+			telemetry.F("granularity", part.Granularity),
+			telemetry.F("segments", len(part.Segments)),
+			telemetry.F("sdc", est.SDC),
+			telemetry.F("lo", est.Lo),
+			telemetry.F("hi", est.Hi),
+			telemetry.F("measure_trials", est.MeasureTrials),
+			telemetry.F("measure_dyn", est.MeasureDyn),
+			telemetry.F("direct_sdc", direct.SDCProbability()),
+			telemetry.F("direct_lo", dLo),
+			telemetry.F("direct_hi", dHi))
+		campaign.EmitCheckpointTelemetry(tr, "fi.checkpoints", g.CheckpointStats())
+		campaign.EmitBatchTelemetry(tr, "fi.batch", g.CheckpointStats(), *batch)
+		printCheckpointSummary(stdout, g)
+		printBatchSummary(stdout, g)
+		fmt.Fprintf(stdout, "compositional estimate over %d %s segments (%d profile trials):\n",
+			len(part.Segments), part.Granularity, est.MeasureTrials)
+		fmt.Fprintf(stdout, "%-22s %-8s %-10s %-20s %-8s %s\n", "Segment", "Weight", "SDC", "95% CI", "Trials", "Source")
+		for _, se := range est.Segments {
+			fmt.Fprintf(stdout, "%-22s %-8s %-10s [%5.2f%%, %5.2f%%]     %-8d %s\n",
+				se.Segment, pctS(se.Weight), pctS(se.P), se.Lo*100, se.Hi*100, se.Trials, se.Source)
+		}
+		fmt.Fprintf(stdout, "\n  composed SDC: %.2f%%  (95%% CI [%.2f%%, %.2f%%])\n", est.SDC*100, est.Lo*100, est.Hi*100)
+		fmt.Fprintf(stdout, "  direct SDC:   %.2f%%  (95%% CI [%.2f%%, %.2f%%], %d trials)\n",
+			direct.SDCProbability()*100, dLo*100, dHi*100, direct.Trials)
+		inside := "inside"
+		if est.SDC < dLo || est.SDC > dHi {
+			inside = "OUTSIDE"
+		}
+		fmt.Fprintf(stdout, "  composed estimate is %s the direct campaign's interval\n", inside)
 		return 0
 	}
 

@@ -47,6 +47,7 @@ import (
 	"strings"
 
 	"repro/internal/campaign"
+	"repro/internal/compose"
 	"repro/internal/core"
 	"repro/internal/parallel"
 	"repro/internal/prog"
@@ -85,6 +86,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		memProfile  = fs.String("memprofile", "", "write an end-of-run heap profile to this file (go tool pprof)")
 		adaptive    = fs.Bool("adaptive", false, "adaptive stratified FI for the final measurement (and -baseline candidates): stop once the composed 95% CI half-width falls below -ci-target; -trials becomes the spend cap")
 		ciTarget    = fs.Float64("ci-target", 0, "95% CI half-width target for -adaptive (0 = default 0.035; setting this implies -adaptive)")
+		composeMode = fs.Bool("compose", false, "compositional SDC estimation: per-segment profiles measured once, cached, and composed under each input's dynamic mix for the sensitivity derivation, checkpoints and -baseline candidates")
+		composeThr  = fs.Float64("compose-threshold", 0, "profile re-measurement drift trigger for -compose (0 = default 0.05, negative = never re-measure)")
+		composeTr   = fs.Int("compose-trials", 0, "trial budget of a full -compose profile pass (0 = default 1600)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -182,6 +186,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 			opts.CITarget = campaign.DefaultCITarget
 		}
 	}
+	if *composeMode {
+		opts.Compose = true
+		opts.ComposeThreshold = *composeThr
+		opts.ComposeTrials = *composeTr
+		// One cache for the whole invocation, so a -baseline run reuses the
+		// profiles the search already measured.
+		opts.ComposeCache = compose.NewCache(0)
+	}
 	for _, c := range strings.Split(*checkpoints, ",") {
 		if c = strings.TrimSpace(c); c != "" {
 			n, err := strconv.Atoi(c)
@@ -224,25 +236,38 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "total cost:        %.1fM dyn instrs, %v wall clock\n",
 		float64(res.Cost.TotalDyn())/1e6, res.Cost.TotalTime().Round(1000000))
 
+	if st := res.ComposeStats; st != nil {
+		fmt.Fprintf(stdout, "compose cache:     %d composed estimates, %d hits, %d misses, %d re-measured (%d profile trials, %.1fM dyn instrs)\n",
+			st.Composed, st.Hits, st.Misses, st.Remeasured, st.MeasureTrials, float64(st.MeasureDyn)/1e6)
+	}
+
 	for _, cp := range res.Checkpoints {
 		fmt.Fprintf(stdout, "  checkpoint @%-5d SDC %.2f%%  input %v\n",
-			cp.Generation, cp.Counts.SDCProbability()*100, cp.BestInput)
+			cp.Generation, cp.SDCEstimate()*100, cp.BestInput)
 	}
 
 	if *baseline {
 		fmt.Fprintf(stdout, "\nbaseline (random inputs + %d-trial FI each, equal budget %.1fM dyn instrs):\n",
 			*trials, float64(res.Cost.TotalDyn())/1e6)
 		base := core.RandomSearch(b, core.BaselineOptions{
-			TrialsPerInput: *trials,
-			DynBudget:      res.Cost.TotalDyn(),
-			Workers:        *workers,
-			BatchSize:      *batch,
-			HeatTopK:       *heatTopK,
-			CITarget:       opts.CITarget,
-			Trace:          rec.Stream("baseline/" + b.Name),
+			TrialsPerInput:   *trials,
+			DynBudget:        res.Cost.TotalDyn(),
+			Workers:          *workers,
+			BatchSize:        *batch,
+			HeatTopK:         *heatTopK,
+			CITarget:         opts.CITarget,
+			Compose:          opts.Compose,
+			ComposeThreshold: opts.ComposeThreshold,
+			ComposeTrials:    opts.ComposeTrials,
+			ComposeCache:     opts.ComposeCache,
+			Trace:            rec.Stream("baseline/" + b.Name),
 		}, xrand.New(*seed+1))
 		fmt.Fprintf(stdout, "  evaluated %d inputs (%d rejected), best SDC %.2f%% with input %v\n",
 			base.Inputs, base.Rejected, base.BestSDC*100, base.BestInput)
+		if st := base.ComposeStats; st != nil {
+			fmt.Fprintf(stdout, "  compose cache: %d composed estimates, %d hits, %d re-measured\n",
+				st.Composed, st.Hits, st.Remeasured)
+		}
 		if base.BestSDC < res.SDCBound() {
 			fmt.Fprintf(stdout, "  PEPPA-X bound is %.1fx higher\n",
 				res.SDCBound()/maxf(base.BestSDC, 1e-9))

@@ -152,6 +152,39 @@ func runBatchJobs(p *interp.Program, g *Golden, plans []fault.Plan, rngFor func(
 	})
 }
 
+// TrialResult is one classified FI trial: its outcome and the dynamic
+// instructions the faulty run spent.
+type TrialResult struct {
+	Outcome Outcome
+	Dyn     int64
+}
+
+// RunPlans classifies one trial per pre-sampled plan against the golden and
+// returns the results in plan order. rngFor supplies trial i's private RNG
+// (used for any fault bits a plan left pending); each trial must get a
+// stream derived only from its index, never one shared across trials. With
+// opts.BatchSize > 1, trials sharing a checkpoint run in lockstep batches;
+// either way results depend only on (plans, rngFor), not on opts.Workers or
+// opts.BatchSize, so callers composing measurements from RunPlans inherit
+// the repository's bit-identity contract. opts.Seed is ignored — the plans
+// and rngFor already carry all randomness.
+func RunPlans(p *interp.Program, g *Golden, plans []fault.Plan, rngFor func(i int) *xrand.RNG, opts ParallelOptions) []TrialResult {
+	outs := make([]trialOutcome, len(plans))
+	if opts.BatchSize > 1 {
+		runBatchJobs(p, g, plans, rngFor, opts.BatchSize, opts.Workers, opts.Detector, outs)
+	} else {
+		parallel.ForEach(opts.Workers, len(plans), func(i int) {
+			o, _, dyn := Classify(p, g, plans[i], rngFor(i), opts.Detector)
+			outs[i] = trialOutcome{o: o, dyn: dyn}
+		})
+	}
+	res := make([]TrialResult, len(outs))
+	for i, t := range outs {
+		res[i] = TrialResult{Outcome: t.o, Dyn: t.dyn}
+	}
+	return res
+}
+
 // batchJob is one BatchRun dispatch: trial indices sharing a base snapshot.
 type batchJob struct {
 	snap *interp.Snapshot

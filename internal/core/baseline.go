@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/compose"
 	"repro/internal/interp"
 	"repro/internal/prog"
 	"repro/internal/telemetry"
@@ -67,6 +68,24 @@ type BaselineOptions struct {
 	// TrialsPerInput, so adaptive never costs more than the flat campaign
 	// it replaces). Adaptive only.
 	MaxTrials int
+	// Compose switches every candidate evaluation to the compositional
+	// estimator: cached per-segment profiles composed under the
+	// candidate's execution mix, re-measuring only drifted segments —
+	// which is what lets the baseline reuse FI work across candidates
+	// instead of paying a fresh campaign each time. Budget accounting
+	// charges only the golden run plus the measurement each candidate
+	// actually triggered.
+	Compose bool
+	// ComposeThreshold is the profile re-measurement trigger
+	// (0: compose.DefaultThreshold; < 0: never re-measure).
+	ComposeThreshold float64
+	// ComposeTrials is the full measurement pass budget
+	// (<= 0: compose.DefaultTrials).
+	ComposeTrials int
+	// ComposeCache, when non-nil, shares profiles with other runs on the
+	// same program — e.g. a search that already profiled it (nil: a
+	// private cache).
+	ComposeCache *compose.Cache
 	// MaxConsecutiveRejects bounds runs of invalid candidates (§3.1.2
 	// excludes error-raising inputs): rejected candidates advance neither
 	// DynSpent nor Inputs, so a benchmark whose random inputs are mostly
@@ -102,6 +121,11 @@ type BaselineResult struct {
 	History  []BaselinePoint
 	DynSpent int64
 	Elapsed  time.Duration
+	// BestComposed, under Options.Compose, is the best candidate's full
+	// composed estimate (Best then pools its profile trials and BestSDC is
+	// the composed rate); ComposeStats records cache effectiveness.
+	BestComposed *compose.Estimate
+	ComposeStats *compose.Stats
 }
 
 // RandomSearch runs the baseline: draw uniform random inputs, measure each
@@ -130,6 +154,21 @@ func RandomSearch(b *prog.Benchmark, opts BaselineOptions, rng *xrand.RNG) *Base
 	tr := opts.Trace
 	endPhase := tr.Phase("baseline")
 	res := &BaselineResult{BestSDC: -1}
+	// Compositional candidate evaluation: one estimator for the whole
+	// search, so profiles carry across candidates. The seed draw happens
+	// only in compose mode, keeping non-compose runs bit-identical to
+	// earlier versions.
+	var composeEst *compose.Estimator
+	if opts.Compose {
+		composeEst = compose.NewEstimator(b.Prog, opts.ComposeCache, compose.Options{
+			Trials:    opts.ComposeTrials,
+			Threshold: opts.ComposeThreshold,
+			Workers:   opts.Workers,
+			BatchSize: opts.BatchSize,
+			Seed:      rng.Uint64(),
+			Trace:     tr,
+		})
+	}
 	var ckStats interp.CheckpointStats
 	var args []uint64 // reused encoding buffer; goldens are per-iteration
 	rejects := 0
@@ -157,9 +196,21 @@ func RandomSearch(b *prog.Benchmark, opts BaselineOptions, rng *xrand.RNG) *Base
 		}
 		rejects = 0
 		res.DynSpent += g.DynCount
-		var c campaign.Counts
-		var sdc float64
-		if opts.CITarget > 0 {
+		var (
+			c        campaign.Counts
+			sdc      float64
+			ce       *compose.Estimate
+			spentDyn int64
+		)
+		if composeEst != nil {
+			ce = composeEst.EstimateGolden(g)
+			c = ce.Counts
+			sdc = ce.SDC
+			// Cached profile trials were paid for by earlier candidates;
+			// the budget charges only what this candidate's evaluation
+			// added.
+			spentDyn = ce.MeasureDyn
+		} else if opts.CITarget > 0 {
 			ar := campaign.OverallAdaptive(b.Prog, g, campaign.AdaptiveOptions{
 				Workers:             opts.Workers,
 				Seed:                rng.Uint64(),
@@ -179,7 +230,10 @@ func RandomSearch(b *prog.Benchmark, opts BaselineOptions, rng *xrand.RNG) *Base
 			})
 			sdc = c.SDCProbability()
 		}
-		res.DynSpent += c.DynInstrs
+		if composeEst == nil {
+			spentDyn = c.DynInstrs
+		}
+		res.DynSpent += spentDyn
 		ckStats.Accumulate(g.CheckpointStats())
 		res.Inputs++
 		newBest := sdc > res.BestSDC
@@ -187,11 +241,12 @@ func RandomSearch(b *prog.Benchmark, opts BaselineOptions, rng *xrand.RNG) *Base
 			res.BestSDC = sdc
 			res.BestInput = in
 			res.Best = c
+			res.BestComposed = ce
 		}
 		res.History = append(res.History, BaselinePoint{
 			Input: in, SDC: sdc, DynSpent: res.DynSpent, BestSDC: res.BestSDC,
 		})
-		tr.Advance(g.DynCount + c.DynInstrs)
+		tr.Advance(g.DynCount + spentDyn)
 		tr.Emit("baseline.candidate", append([]telemetry.Field{
 			telemetry.F("input", res.Inputs-1),
 			telemetry.F("sdc", sdc),
@@ -214,6 +269,17 @@ func RandomSearch(b *prog.Benchmark, opts BaselineOptions, rng *xrand.RNG) *Base
 	endPhase()
 	campaign.EmitCheckpointTelemetry(tr, "baseline.checkpoints", ckStats)
 	campaign.EmitBatchTelemetry(tr, "fi.batch", ckStats, opts.BatchSize)
+	if composeEst != nil {
+		st := composeEst.Stats()
+		res.ComposeStats = &st
+		tr.Emit("baseline.compose",
+			telemetry.F("hits", st.Hits),
+			telemetry.F("misses", st.Misses),
+			telemetry.F("remeasured", st.Remeasured),
+			telemetry.F("composed", st.Composed),
+			telemetry.F("measure_trials", st.MeasureTrials),
+			telemetry.F("measure_dyn", st.MeasureDyn))
+	}
 	tr.Emit("baseline.done",
 		telemetry.F("inputs", res.Inputs),
 		telemetry.F("best_sdc", res.BestSDC),

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/compose"
 	"repro/internal/ga"
 	"repro/internal/interp"
 	"repro/internal/parallel"
@@ -108,6 +109,28 @@ type Options struct {
 	// FinalTrials, so an adaptive run never costs more than the flat
 	// campaign it replaces). Adaptive only.
 	MaxTrials int
+	// Compose switches the sensitivity derivation and the Figure 5
+	// checkpoint measurements to the compositional estimator
+	// (internal/compose): per-segment SDC profiles are measured once on
+	// the first golden that executes them, cached, re-measured only when a
+	// segment's dynamic mix drifts past ComposeThreshold, and composed
+	// under each input's execution mix — so repeat measurements across
+	// generations cost almost nothing. The closing campaign stays a direct
+	// measurement (flat or adaptive), so the reported bound never rests on
+	// a composed approximation. Enabling compose draws one extra seed off
+	// the search RNG and replaces checkpoint campaigns, so it changes
+	// sampled plans versus a non-compose run; composed results themselves
+	// are bit-identical for every Workers/BatchSize.
+	Compose bool
+	// ComposeThreshold is the profile re-measurement trigger
+	// (0: compose.DefaultThreshold; < 0: never re-measure).
+	ComposeThreshold float64
+	// ComposeTrials is the total trial budget of a full profile
+	// measurement pass (<= 0: compose.DefaultTrials).
+	ComposeTrials int
+	// ComposeCache, when non-nil, shares profiles across searches of the
+	// same program (nil: a private cache per search).
+	ComposeCache *compose.Cache
 }
 
 // adaptiveMaxTrials resolves the adaptive trial cap against the flat
@@ -139,6 +162,20 @@ type Checkpoint struct {
 	BestInput  []float64
 	Fitness    float64
 	Counts     campaign.Counts
+	// Composed, under Options.Compose, is the compositional estimate that
+	// replaced the checkpoint campaign; Counts then holds its pooled
+	// profile trials (allocation-weighted — use SDCEstimate for the rate).
+	Composed *compose.Estimate
+}
+
+// SDCEstimate returns the checkpoint's SDC rate: the composed estimate
+// when the checkpoint was measured compositionally, else the campaign
+// ratio.
+func (cp *Checkpoint) SDCEstimate() float64 {
+	if cp.Composed != nil {
+		return cp.Composed.SDC
+	}
+	return cp.Counts.SDCProbability()
 }
 
 // Result is the outcome of one PEPPA-X search.
@@ -174,6 +211,10 @@ type Result struct {
 	SearchDynHistory []int64
 	// Evaluations counts candidate executions during the GA search.
 	Evaluations int
+	// ComposeStats, under Options.Compose, records the profile cache's
+	// effectiveness over the whole search (hits, misses, re-measurements,
+	// measurement spend); nil otherwise.
+	ComposeStats *compose.Stats
 
 	Cost Cost
 }
@@ -260,9 +301,27 @@ func Search(b *prog.Benchmark, opts Options, rng *xrand.RNG) (*Result, error) {
 	} else if err := sensGolden.EnsureCheckpoints(b.Prog, opts.CheckpointInterval); err != nil {
 		return nil, err
 	}
+	// Compositional mode: one estimator (and profile cache) serves the
+	// sensitivity derivation and every checkpoint measurement, so profiles
+	// measured on the sensitivity golden are reused — or incrementally
+	// re-measured — across all later generations. The seed is drawn off the
+	// search RNG only when compose is on, keeping non-compose runs
+	// bit-identical to earlier versions.
+	var composeEst *compose.Estimator
+	if opts.Compose {
+		composeEst = compose.NewEstimator(b.Prog, opts.ComposeCache, compose.Options{
+			Trials:    opts.ComposeTrials,
+			Threshold: opts.ComposeThreshold,
+			Workers:   opts.Workers,
+			BatchSize: opts.BatchSize,
+			Seed:      rng.Uint64(),
+			Trace:     tr,
+		})
+	}
 	dist := sensitivity.Derive(b.Prog, sensGolden, sensitivity.Options{
 		TrialsPerRep: opts.TrialsPerRep,
 		UsePruning:   !opts.DisablePruning,
+		Compose:      composeEst,
 	}, rng)
 	res.Distribution = dist
 	ckStats.Accumulate(sensGolden.CheckpointStats())
@@ -332,7 +391,15 @@ func Search(b *prog.Benchmark, opts Options, rng *xrand.RNG) (*Result, error) {
 			cp := Checkpoint{Generation: gen, BestInput: best.Genome, Fitness: best.Fitness}
 			var heatG *campaign.Golden
 			if g, err := campaign.NewGoldenCheckpointed(b.Prog, b.Encode(best.Genome), b.MaxDyn, opts.CheckpointInterval); err == nil {
-				cp.Counts = overallCampaign(b.Prog, g, opts.FinalTrials, fiRNG, opts)
+				if composeEst != nil {
+					// Composed checkpoint: reuse cached profiles under the
+					// best input's mix instead of a fresh campaign.
+					ce := composeEst.EstimateGolden(g)
+					cp.Composed = ce
+					cp.Counts = ce.Counts
+				} else {
+					cp.Counts = overallCampaign(b.Prog, g, opts.FinalTrials, fiRNG, opts)
+				}
 				ckStats.Accumulate(g.CheckpointStats())
 				heatG = g
 			}
@@ -342,7 +409,7 @@ func Search(b *prog.Benchmark, opts Options, rng *xrand.RNG) (*Result, error) {
 			tr.Emit("search.checkpoint", append([]telemetry.Field{
 				telemetry.F("gen", gen),
 				telemetry.F("fitness", best.Fitness),
-				telemetry.F("sdc", cp.Counts.SDCProbability()),
+				telemetry.F("sdc", cp.SDCEstimate()),
 			}, cp.Counts.Fields()...)...)
 			// The live heat map: score-weighted dynamic-execution fractions
 			// of the checkpointed best input, deterministic by construction
@@ -393,6 +460,17 @@ func Search(b *prog.Benchmark, opts Options, rng *xrand.RNG) (*Result, error) {
 	res.Cost.FinalFITime = time.Since(t0)
 	tr.Advance(res.Cost.FinalFIDyn)
 	endPhase()
+	if composeEst != nil {
+		st := composeEst.Stats()
+		res.ComposeStats = &st
+		tr.Emit("search.compose",
+			telemetry.F("hits", st.Hits),
+			telemetry.F("misses", st.Misses),
+			telemetry.F("remeasured", st.Remeasured),
+			telemetry.F("composed", st.Composed),
+			telemetry.F("measure_trials", st.MeasureTrials),
+			telemetry.F("measure_dyn", st.MeasureDyn))
+	}
 	campaign.EmitCheckpointTelemetry(tr, "search.fi_checkpoints", ckStats)
 	campaign.EmitBatchTelemetry(tr, "fi.batch", ckStats, opts.BatchSize)
 	tr.Emit("search.final", append([]telemetry.Field{

@@ -110,6 +110,19 @@ type Config struct {
 	// MaxTrials caps each adaptive campaign's spend (<= 0: OverallTrials).
 	// Adaptive only.
 	MaxTrials int
+
+	// Compose switches the suite's searches and baselines to compositional
+	// SDC estimation (core.Options.Compose): per-segment profiles measured
+	// once per benchmark, cached in one suite-wide cache, and composed
+	// under each input's dynamic mix. Takes precedence over CITarget for
+	// the campaigns it replaces.
+	Compose bool
+	// ComposeThreshold is the profile re-measurement trigger
+	// (0: compose.DefaultThreshold; < 0: never re-measure).
+	ComposeThreshold float64
+	// ComposeTrials is the per-benchmark full measurement pass budget
+	// (<= 0: compose.DefaultTrials).
+	ComposeTrials int
 }
 
 // DefaultConfig returns the full-scale configuration.

@@ -51,6 +51,45 @@ func TestSuiteAdaptiveThreading(t *testing.T) {
 	}
 }
 
+func TestSuiteComposeThreading(t *testing.T) {
+	// Config.Compose must reach the search and the baseline, with one
+	// shared profile cache per benchmark: the baseline (which memo-depends
+	// on the search) must reuse profiles the search already measured.
+	cfg := QuickConfig()
+	cfg.Benches = []string{"pathfinder"}
+	cfg.Compose = true
+	cfg.ComposeTrials = 300
+	s, err := NewSuite(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.Search("pathfinder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ComposeStats == nil || r.ComposeStats.Composed == 0 {
+		t.Fatalf("suite Compose did not reach the search: %+v", r.ComposeStats)
+	}
+	if r.Distribution.Composed == nil {
+		t.Fatal("search sensitivity not derived compositionally")
+	}
+	b, err := s.Baseline("pathfinder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.ComposeStats == nil || b.ComposeStats.Composed == 0 {
+		t.Fatalf("suite Compose did not reach the baseline: %+v", b.ComposeStats)
+	}
+	// The shared per-benchmark cache means the baseline starts warm: its
+	// first candidate can only miss on segments the search never profiled.
+	if b.ComposeStats.Misses > 0 {
+		t.Fatalf("baseline missed %d profiles despite the search's warm cache", b.ComposeStats.Misses)
+	}
+	if st := s.MemoStats()["compose"]; st.Misses != 1 {
+		t.Fatalf("compose cache memo stats = %+v, want exactly one build", st)
+	}
+}
+
 func TestConfigValidate(t *testing.T) {
 	if err := DefaultConfig().Validate(); err != nil {
 		t.Fatalf("default config invalid: %v", err)

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/campaign"
+	"repro/internal/compose"
 	"repro/internal/core"
 	"repro/internal/parallel"
 	"repro/internal/prog"
@@ -32,6 +33,10 @@ type Suite struct {
 	baselines parallel.Memo[*core.BaselineResult]
 	studies   parallel.Memo[*RandomStudy]
 	perInstr  parallel.Memo[*PerInstrStudy]
+	// composeCaches holds one compositional profile cache per benchmark
+	// (Cfg.Compose), shared by that benchmark's search and baseline so
+	// profiles measured by one are reused by the other.
+	composeCaches parallel.Memo[*compose.Cache]
 }
 
 // NewSuite validates the config and returns an empty suite.
@@ -56,6 +61,18 @@ func (s *Suite) Bench(name string) *prog.Benchmark {
 		return prog.Build(name), nil
 	})
 	return b
+}
+
+// composeCache returns (building once) the benchmark's shared profile
+// cache, or nil when the suite is not in compose mode.
+func (s *Suite) composeCache(name string) *compose.Cache {
+	if !s.Cfg.Compose {
+		return nil
+	}
+	c, _ := s.composeCaches.Get(name, func() (*compose.Cache, error) {
+		return compose.NewCache(0), nil
+	})
+	return c
 }
 
 // rng derives a deterministic per-purpose stream.
@@ -85,6 +102,10 @@ func (s *Suite) Search(name string) (*core.Result, error) {
 		opts.CITarget = s.Cfg.CITarget
 		opts.MinTrialsPerStratum = s.Cfg.MinTrialsPerStratum
 		opts.MaxTrials = s.Cfg.MaxTrials
+		opts.Compose = s.Cfg.Compose
+		opts.ComposeThreshold = s.Cfg.ComposeThreshold
+		opts.ComposeTrials = s.Cfg.ComposeTrials
+		opts.ComposeCache = s.composeCache(name)
 		r, err := core.Search(s.Bench(name), opts, s.rng("search", name))
 		if err != nil {
 			return nil, fmt.Errorf("experiments: search %s: %w", name, err)
@@ -136,6 +157,13 @@ func (s *Suite) Baseline(name string) (*core.BaselineResult, error) {
 			CITarget:            s.Cfg.CITarget,
 			MinTrialsPerStratum: s.Cfg.MinTrialsPerStratum,
 			MaxTrials:           s.Cfg.MaxTrials,
+			Compose:             s.Cfg.Compose,
+			ComposeThreshold:    s.Cfg.ComposeThreshold,
+			ComposeTrials:       s.Cfg.ComposeTrials,
+			// The baseline memo-depends on Search above, so the shared
+			// cache is already warm with this benchmark's profiles and the
+			// reuse order is deterministic.
+			ComposeCache: s.composeCache(name),
 		}, s.rng("baseline", name)), nil
 	})
 }
@@ -290,24 +318,29 @@ func (s *Suite) PerInstr(name string) (*PerInstrStudy, error) {
 	})
 }
 
-// MemoStats reports each artifact cache's hit/miss counts. Hits and misses
-// are schedule-independent: every key is computed exactly once (one miss) no
-// matter which experiment asks first, and the hit count is the total number
-// of Gets minus the distinct keys.
+// MemoStats reports each artifact cache's hit/miss/eviction counts and
+// current size. Hits and misses are schedule-independent: every key is
+// computed exactly once (one miss) no matter which experiment asks first,
+// and the hit count is the total number of Gets minus the distinct keys.
 func (s *Suite) MemoStats() map[string]parallel.MemoStats {
-	return map[string]parallel.MemoStats{
+	m := map[string]parallel.MemoStats{
 		"benches":   s.benches.Stats(),
 		"searches":  s.searches.Stats(),
 		"baselines": s.baselines.Stats(),
 		"studies":   s.studies.Stats(),
 		"perinstr":  s.perInstr.Stats(),
 	}
+	if s.Cfg.Compose {
+		m["compose"] = s.composeCaches.Stats()
+	}
+	return m
 }
 
 // EmitMemoStats writes the cache tallies to the configured Recorder: one
 // "memo" event per cache (name order) on the "suite/memo" stream, plus
-// memo.<cache>.{hits,misses} counters for the metrics summary. Call it once,
-// after the experiments have run and before closing the recorder.
+// memo.<cache>.{hits,misses,evictions,len} counters for the metrics
+// summary (peppax_memo_* on /metrics). Call it once, after the experiments
+// have run and before closing the recorder.
 func (s *Suite) EmitMemoStats() {
 	if s.Cfg.Recorder == nil {
 		return
@@ -324,9 +357,13 @@ func (s *Suite) EmitMemoStats() {
 		tr.Emit("memo",
 			telemetry.F("cache", n),
 			telemetry.F("hits", st.Hits),
-			telemetry.F("misses", st.Misses))
+			telemetry.F("misses", st.Misses),
+			telemetry.F("evictions", st.Evictions),
+			telemetry.F("len", st.Len))
 		s.Cfg.Recorder.Count("memo."+n+".hits", st.Hits)
 		s.Cfg.Recorder.Count("memo."+n+".misses", st.Misses)
+		s.Cfg.Recorder.Count("memo."+n+".evictions", st.Evictions)
+		s.Cfg.Recorder.Count("memo."+n+".len", int64(st.Len))
 	}
 }
 

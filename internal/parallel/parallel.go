@@ -161,31 +161,46 @@ func DeriveRNG(seed uint64, coords ...uint64) *xrand.RNG {
 // Memo is a concurrency-safe compute-once-per-key cache, the sync.Once-per-
 // key pattern. Concurrent Get calls for the same key block until the single
 // compute finishes and then share its result (including its error). The
-// zero value is ready to use.
+// zero value is ready to use and unbounded; SetCap bounds it for
+// long-running servers.
 type Memo[V any] struct {
-	mu     sync.Mutex
-	m      map[string]*memoEntry[V]
-	hits   int64
-	misses int64
+	mu        sync.Mutex
+	m         map[string]*memoEntry[V]
+	cap       int
+	seq       int64
+	hits      int64
+	misses    int64
+	evictions int64
 }
 
 // MemoStats reports a memo's request tallies: a miss is the Get that
 // created a key's entry (exactly one per key, whichever caller wins the
-// race), a hit any later Get for it. Totals depend only on the request
-// sequence, not on scheduling, so they are safe for deterministic traces.
+// race), a hit any later Get for it. Evictions counts entries dropped to
+// honor SetCap, and Len is the current entry count. For a fixed request
+// sequence all four depend only on that sequence — eviction order is by
+// request recency, which the sequence determines — not on scheduling, so
+// they are safe for deterministic traces.
 type MemoStats struct {
-	Hits   int64
-	Misses int64
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	Len       int
 }
 
 type memoEntry[V any] struct {
 	once sync.Once
 	val  V
 	err  error
+	// use is the memo-wide sequence number of the entry's most recent Get,
+	// guarded by Memo.mu. Strictly increasing, so least-recently-requested
+	// is unique and eviction order is deterministic.
+	use int64
 }
 
 // Get returns the cached value for key, computing it with compute exactly
-// once across all callers.
+// once across all callers. When a cap is set, inserting a new key evicts
+// least-recently-requested entries first; callers already blocked on an
+// evicted entry still complete and share its result.
 func (c *Memo[V]) Get(key string, compute func() (V, error)) (V, error) {
 	c.mu.Lock()
 	if c.m == nil {
@@ -199,6 +214,11 @@ func (c *Memo[V]) Get(key string, compute func() (V, error)) (V, error) {
 	} else {
 		c.hits++
 	}
+	c.seq++
+	e.use = c.seq
+	if !ok {
+		c.evictLocked()
+	}
 	c.mu.Unlock()
 	e.once.Do(func() {
 		e.val, e.err = compute()
@@ -206,16 +226,63 @@ func (c *Memo[V]) Get(key string, compute func() (V, error)) (V, error) {
 	return e.val, e.err
 }
 
-// Len reports how many keys have been requested so far.
+// SetCap bounds the memo to at most n entries (n <= 0 removes the bound).
+// Shrinking below the current size evicts least-recently-requested entries
+// immediately.
+func (c *Memo[V]) SetCap(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	c.cap = n
+	c.evictLocked()
+}
+
+// Delete removes key so the next Get recomputes it, reporting whether an
+// entry existed. Deletion is not an eviction: it is the caller invalidating
+// a stale value, so it leaves the eviction tally untouched.
+func (c *Memo[V]) Delete(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.m[key]
+	delete(c.m, key)
+	return ok
+}
+
+// evictLocked drops least-recently-requested entries until the cap holds.
+// Caller holds c.mu. The scan is O(len) per eviction, which is fine at the
+// small caps profile caches use.
+func (c *Memo[V]) evictLocked() {
+	if c.cap <= 0 {
+		return
+	}
+	for len(c.m) > c.cap {
+		var (
+			oldestKey string
+			oldestUse int64
+			found     bool
+		)
+		for k, e := range c.m {
+			if !found || e.use < oldestUse {
+				oldestKey, oldestUse, found = k, e.use, true
+			}
+		}
+		delete(c.m, oldestKey)
+		c.evictions++
+	}
+}
+
+// Len reports how many entries the memo currently holds.
 func (c *Memo[V]) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.m)
 }
 
-// Stats returns the memo's hit/miss tallies so far.
+// Stats returns the memo's hit/miss/eviction tallies and current size.
 func (c *Memo[V]) Stats() MemoStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return MemoStats{Hits: c.hits, Misses: c.misses}
+	return MemoStats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions, Len: len(c.m)}
 }

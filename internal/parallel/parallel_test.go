@@ -235,3 +235,116 @@ func TestObserverDoesNotPerturbResults(t *testing.T) {
 		}
 	}
 }
+
+// A capped memo evicts the least-recently-requested key, counts the
+// eviction, and recomputes the evicted key on its next request.
+func TestMemoCapEvictsLeastRecentlyRequested(t *testing.T) {
+	var m Memo[string]
+	m.SetCap(2)
+	get := func(k string) {
+		t.Helper()
+		v, err := m.Get(k, func() (string, error) { return "v" + k, nil })
+		if err != nil || v != "v"+k {
+			t.Fatalf("Get(%q) = %q, %v", k, v, err)
+		}
+	}
+	get("a")
+	get("b")
+	get("a") // refresh a: b is now least recent
+	get("c") // evicts b
+	if got := m.Len(); got != 2 {
+		t.Fatalf("Len = %d, want 2", got)
+	}
+	st := m.Stats()
+	if st.Evictions != 1 || st.Len != 2 {
+		t.Fatalf("stats = %+v, want 1 eviction, len 2", st)
+	}
+	// b was evicted, so requesting it recomputes (a miss); a and c are hits.
+	before := m.Stats().Misses
+	get("b")
+	if after := m.Stats().Misses; after != before+1 {
+		t.Fatalf("evicted key did not recompute: misses %d -> %d", before, after)
+	}
+}
+
+// Shrinking the cap below the current size evicts immediately and
+// deterministically (oldest request first).
+func TestMemoSetCapShrinks(t *testing.T) {
+	var m Memo[int]
+	for i := 0; i < 5; i++ {
+		k := string(rune('a' + i))
+		if _, err := m.Get(k, func() (int, error) { return i, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.SetCap(2)
+	if got := m.Len(); got != 2 {
+		t.Fatalf("Len after shrink = %d, want 2", got)
+	}
+	st := m.Stats()
+	if st.Evictions != 3 {
+		t.Fatalf("Evictions = %d, want 3", st.Evictions)
+	}
+	// The two most recently requested keys survive.
+	for _, k := range []string{"d", "e"} {
+		before := m.Stats().Hits
+		if _, err := m.Get(k, func() (int, error) { return -1, nil }); err != nil {
+			t.Fatal(err)
+		}
+		if m.Stats().Hits != before+1 {
+			t.Fatalf("key %q did not survive the shrink", k)
+		}
+	}
+}
+
+// Delete invalidates a key without counting an eviction.
+func TestMemoDelete(t *testing.T) {
+	var m Memo[int]
+	calls := 0
+	compute := func() (int, error) { calls++; return calls, nil }
+	v, _ := m.Get("k", compute)
+	if v != 1 {
+		t.Fatalf("first Get = %d", v)
+	}
+	if !m.Delete("k") {
+		t.Fatal("Delete existing key reported false")
+	}
+	if m.Delete("k") {
+		t.Fatal("Delete missing key reported true")
+	}
+	v, _ = m.Get("k", compute)
+	if v != 2 {
+		t.Fatalf("Get after Delete = %d, want recompute (2)", v)
+	}
+	st := m.Stats()
+	if st.Evictions != 0 {
+		t.Fatalf("Delete counted as eviction: %+v", st)
+	}
+	if st.Misses != 2 || st.Len != 1 {
+		t.Fatalf("stats after delete/reinsert = %+v", st)
+	}
+}
+
+// Eviction totals depend only on the request sequence, not on worker
+// interleaving of unrelated keys' computes.
+func TestMemoCapConcurrentComputes(t *testing.T) {
+	var m Memo[int]
+	m.SetCap(4)
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			k := string(rune('a' + i%8))
+			_, _ = m.Get(k, func() (int, error) { return i, nil })
+		}(i)
+	}
+	wg.Wait()
+	st := m.Stats()
+	if st.Len > 4 {
+		t.Fatalf("cap violated: %+v", st)
+	}
+	if st.Hits+st.Misses != 32 {
+		t.Fatalf("request tally lost: %+v", st)
+	}
+}

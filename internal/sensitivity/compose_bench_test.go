@@ -1,0 +1,77 @@
+package sensitivity
+
+import (
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/compose"
+	"repro/internal/prog"
+	"repro/internal/xrand"
+)
+
+// gaInputs builds a GA-generation-shaped input sequence: the reference
+// input followed by small relative perturbations of it — the candidates a
+// search evaluates generation after generation.
+func gaInputs(b *prog.Benchmark, n int, seed uint64) [][]float64 {
+	rng := xrand.New(seed)
+	out := make([][]float64, 0, n)
+	out = append(out, b.RefInput())
+	for len(out) < n {
+		in := b.RefInput()
+		for i := range in {
+			in[i] *= 1 + 0.06*(rng.Float64()-0.5)
+		}
+		out = append(out, b.ClampInput(in))
+	}
+	return out
+}
+
+// BenchmarkSensitivityCompose compares the cost of deriving the SDC
+// sensitivity distribution for a GA-like input sequence from scratch
+// (a fresh per-representative campaign per input, §4.2.3) against the
+// compositional estimator (per-segment profiles measured once, then
+// composed under each input's dynamic mix). The dyn/op metric is the
+// schedule-independent FI spend per sequence; benchjson derives
+// compose_speedup from the scratch/incremental dyn/op ratio
+// (BENCH_compose.json commits it, the CI gate bounds its regression).
+func BenchmarkSensitivityCompose(b *testing.B) {
+	const inputs = 4
+	for _, name := range prog.Names() {
+		bm := prog.Build(name)
+		goldens := make([]*campaign.Golden, 0, inputs)
+		for _, in := range gaInputs(bm, inputs, 99) {
+			g, err := campaign.NewGoldenCheckpointed(bm.Prog, bm.Encode(in), bm.MaxDyn, campaign.CheckpointAuto)
+			if err != nil {
+				b.Fatalf("%s: golden: %v", name, err)
+			}
+			goldens = append(goldens, g)
+		}
+
+		b.Run("scratch/"+name, func(b *testing.B) {
+			var dyn int64
+			for i := 0; i < b.N; i++ {
+				dyn = 0
+				for k, g := range goldens {
+					d := Derive(bm.Prog, g, Options{UsePruning: true}, xrand.New(uint64(1000+k)))
+					dyn += d.FIDynInstrs
+				}
+			}
+			b.ReportMetric(float64(dyn), "dyn/op")
+		})
+
+		b.Run("incremental/"+name, func(b *testing.B) {
+			var dyn int64
+			for i := 0; i < b.N; i++ {
+				// A fresh estimator per op: the first input pays the profile
+				// measurement, the rest compose cached profiles.
+				e := compose.NewEstimator(bm.Prog, nil, compose.Options{Seed: 7})
+				dyn = 0
+				for _, g := range goldens {
+					d := Derive(bm.Prog, g, Options{Compose: e}, nil)
+					dyn += d.FIDynInstrs
+				}
+			}
+			b.ReportMetric(float64(dyn), "dyn/op")
+		})
+	}
+}

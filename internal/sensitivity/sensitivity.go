@@ -8,6 +8,7 @@ package sensitivity
 import (
 	"repro/internal/analysis"
 	"repro/internal/campaign"
+	"repro/internal/compose"
 	"repro/internal/interp"
 	"repro/internal/stats"
 	"repro/internal/telemetry"
@@ -30,8 +31,12 @@ type Distribution struct {
 	// FIDynInstrs is the total dynamic instructions executed by those
 	// trials — the cost model behind Table 5.
 	FIDynInstrs int64
-	// Representatives is the pruned FI-space size used.
+	// Representatives is the pruned FI-space size used: pruning-group count
+	// on the direct path, executed-segment count on the composed path.
 	Representatives int
+	// Composed, on the compositional path, is the whole-program estimate
+	// the distribution was derived from (nil on the direct path).
+	Composed *compose.Estimate
 }
 
 // Options configures the derivation.
@@ -42,6 +47,13 @@ type Options struct {
 	// instruction is injected individually (the "without heuristics"
 	// column of Table 5).
 	UsePruning bool
+	// Compose, when non-nil, derives the distribution compositionally:
+	// per-segment SDC profiles (measured once, cached, re-measured only on
+	// mix drift) are composed under g's dynamic mix instead of running a
+	// fresh per-representative campaign. Scores become segment-constant,
+	// and repeat derivations for similar inputs cost almost nothing —
+	// trials and dyn spend report only what THIS derivation added.
+	Compose *compose.Estimator
 }
 
 // Derive measures the SDC sensitivity distribution of the program on input
@@ -50,6 +62,9 @@ type Options struct {
 // SDC probability is propagated to all group members and min-max normalized
 // into scores.
 func Derive(p *interp.Program, g *campaign.Golden, opts Options, rng *xrand.RNG) *Distribution {
+	if opts.Compose != nil {
+		return deriveComposed(g, opts.Compose)
+	}
 	trials := opts.TrialsPerRep
 	if trials <= 0 {
 		trials = DefaultTrialsPerRepresentative
@@ -94,6 +109,37 @@ func Derive(p *interp.Program, g *campaign.Golden, opts Options, rng *xrand.RNG)
 		}
 		for _, mID := range grp.Members {
 			d.RawProb[mID] = prob
+		}
+	}
+	d.Scores = stats.Normalize(d.RawProb)
+	return d
+}
+
+// deriveComposed builds the distribution from composed segment profiles:
+// every executed instruction inherits its segment's conditional SDC rate,
+// the compositional analogue of propagating a representative's measured
+// probability to its pruning group. FITrials/FIDynInstrs charge only the
+// profile measurement this derivation actually triggered, which is where
+// the incremental savings across GA generations come from.
+func deriveComposed(g *campaign.Golden, e *compose.Estimator) *Distribution {
+	est := e.EstimateGolden(g)
+	part := e.Partition()
+	d := &Distribution{
+		RawProb:     make([]float64, g.NumInstrs),
+		FITrials:    est.MeasureTrials,
+		FIDynInstrs: est.MeasureDyn,
+		Composed:    est,
+	}
+	for si := range est.Segments {
+		se := &est.Segments[si]
+		if se.Weight == 0 {
+			continue
+		}
+		d.Representatives++
+		for _, id := range part.Segments[si].Instrs {
+			if id < len(g.InstrCounts) && g.InstrCounts[id] > 0 {
+				d.RawProb[id] = se.P
+			}
 		}
 	}
 	d.Scores = stats.Normalize(d.RawProb)

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/campaign"
+	"repro/internal/compose"
 	"repro/internal/prog"
 	"repro/internal/xrand"
 )
@@ -139,5 +140,59 @@ func TestScoresCorrelateWithDirectMeasurement(t *testing.T) {
 	t.Logf("pruned-vs-direct rho = %.3f", rho)
 	if rho < 0.4 {
 		t.Fatalf("pruned scores rank-correlate %.3f with direct measurement; too low", rho)
+	}
+}
+
+// The composed path derives segment-constant scores from cached profiles:
+// the first derivation pays for profile measurement, a repeat derivation
+// for the same mix costs nothing and returns identical scores.
+func TestDeriveComposedIncremental(t *testing.T) {
+	b := prog.Build("pathfinder")
+	g := goldenFor(t, b, []float64{8, 8, 7, 10})
+	est := compose.NewEstimator(b.Prog, nil, compose.Options{Trials: 240, Seed: 9})
+
+	first := Derive(b.Prog, g, Options{Compose: est}, xrand.New(1))
+	if first.Composed == nil {
+		t.Fatal("composed derivation did not record its estimate")
+	}
+	if first.FITrials == 0 || first.FIDynInstrs == 0 {
+		t.Fatal("first composed derivation must pay for profile measurement")
+	}
+	if len(first.Scores) != b.Prog.NumInstrs() {
+		t.Fatalf("scores length %d", len(first.Scores))
+	}
+	for _, s := range first.Scores {
+		if s < 0 || s > 1 {
+			t.Fatalf("score %v out of [0,1]", s)
+		}
+	}
+	// Instructions within one executed segment share a raw probability.
+	part := est.Partition()
+	for si, seg := range part.Segments {
+		if first.Composed.Segments[si].Weight == 0 {
+			continue
+		}
+		var want float64
+		set := false
+		for _, id := range seg.Instrs {
+			if g.InstrCounts[id] == 0 {
+				continue
+			}
+			if !set {
+				want, set = first.RawProb[id], true
+			} else if first.RawProb[id] != want {
+				t.Fatalf("segment %s not probability-constant", seg.Name)
+			}
+		}
+	}
+
+	second := Derive(b.Prog, g, Options{Compose: est}, xrand.New(2))
+	if second.FITrials != 0 || second.FIDynInstrs != 0 {
+		t.Fatalf("repeat derivation spent trials=%d dyn=%d, want 0", second.FITrials, second.FIDynInstrs)
+	}
+	for i := range first.Scores {
+		if first.Scores[i] != second.Scores[i] {
+			t.Fatalf("repeat derivation changed score at %d", i)
+		}
 	}
 }
