@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build lint test test-short race bench-smoke bench-workers test-telemetry test-observability test-checkpoint bench-fi bench-regression test-fusion bench-fitness test-adaptive test-compose bench-compose report profile ci
+.PHONY: build lint test test-short race bench-smoke bench-workers test-telemetry test-observability test-checkpoint bench-fi bench-regression test-fusion bench-fitness test-adaptive test-compose bench-compose test-service bench-shard e2e-service report profile ci
 
 build:
 	$(GO) build ./...
@@ -69,6 +69,10 @@ bench-regression:
 		./internal/sensitivity | tee BENCH_compose.new.txt
 	$(GO) run ./cmd/benchjson < BENCH_compose.new.txt > BENCH_compose.new.json
 	$(GO) run ./cmd/benchjson -compare BENCH_compose.json BENCH_compose.new.json -tolerance $(TOLERANCE)
+	$(GO) test -run='^$$' -bench='BenchmarkService(Shard|Golden)' -benchtime=1x \
+		./internal/service | tee BENCH_shard.new.txt
+	$(GO) run ./cmd/benchjson < BENCH_shard.new.txt > BENCH_shard.new.json
+	$(GO) run ./cmd/benchjson -compare BENCH_shard.json BENCH_shard.new.json -tolerance $(TOLERANCE)
 
 # Profiling fast-path equivalence gate: block-granular and fused-
 # superinstruction profiled runs must be bit-identical to the legacy
@@ -130,6 +134,52 @@ bench-compose:
 		./internal/sensitivity | tee BENCH_compose.txt
 	$(GO) run ./cmd/benchjson < BENCH_compose.txt > BENCH_compose.json
 	@echo "wrote BENCH_compose.json"
+
+# Sharded-service gate: the shard/merge equivalence suite (bit-identical
+# tallies at shards 1/2/4 × workers 1/4 × batch 1/64 on all benchmarks, the
+# adaptive sharded-runner equivalence, cancellation honesty), the peppaxd
+# service tests (campaign/adaptive/sensitivity jobs vs in-process,
+# single-flight golden cache, profile sharing, 429 backpressure, peer shard
+# dispatch + fallback, graceful drain, token budgets), and the benchjson
+# shard_speedup/cache_elimination tests.
+test-service:
+	$(GO) test -count=1 -run 'Shard|CountsMerge|Service' \
+		./internal/campaign ./internal/service ./cmd/benchjson ./cmd/peppaxd
+
+# Measure the deterministic shard critical path (dyncrit/op at 1 vs 2
+# shards) and the golden-cache setup elimination (cold vs warm setupdyn/op),
+# and render BENCH_shard.json. Both metrics are dynamic-instruction counts,
+# so -benchtime=1x is exact and the committed ratios are host-independent.
+bench-shard:
+	$(GO) test -run='^$$' -bench='BenchmarkService(Shard|Golden)' -benchtime=1x \
+		./internal/service | tee BENCH_shard.txt
+	$(GO) run ./cmd/benchjson < BENCH_shard.txt > BENCH_shard.json
+	@echo "wrote BENCH_shard.json"
+
+# End-to-end service gate: start a real peppaxd, submit the same campaign
+# over HTTP (sharded) and in-process, and require byte-identical fi output.
+# -checkpoint-interval -1 keeps both outputs summary-free (checkpoint/batch
+# summaries describe local execution state the remote renderer cannot see).
+E2E_ADDR ?= 127.0.0.1:9473
+e2e-service:
+	$(GO) build -o bin/peppaxd ./cmd/peppaxd
+	$(GO) build -o bin/fi ./cmd/fi
+	./bin/peppaxd -addr $(E2E_ADDR) > /dev/null 2> peppaxd-e2e.log & \
+	pid=$$!; \
+	for i in $$(seq 1 50); do \
+		curl -sf http://$(E2E_ADDR)/healthz > /dev/null 2>&1 && break; \
+		sleep 0.2; \
+	done; \
+	./bin/fi -bench needle -trials 300 -seed 7 -parallel 1 \
+		-checkpoint-interval -1 > fi-local.txt && \
+	./bin/fi -bench needle -trials 300 -seed 7 -parallel 1 \
+		-checkpoint-interval -1 -remote http://$(E2E_ADDR) -shards 2 > fi-remote.txt && \
+	cmp fi-local.txt fi-remote.txt && \
+	curl -sf http://$(E2E_ADDR)/metrics | grep -q '^peppax_service_' ; \
+	rc=$$?; kill -TERM $$pid 2> /dev/null; wait $$pid; \
+	drain=$$?; [ $$rc -eq 0 ] && [ $$drain -eq 143 ]; rc=$$?; \
+	grep -q 'drained, bye' peppaxd-e2e.log || rc=1; exit $$rc
+	@echo "remote and in-process fi output byte-identical; graceful drain ok"
 
 # Regenerate the full experiment report (report_full.txt/report_full.json
 # are generated artifacts, not committed; the default configuration takes
@@ -193,6 +243,6 @@ test-observability:
 # Every GitHub workflow job's target, in workflow order: build, lint, test,
 # race, bench-smoke, fi-checkpoint (test-checkpoint + bench-fi),
 # fitness-perf (test-fusion + bench-fitness), test-adaptive, test-compose,
-# test-telemetry, test-observability, bench-regression. Keep this list in
-# sync with .github/workflows/ci.yml.
-ci: build lint test race bench-smoke test-checkpoint bench-fi test-fusion bench-fitness test-adaptive test-compose test-telemetry test-observability bench-regression
+# test-service, e2e-service, test-telemetry, test-observability,
+# bench-regression. Keep this list in sync with .github/workflows/ci.yml.
+ci: build lint test race bench-smoke test-checkpoint bench-fi test-fusion bench-fitness test-adaptive test-compose test-service e2e-service test-telemetry test-observability bench-regression

@@ -73,6 +73,19 @@ type Report struct {
 	// input. The ratio is over the deterministic dyn/op metric, not
 	// ns/op, so it is immune to host-speed noise.
 	ComposeSpeedup map[string]float64 `json:"compose_speedup,omitempty"`
+	// ShardSpeedup maps each program benchmark to shards1 dyncrit/op ÷
+	// shards2 dyncrit/op for BenchmarkServiceShard. dyncrit/op is the
+	// critical-path dynamic-instruction count (the largest single-shard
+	// share), so the ratio is the deterministic wall-clock speedup an
+	// S-shard campaign achieves with one executor per shard — measurable
+	// even on a single-core CI host.
+	ShardSpeedup map[string]float64 `json:"shard_speedup,omitempty"`
+	// CacheElimination maps each program benchmark to
+	// 1 − warm setupdyn/op ÷ cold setupdyn/op for BenchmarkServiceGolden —
+	// the fraction of golden-run + checkpoint setup work the peppaxd
+	// cross-job cache eliminates for a repeat submission (1.0 = the warm
+	// path pays nothing).
+	CacheElimination map[string]float64 `json:"cache_elimination,omitempty"`
 }
 
 func main() {
@@ -169,6 +182,8 @@ func compareReports(oldPath, newPath string, tolerance float64, out io.Writer) (
 	check("overall_speedup", oldRep.OverallSpeedup, newRep.OverallSpeedup)
 	check("batch_speedup", oldRep.BatchSpeedup, newRep.BatchSpeedup)
 	check("compose_speedup", oldRep.ComposeSpeedup, newRep.ComposeSpeedup)
+	check("shard_speedup", oldRep.ShardSpeedup, newRep.ShardSpeedup)
+	check("cache_elimination", oldRep.CacheElimination, newRep.CacheElimination)
 	if ok {
 		fmt.Fprintln(out, "bench-regression gate passed")
 	}
@@ -217,6 +232,8 @@ func run(in io.Reader, out, errw io.Writer) error {
 	rep.BatchSpeedup = batchSpeedups(rep.Benchmarks)
 	rep.FitnessSpeedup = fitnessSpeedups(rep.Benchmarks, errw)
 	rep.ComposeSpeedup = composeSpeedups(rep.Benchmarks)
+	rep.ShardSpeedup = shardSpeedups(rep.Benchmarks)
+	rep.CacheElimination = cacheEliminations(rep.Benchmarks)
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
 	return enc.Encode(rep)
@@ -309,6 +326,32 @@ func composeSpeedups(benches []Benchmark) map[string]float64 {
 	return metricRatios(benches,
 		"BenchmarkSensitivityCompose/scratch/",
 		"BenchmarkSensitivityCompose/incremental/", "dyn/op")
+}
+
+// shardSpeedups pairs BenchmarkServiceShard/shards1/<prog> with
+// .../shards2/<prog> on the deterministic dyncrit/op metric — the
+// critical-path speedup of splitting a campaign across two shard executors.
+func shardSpeedups(benches []Benchmark) map[string]float64 {
+	return metricRatios(benches,
+		"BenchmarkServiceShard/shards1/",
+		"BenchmarkServiceShard/shards2/", "dyncrit/op")
+}
+
+// cacheEliminations pairs BenchmarkServiceGolden/cold/<prog> with
+// .../warm/<prog> on setupdyn/op and reports 1 − warm/cold: the fraction of
+// golden-setup work a cache hit eliminates.
+func cacheEliminations(benches []Benchmark) map[string]float64 {
+	r := metricRatios(benches,
+		"BenchmarkServiceGolden/warm/",
+		"BenchmarkServiceGolden/cold/", "setupdyn/op")
+	if r == nil {
+		return nil
+	}
+	out := make(map[string]float64, len(r))
+	for p, warmOverCold := range r {
+		out[p] = math.Round((1-warmOverCold)*100) / 100
+	}
+	return out
 }
 
 // speedups pairs BenchmarkOverall/scratch/<prog> with .../checkpointed/<prog>

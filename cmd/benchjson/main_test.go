@@ -188,6 +188,58 @@ func TestRunComposeSpeedup(t *testing.T) {
 	}
 }
 
+// Shard speedup must come from the deterministic dyncrit/op metric (the
+// critical-path dynamic-instruction count), not ns/op: a single-core CI host
+// cannot measure wall-clock shard parallelism, dyncrit it can.
+const shardSample = `goos: linux
+BenchmarkServiceShard/shards1/pathfinder-8  	1	 513199611 ns/op	  89090550 dyn/op	  89090550 dyncrit/op
+BenchmarkServiceShard/shards2/pathfinder-8  	1	 500000000 ns/op	  89090550 dyn/op	  44545275 dyncrit/op
+BenchmarkServiceGolden/cold/pathfinder-8    	1	 10000000 ns/op	  1200000 setupdyn/op
+BenchmarkServiceGolden/warm/pathfinder-8    	1	 1000 ns/op	  0 setupdyn/op
+PASS
+`
+
+func TestRunShardSpeedupAndCacheElimination(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run(strings.NewReader(shardSample), &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if got := rep.ShardSpeedup["pathfinder"]; got != 2 {
+		t.Fatalf("pathfinder shard speedup = %v, want 2 (dyncrit/op ratio)", got)
+	}
+	if got := rep.CacheElimination["pathfinder"]; got != 1 {
+		t.Fatalf("pathfinder cache elimination = %v, want 1 (warm setup fully eliminated)", got)
+	}
+	if rep.OverallSpeedup != nil || rep.ComposeSpeedup != nil {
+		t.Fatalf("unexpected unrelated speedups: %+v", rep)
+	}
+}
+
+func TestCompareShardRegression(t *testing.T) {
+	oldRep := Report{
+		ShardSpeedup:     map[string]float64{"pathfinder": 2.0},
+		CacheElimination: map[string]float64{"pathfinder": 1.0},
+	}
+	newRep := Report{
+		ShardSpeedup:     map[string]float64{"pathfinder": 1.2},
+		CacheElimination: map[string]float64{"pathfinder": 1.0},
+	}
+	code, log := runCompare(t, oldRep, newRep)
+	if code == 0 {
+		t.Fatalf("regressed shard compare exited 0:\n%s", log)
+	}
+	if !strings.Contains(log, "FAIL shard_speedup/pathfinder") {
+		t.Fatalf("missing failure line:\n%s", log)
+	}
+	if !strings.Contains(log, "ok   cache_elimination/pathfinder") {
+		t.Fatalf("missing cache_elimination pass line:\n%s", log)
+	}
+}
+
 func TestCompareComposeRegression(t *testing.T) {
 	oldRep := Report{ComposeSpeedup: map[string]float64{"pathfinder": 4.0}}
 	newRep := Report{ComposeSpeedup: map[string]float64{"pathfinder": 2.0}}

@@ -123,8 +123,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		cfg.Recorder = rec
 		parallel.SetObserver(telemetry.PoolObserver(rec))
 		defer parallel.SetObserver(nil)
+		var ms *telemetry.MetricsServer
 		if *metricsAddr != "" {
-			ms, err := rec.ServeMetrics(*metricsAddr)
+			var err error
+			ms, err = rec.ServeMetrics(*metricsAddr)
 			if err != nil {
 				return fail(err)
 			}
@@ -139,6 +141,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 				fmt.Fprint(stdout, rec.Summary())
 			}
 		}()
+		// Deferred closes never run under os.Exit, so a SIGINT/SIGTERM must
+		// flush the trace and metrics endpoint itself before dying.
+		stop := telemetry.OnShutdownSignal(func(sig os.Signal) {
+			rec.Close()
+			if ms != nil {
+				ms.Close()
+			}
+			os.Exit(telemetry.SignalExitCode(sig))
+		})
+		defer stop()
 	}
 
 	suite, err := experiments.NewSuite(cfg)

@@ -30,6 +30,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -43,6 +44,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/parallel"
 	"repro/internal/prog"
+	"repro/internal/service"
 	"repro/internal/stats"
 	"repro/internal/telemetry"
 	"repro/internal/xrand"
@@ -75,6 +77,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		ciTarget    = fs.Float64("ci-target", 0, "95% CI half-width target for -adaptive (0 = default 0.035; setting this implies -adaptive)")
 		composeMode = fs.Bool("compose", false, "compositional estimate: measure per-segment SDC profiles once, compose them under the input's dynamic mix, and compare against a direct -trials campaign")
 		composeThr  = fs.Float64("compose-threshold", 0, "profile re-measurement drift trigger for -compose (0 = default 0.05, negative = never re-measure)")
+		shards      = fs.Int("shards", 0, "split the campaign's trials into N shards run concurrently (0/1 = unsharded; tallies are bit-identical at any shard count)")
+		remote      = fs.String("remote", "", "submit the campaign to a peppaxd server at this base URL (e.g. http://127.0.0.1:9470) instead of running in-process")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -99,8 +103,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		rec = telemetry.New(telemetry.Options{Sink: sink, WallClock: *traceWall})
 		parallel.SetObserver(telemetry.PoolObserver(rec))
 		defer parallel.SetObserver(nil)
+		var ms *telemetry.MetricsServer
 		if *metricsAddr != "" {
-			ms, err := rec.ServeMetrics(*metricsAddr)
+			var err error
+			ms, err = rec.ServeMetrics(*metricsAddr)
 			if err != nil {
 				return fail(err)
 			}
@@ -115,6 +121,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 				fmt.Fprint(stdout, rec.Summary())
 			}
 		}()
+		// Deferred closes never run under os.Exit, so a SIGINT/SIGTERM must
+		// flush the trace and metrics endpoint itself before dying.
+		stop := telemetry.OnShutdownSignal(func(sig os.Signal) {
+			rec.Close()
+			if ms != nil {
+				ms.Close()
+			}
+			os.Exit(telemetry.SignalExitCode(sig))
+		})
+		defer stop()
 	}
 
 	b := prog.Build(*bench)
@@ -134,6 +150,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 			in[i] = v
 		}
 		b.ClampInput(in)
+	}
+
+	if *remote != "" {
+		if *perInstr || *composeMode || *multibit {
+			return fail(fmt.Errorf("-remote supports whole-program flat and -adaptive campaigns only"))
+		}
+		return runRemote(stdout, stderr, b, in, &service.JobSpec{
+			Kind:               service.KindCampaign,
+			Bench:              b.Name,
+			Input:              in,
+			Trials:             *trials,
+			Seed:               *seed,
+			Workers:            *workers,
+			Batch:              *batch,
+			Shards:             *shards,
+			CheckpointInterval: *ckptIval,
+			Adaptive:           *adaptive,
+			CITarget:           *ciTarget,
+		}, *remote)
 	}
 
 	rng := xrand.New(*seed)
@@ -270,6 +305,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			BatchSize: *batch,
 			CITarget:  *ciTarget,
 			MaxTrials: *trials,
+			Runner:    campaign.ShardedRunner(*shards),
 		})
 		tr.Advance(ar.Counts.DynInstrs)
 		campaign.EmitAdaptiveTelemetry(tr, "fi.adaptive", ar)
@@ -298,11 +334,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 			c.Add(o)
 			c.DynInstrs += dyn
 		}
-	case *workers >= 1 || *batch > 0:
-		// Per-trial RNG streams derived from (seed, trial index): the tally
-		// and the trace are identical for every worker count ≥ 1 and every
-		// -batch size (batched trials keep their private streams).
-		c = campaign.OverallParallel(b.Prog, g, *trials, campaign.ParallelOptions{
+	case *workers >= 1 || *batch > 0 || *shards > 1:
+		// Per-trial RNG streams derived from (seed, global trial index): the
+		// tally and the trace are identical for every worker count ≥ 1,
+		// every -batch size (batched trials keep their private streams), and
+		// every -shards count (shards own contiguous trial-index ranges).
+		c = campaign.OverallSharded(b.Prog, g, *trials, *shards, campaign.ParallelOptions{
 			Workers: *workers, Seed: *seed, BatchSize: *batch,
 		})
 	default:
@@ -319,6 +356,38 @@ func run(args []string, stdout, stderr io.Writer) int {
 	lo, hi := c.SDCInterval()
 	fmt.Fprintf(stdout, "%d fault-injection trials (%s in random dynamic instruction results):\n", c.Trials, model)
 	fmt.Fprintf(stdout, "  SDC:    %4d  (%.2f%%, 95%% CI [%.2f%%, %.2f%%])\n", c.SDC, c.SDCProbability()*100, lo*100, hi*100)
+	fmt.Fprintf(stdout, "  crash:  %4d  (%.2f%%)\n", c.Crash, float64(c.Crash)/float64(c.Trials)*100)
+	fmt.Fprintf(stdout, "  hang:   %4d  (%.2f%%)\n", c.Hang, float64(c.Hang)/float64(c.Trials)*100)
+	fmt.Fprintf(stdout, "  benign: %4d  (%.2f%%)\n", c.Benign, float64(c.Benign)/float64(c.Trials)*100)
+	return 0
+}
+
+// runRemote submits the campaign to a peppaxd server and renders the result
+// in the local output format. With -checkpoint-interval -1 (which makes the
+// local run summary-free) the rendered output is byte-identical to the
+// in-process run of the same flags — the e2e contract CI checks.
+func runRemote(stdout, stderr io.Writer, b *prog.Benchmark, in []float64, spec *service.JobSpec, base string) int {
+	cl := &service.Client{Base: strings.TrimRight(base, "/")}
+	res, err := cl.Submit(context.Background(), spec)
+	if err != nil {
+		fmt.Fprintln(stderr, "fi:", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "%s with input %v\n", b.Name, in)
+	fmt.Fprintf(stdout, "golden run: %d dynamic instructions, coverage %.2f, %d output values\n\n",
+		res.GoldenDyn, res.GoldenCoverage, res.GoldenOutputs)
+	c := res.Counts
+	if ar := res.Adaptive; ar != nil {
+		fmt.Fprintf(stdout, "%d adaptive stratified fault-injection trials (%d strata, %d converged, %d rounds, %d/%d trials saved):\n",
+			c.Trials, ar.Strata, ar.Converged, ar.Rounds, ar.TrialsSaved, ar.MaxTrials)
+		fmt.Fprintf(stdout, "  SDC estimate: %.2f%%  (95%% CI [%.2f%%, %.2f%%], target half-width %.2f%%)\n",
+			res.SDC*100, res.Lo*100, res.Hi*100, ar.CITarget*100)
+		fmt.Fprintf(stdout, "  crash:  %4d  hang: %4d  benign: %4d  (pooled across strata)\n",
+			c.Crash, c.Hang, c.Benign)
+		return 0
+	}
+	fmt.Fprintf(stdout, "%d fault-injection trials (single bit flips in random dynamic instruction results):\n", c.Trials)
+	fmt.Fprintf(stdout, "  SDC:    %4d  (%.2f%%, 95%% CI [%.2f%%, %.2f%%])\n", c.SDC, res.SDC*100, res.Lo*100, res.Hi*100)
 	fmt.Fprintf(stdout, "  crash:  %4d  (%.2f%%)\n", c.Crash, float64(c.Crash)/float64(c.Trials)*100)
 	fmt.Fprintf(stdout, "  hang:   %4d  (%.2f%%)\n", c.Hang, float64(c.Hang)/float64(c.Trials)*100)
 	fmt.Fprintf(stdout, "  benign: %4d  (%.2f%%)\n", c.Benign, float64(c.Benign)/float64(c.Trials)*100)

@@ -139,8 +139,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		rec = telemetry.New(telemetry.Options{Sink: sink, WallClock: *traceWall})
 		parallel.SetObserver(telemetry.PoolObserver(rec))
 		defer parallel.SetObserver(nil)
+		var ms *telemetry.MetricsServer
 		if *metricsAddr != "" {
-			ms, err := rec.ServeMetrics(*metricsAddr)
+			var err error
+			ms, err = rec.ServeMetrics(*metricsAddr)
 			if err != nil {
 				return fail(err)
 			}
@@ -155,6 +157,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 				fmt.Fprint(stdout, rec.Summary())
 			}
 		}()
+		// Deferred closes never run under os.Exit, so a SIGINT/SIGTERM must
+		// flush the trace and metrics endpoint itself before dying.
+		stop := telemetry.OnShutdownSignal(func(sig os.Signal) {
+			rec.Close()
+			if ms != nil {
+				ms.Close()
+			}
+			os.Exit(telemetry.SignalExitCode(sig))
+		})
+		defer stop()
 	}
 
 	var b *prog.Benchmark

@@ -18,6 +18,7 @@
 package campaign
 
 import (
+	"context"
 	"math"
 	"sort"
 
@@ -89,6 +90,17 @@ type AdaptiveOptions struct {
 	// score × dynamic-execution fraction, the telemetry.HeatTopK ordering.
 	// Nil falls back to ranking by dynamic execution count alone.
 	Scores []float64
+	// Ctx, when non-nil, cancels the campaign cooperatively: the round loop
+	// stops before its next round once ctx is canceled and the result holds
+	// the tallies of the rounds that completed (with honestly wider
+	// intervals). Mid-round trials that cancellation skipped are excluded
+	// from the strata tallies, so completed-trial statistics stay exact.
+	Ctx context.Context
+	// Runner, when non-nil, replaces RunPlans as the round executor — the
+	// sharding hook. Any runner honoring the RunPlans contract (results
+	// depend only on the plans and per-trial RNG streams, returned in plan
+	// order) keeps adaptive results bit-identical to the in-process run.
+	Runner TrialRunner
 }
 
 func (o AdaptiveOptions) withDefaults() AdaptiveOptions {
@@ -343,6 +355,9 @@ func OverallAdaptive(p *interp.Program, g *Golden, opts AdaptiveOptions) *Adapti
 	}
 	next := make([]int, len(res.Strata))
 	for {
+		if ctxCanceled(opts.Ctx) {
+			break
+		}
 		runAdaptiveRound(p, g, res.Strata, alloc, next, opts)
 		res.Rounds++
 		total := 0
@@ -365,16 +380,17 @@ func OverallAdaptive(p *interp.Program, g *Golden, opts AdaptiveOptions) *Adapti
 			break
 		}
 	}
+	// A canceled run may break before any round refreshed the intervals;
+	// compose is idempotent, so recomputing keeps Lo/Hi/Estimate honest.
+	if ctxCanceled(opts.Ctx) {
+		for i := range res.Strata {
+			res.Strata[i].refresh()
+		}
+		res.compose()
+	}
 	// Pool the tally in stratum order (deterministic fold).
 	for i := range res.Strata {
-		c := res.Strata[i].Counts
-		res.Counts.Trials += c.Trials
-		res.Counts.SDC += c.SDC
-		res.Counts.Crash += c.Crash
-		res.Counts.Hang += c.Hang
-		res.Counts.Benign += c.Benign
-		res.Counts.Detected += c.Detected
-		res.Counts.DynInstrs += c.DynInstrs
+		res.Counts.Merge(res.Strata[i].Counts)
 	}
 	return res
 }
@@ -437,9 +453,11 @@ func allocateRound(strata []Stratum, budget int) []int {
 
 // runAdaptiveRound executes alloc[s] new trials per stratum. Trials are laid
 // out in stratum order, each on a private RNG stream keyed by
-// (seed, stratum, per-stratum trial index), executed per-trial or in
-// lockstep batches (reusing the OverallParallel machinery), and folded back
-// in layout order — bit-identical for every worker count and batch size.
+// (seed, stratum, per-stratum trial index), executed through the round
+// runner (RunPlans unless opts.Runner shards the round), and folded back in
+// layout order — bit-identical for every worker count, batch size and
+// conforming runner. Trials the runner skipped (cancellation) are excluded
+// from the tallies.
 func runAdaptiveRound(p *interp.Program, g *Golden, strata []Stratum, alloc, next []int, opts AdaptiveOptions) {
 	type ref struct{ s, t int }
 	var refs []ref
@@ -458,18 +476,22 @@ func runAdaptiveRound(p *interp.Program, g *Golden, strata []Stratum, alloc, nex
 		plans[i] = strata[rf.s].samplePlan(rng, p)
 		rngs[i] = rng
 	}
-	outs := make([]trialOutcome, len(refs))
-	if opts.BatchSize > 1 {
-		runBatchJobs(p, g, plans, func(i int) *xrand.RNG { return rngs[i] }, opts.BatchSize, opts.Workers, opts.Detector, outs)
-	} else {
-		parallel.ForEach(opts.Workers, len(refs), func(i int) {
-			o, _, dyn := Classify(p, g, plans[i], rngs[i], opts.Detector)
-			outs[i] = trialOutcome{o: o, dyn: dyn}
-		})
+	runner := opts.Runner
+	if runner == nil {
+		runner = RunPlans
 	}
+	outs := runner(p, g, plans, func(i int) *xrand.RNG { return rngs[i] }, ParallelOptions{
+		Workers:   opts.Workers,
+		Detector:  opts.Detector,
+		BatchSize: opts.BatchSize,
+		Ctx:       opts.Ctx,
+	})
 	for i, rf := range refs {
-		strata[rf.s].Counts.Add(outs[i].o)
-		strata[rf.s].Counts.DynInstrs += outs[i].dyn
+		if outs[i].Skipped {
+			continue
+		}
+		strata[rf.s].Counts.Add(outs[i].Outcome)
+		strata[rf.s].Counts.DynInstrs += outs[i].Dyn
 	}
 	for s, n := range alloc {
 		next[s] += n

@@ -8,6 +8,7 @@
 package campaign
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/fault"
@@ -351,6 +352,20 @@ func (c *Counts) Add(o Outcome) {
 	}
 }
 
+// Merge folds another tally into c — the shard-merge primitive. Every field
+// is an independent integer sum, so merging per-shard tallies in shard order
+// yields exactly the tally a single process accumulates folding the same
+// trials in global index order.
+func (c *Counts) Merge(o Counts) {
+	c.Trials += o.Trials
+	c.SDC += o.SDC
+	c.Crash += o.Crash
+	c.Hang += o.Hang
+	c.Benign += o.Benign
+	c.Detected += o.Detected
+	c.DynInstrs += o.DynInstrs
+}
+
 // Fields renders the tally as telemetry event fields, in a fixed order, for
 // per-campaign trace events. Every value is a schedule-independent integer,
 // so emitting them preserves trace determinism.
@@ -401,14 +416,40 @@ func Overall(p *interp.Program, g *Golden, trials int, rng *xrand.RNG) Counts {
 // landing on static instructions for which detector returns true are
 // classified Detected (used by the §6 stress-test case study).
 func OverallProtected(p *interp.Program, g *Golden, trials int, rng *xrand.RNG, detector func(int) bool) Counts {
+	return OverallCtx(nil, p, g, trials, rng, detector)
+}
+
+// OverallCtx is OverallProtected with cooperative cancellation: once ctx is
+// canceled the loop stops at the next trial boundary and returns the tally
+// of the trials that completed (Counts.Trials says how many). A nil or
+// Background ctx costs one nil check per trial.
+func OverallCtx(ctx context.Context, p *interp.Program, g *Golden, trials int, rng *xrand.RNG, detector func(int) bool) Counts {
 	var c Counts
 	for i := 0; i < trials; i++ {
+		if ctxCanceled(ctx) {
+			break
+		}
 		plan := fault.SampleDynamic(rng, g.DynCount)
 		o, _, dyn := Classify(p, g, plan, rng, detector)
 		c.Add(o)
 		c.DynInstrs += dyn
 	}
 	return c
+}
+
+// ctxDone returns ctx's cancellation channel in the form the interp layer
+// polls; nil contexts and context.Background both yield a nil channel, which
+// BatchRun never selects on.
+func ctxDone(ctx context.Context) <-chan struct{} {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Done()
+}
+
+// ctxCanceled reports whether ctx is canceled, treating nil as "never".
+func ctxCanceled(ctx context.Context) bool {
+	return ctx != nil && ctx.Err() != nil
 }
 
 // InstrResult is the measured SDC statistics of one static instruction.

@@ -1,6 +1,8 @@
 package campaign
 
 import (
+	"context"
+
 	"repro/internal/fault"
 	"repro/internal/interp"
 	"repro/internal/parallel"
@@ -29,6 +31,13 @@ type ParallelOptions struct {
 	// and RNG streams are derived exactly as on the per-trial path, so
 	// results are bit-identical at every batch size and worker count.
 	BatchSize int
+	// Ctx, when non-nil, cancels the campaign cooperatively: trials stop at
+	// the next trial (or checkpoint) boundary after cancellation and the
+	// runner returns the tally of the trials that completed. Completed
+	// trials keep their exact deterministic outcomes — cancellation only
+	// truncates, never perturbs. Nil (or context.Background) adds one nil
+	// check per trial.
+	Ctx context.Context
 }
 
 // trialRNG derives the deterministic per-trial stream.
@@ -36,10 +45,13 @@ func trialRNG(seed uint64, trial int) *xrand.RNG {
 	return xrand.New(seed ^ (uint64(trial)+1)*0x9E3779B97F4A7C15)
 }
 
-// trialOutcome is one trial's classification and cost.
+// trialOutcome is one trial's classification and cost. ok distinguishes a
+// trial that actually ran from one skipped by cancellation — the zero value
+// would otherwise tally as a Benign trial of zero cost.
 type trialOutcome struct {
 	o   Outcome
 	dyn int64
+	ok  bool
 }
 
 // OverallParallel measures the whole-program SDC probability like Overall,
@@ -52,13 +64,25 @@ func OverallParallel(p *interp.Program, g *Golden, trials int, opts ParallelOpti
 		return overallBatched(p, g, trials, opts)
 	}
 	outcomes := parallel.Map(opts.Workers, trials, func(i int) trialOutcome {
+		if ctxCanceled(opts.Ctx) {
+			return trialOutcome{}
+		}
 		rng := trialRNG(opts.Seed, i)
 		plan := fault.SampleDynamic(rng, g.DynCount)
 		o, _, dyn := Classify(p, g, plan, rng, opts.Detector)
-		return trialOutcome{o: o, dyn: dyn}
+		return trialOutcome{o: o, dyn: dyn, ok: true}
 	})
+	return foldOutcomes(outcomes)
+}
+
+// foldOutcomes tallies completed trials in index order, skipping the ones
+// cancellation left unrun.
+func foldOutcomes(outcomes []trialOutcome) Counts {
 	var c Counts
 	for _, t := range outcomes {
+		if !t.ok {
+			continue
+		}
 		c.Add(t.o)
 		c.DynInstrs += t.dyn
 	}
@@ -90,14 +114,14 @@ func PerInstructionParallel(p *interp.Program, g *Golden, ids []int, trialsPerIn
 			outs := make([]trialOutcome, trialsPerInstr)
 			// workers=1: instruction-level fan-out already occupies the
 			// pool; nesting another ForEach would oversubscribe it.
-			runBatchJobs(p, g, plans, func(int) *xrand.RNG { return rng }, opts.BatchSize, 1, nil, outs)
-			for _, t := range outs {
-				res.Counts.Add(t.o)
-				res.Counts.DynInstrs += t.dyn
-			}
+			runBatchJobs(p, g, plans, func(int) *xrand.RNG { return rng }, opts.BatchSize, 1, nil, ctxDone(opts.Ctx), outs)
+			res.Counts = foldOutcomes(outs)
 			return res
 		}
 		for t := 0; t < trialsPerInstr; t++ {
+			if ctxCanceled(opts.Ctx) {
+				break
+			}
 			plan := fault.SampleStatic(rng, id, ty, execCount)
 			o, _, dyn := Classify(p, g, plan, rng, nil)
 			res.Counts.Add(o)
@@ -122,41 +146,56 @@ func overallBatched(p *interp.Program, g *Golden, trials int, opts ParallelOptio
 		plans[i] = fault.SampleDynamic(rngs[i], g.DynCount)
 	}
 	outcomes := make([]trialOutcome, trials)
-	runBatchJobs(p, g, plans, func(i int) *xrand.RNG { return rngs[i] }, opts.BatchSize, opts.Workers, opts.Detector, outcomes)
-	var c Counts
-	for _, t := range outcomes {
-		c.Add(t.o)
-		c.DynInstrs += t.dyn
-	}
-	return c
+	runBatchJobs(p, g, plans, func(i int) *xrand.RNG { return rngs[i] }, opts.BatchSize, opts.Workers, opts.Detector, ctxDone(opts.Ctx), outcomes)
+	return foldOutcomes(outcomes)
 }
 
 // runBatchJobs executes the planned trials in lockstep batches, fanning the
 // batches across workers, and writes each trial's classified outcome into
 // outs[i]. rngFor supplies the RNG a trial injects with; batch telemetry
-// accumulates into g.Checkpoints (atomic, nil-safe).
-func runBatchJobs(p *interp.Program, g *Golden, plans []fault.Plan, rngFor func(i int) *xrand.RNG, size, workers int, detector func(staticID int) bool, outs []trialOutcome) {
+// accumulates into g.Checkpoints (atomic, nil-safe). When done closes,
+// in-flight batches stop at their next boundary and unstarted trials leave
+// their outs entries with ok=false.
+func runBatchJobs(p *interp.Program, g *Golden, plans []fault.Plan, rngFor func(i int) *xrand.RNG, size, workers int, detector func(staticID int) bool, done <-chan struct{}, outs []trialOutcome) {
 	jobs := batchJobs(g, plans, size)
 	budget := g.DynCount*hangBudgetMultiplier + hangBudgetSlack
 	parallel.ForEach(workers, len(jobs), func(j int) {
+		if doneClosed(done) {
+			return
+		}
 		job := &jobs[j]
 		bt := make([]interp.BatchTrial, len(job.idx))
 		for k, i := range job.idx {
 			bt[k] = interp.BatchTrial{Plan: plans[i], RNG: rngFor(i)}
 		}
-		st := interp.BatchRun(p, g.Input, job.snap, bt, interp.Options{MaxDyn: budget, Fused: true}, func(k int, r *interp.Result) {
+		st := interp.BatchRun(p, g.Input, job.snap, bt, interp.Options{MaxDyn: budget, Fused: true, Done: done}, func(k int, r *interp.Result) {
 			o, _ := classifyResult(g, r, detector)
-			outs[job.idx[k]] = trialOutcome{o: o, dyn: r.DynCount}
+			outs[job.idx[k]] = trialOutcome{o: o, dyn: r.DynCount, ok: true}
 		})
 		g.Checkpoints.NoteBatch(st)
 	})
 }
 
+// doneClosed mirrors interp's Done polling for the job dispatcher.
+func doneClosed(done <-chan struct{}) bool {
+	if done == nil {
+		return false
+	}
+	select {
+	case <-done:
+		return true
+	default:
+		return false
+	}
+}
+
 // TrialResult is one classified FI trial: its outcome and the dynamic
-// instructions the faulty run spent.
+// instructions the faulty run spent. Skipped marks a trial cancellation
+// left unrun — its Outcome and Dyn are meaningless and must not be folded.
 type TrialResult struct {
 	Outcome Outcome
 	Dyn     int64
+	Skipped bool
 }
 
 // RunPlans classifies one trial per pre-sampled plan against the golden and
@@ -171,16 +210,19 @@ type TrialResult struct {
 func RunPlans(p *interp.Program, g *Golden, plans []fault.Plan, rngFor func(i int) *xrand.RNG, opts ParallelOptions) []TrialResult {
 	outs := make([]trialOutcome, len(plans))
 	if opts.BatchSize > 1 {
-		runBatchJobs(p, g, plans, rngFor, opts.BatchSize, opts.Workers, opts.Detector, outs)
+		runBatchJobs(p, g, plans, rngFor, opts.BatchSize, opts.Workers, opts.Detector, ctxDone(opts.Ctx), outs)
 	} else {
 		parallel.ForEach(opts.Workers, len(plans), func(i int) {
+			if ctxCanceled(opts.Ctx) {
+				return
+			}
 			o, _, dyn := Classify(p, g, plans[i], rngFor(i), opts.Detector)
-			outs[i] = trialOutcome{o: o, dyn: dyn}
+			outs[i] = trialOutcome{o: o, dyn: dyn, ok: true}
 		})
 	}
 	res := make([]TrialResult, len(outs))
 	for i, t := range outs {
-		res[i] = TrialResult{Outcome: t.o, Dyn: t.dyn}
+		res[i] = TrialResult{Outcome: t.o, Dyn: t.dyn, Skipped: !t.ok}
 	}
 	return res
 }

@@ -1,6 +1,7 @@
 package compose
 
 import (
+	"context"
 	"math"
 	"sort"
 	"sync"
@@ -118,6 +119,18 @@ type Options struct {
 	// segment and compose.* gauges per estimate. Event payloads are
 	// schedule-independent; the caller advances the stream clock.
 	Trace *telemetry.Stream
+	// Ctx, when non-nil, cancels estimation cooperatively BETWEEN segment
+	// measurements: once canceled, EstimateGolden stops before its next
+	// segment and composes only the segments already handled (the rest
+	// report Source "skipped"). The segment measurement in flight always
+	// completes — a partial profile must never be cached, since the memo
+	// would serve it to every later estimate.
+	Ctx context.Context
+	// Runner, when non-nil, replaces campaign.RunPlans as the measurement
+	// executor — the sharding hook. Any runner honoring the RunPlans
+	// contract keeps profiles (and thus estimates) bit-identical to the
+	// in-process run.
+	Runner campaign.TrialRunner
 }
 
 func (o Options) withDefaults() Options {
@@ -249,6 +262,13 @@ func (e *Estimator) EstimateGolden(g *campaign.Golden) *Estimate {
 		seg := &e.part.Segments[si]
 		se := &est.Segments[si]
 		se.Segment = seg.Name
+
+		if ctx := e.opts.Ctx; ctx != nil && ctx.Err() != nil {
+			// Canceled between segments: the remaining ones stay "skipped"
+			// and the composition covers only the work already done.
+			se.Source = "skipped"
+			continue
+		}
 
 		var segDyn int64
 		for _, id := range seg.Instrs {
@@ -399,13 +419,23 @@ func (e *Estimator) measure(g *campaign.Golden, si int, seg *Segment, segDyn int
 			Bit:        fault.RandomBit(rng, e.p.InstrType(id)),
 		}
 	}
-	results := campaign.RunPlans(e.p, g, plans, func(i int) *xrand.RNG { return rngs[i] }, campaign.ParallelOptions{
+	// The measurement runs WITHOUT the estimator's Ctx: a canceled runner
+	// would return skipped trials, and caching the resulting partial profile
+	// would poison every later estimate sharing the memo entry.
+	runner := e.opts.Runner
+	if runner == nil {
+		runner = campaign.RunPlans
+	}
+	results := runner(e.p, g, plans, func(i int) *xrand.RNG { return rngs[i] }, campaign.ParallelOptions{
 		Workers:   e.opts.Workers,
 		BatchSize: e.opts.BatchSize,
 	})
 
 	prof := &Profile{Segment: seg.Name, Frac: w, Mix: mix, Dyn: g.DynCount, Epoch: epoch}
 	for _, r := range results {
+		if r.Skipped {
+			continue
+		}
 		prof.Counts.Add(r.Outcome)
 		prof.Counts.DynInstrs += r.Dyn
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync/atomic"
@@ -131,6 +132,18 @@ type Options struct {
 	// ComposeCache, when non-nil, shares profiles across searches of the
 	// same program (nil: a private cache per search).
 	ComposeCache *compose.Cache
+	// Ctx, when non-nil, cancels the pipeline cooperatively: the GA loop
+	// stops before its next generation, FI campaigns stop at their next
+	// trial boundary, and Search returns the best input found so far with
+	// whatever final measurement completed. The RNG draws consumed before
+	// the cancellation point are unchanged, so an uncanceled run is
+	// bit-identical whether or not a context is supplied.
+	Ctx context.Context
+}
+
+// canceled reports whether the pipeline's context is canceled (nil-safe).
+func (o Options) canceled() bool {
+	return o.Ctx != nil && o.Ctx.Err() != nil
 }
 
 // adaptiveMaxTrials resolves the adaptive trial cap against the flat
@@ -316,6 +329,7 @@ func Search(b *prog.Benchmark, opts Options, rng *xrand.RNG) (*Result, error) {
 			BatchSize: opts.BatchSize,
 			Seed:      rng.Uint64(),
 			Trace:     tr,
+			Ctx:       opts.Ctx,
 		})
 	}
 	dist := sensitivity.Derive(b.Prog, sensGolden, sensitivity.Options{
@@ -375,6 +389,9 @@ func Search(b *prog.Benchmark, opts Options, rng *xrand.RNG) (*Result, error) {
 	ci := 0
 	fiRNG := rng.Split() // separate stream so checkpoints don't perturb the search
 	for gen := 1; gen <= opts.Generations; gen++ {
+		if opts.canceled() {
+			break // report the best input found so far
+		}
 		engine.Step()
 		res.FitnessHistory = append(res.FitnessHistory, engine.Best().Fitness)
 		prevDyn := int64(0)
@@ -449,6 +466,7 @@ func Search(b *prog.Benchmark, opts Options, rng *xrand.RNG) (*Result, error) {
 			MinTrialsPerStratum: opts.MinTrialsPerStratum,
 			MaxTrials:           opts.adaptiveMaxTrials(),
 			Scores:              dist.Scores,
+			Ctx:                 opts.Ctx,
 		})
 		res.Final = res.FinalAdaptive.Counts
 		campaign.EmitAdaptiveTelemetry(tr, "fi.adaptive", res.FinalAdaptive)
@@ -501,9 +519,10 @@ func overallCampaign(p *interp.Program, g *campaign.Golden, trials int, rng *xra
 			Workers:   opts.Workers,
 			Seed:      rng.Uint64(),
 			BatchSize: opts.BatchSize,
+			Ctx:       opts.Ctx,
 		})
 	}
-	return campaign.Overall(p, g, trials, rng)
+	return campaign.OverallCtx(opts.Ctx, p, g, trials, rng, nil)
 }
 
 // Fitness is PEPPA-X's per-candidate evaluation (§4.2.5): one profiled

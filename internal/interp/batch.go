@@ -88,6 +88,21 @@ func (h *forkHeap) Pop() interface{} {
 	return ev
 }
 
+// batchCanceled reports whether a batch's Done channel has closed. A nil
+// channel — the no-cancellation case — short-circuits before the select,
+// so uncancellable batches pay one pointer compare per poll.
+func batchCanceled(done <-chan struct{}) bool {
+	if done == nil {
+		return false
+	}
+	select {
+	case <-done:
+		return true
+	default:
+		return false
+	}
+}
+
 // BatchRun executes a batch of fault-injection trials that share the base
 // snapshot (nil to share the program entry) in lockstep, calling report
 // once per trial index, in index order, with a Result that is only valid
@@ -97,6 +112,12 @@ func (h *forkHeap) Pop() interface{} {
 // TrackPropagation and CheckpointInterval must be unset — trials carry
 // their own plans and streams. Static-mode trials require a profiled base
 // (or a base-less batch), like RunFrom.
+//
+// When opts.Done closes mid-batch the trunk suspends at its next boundary
+// and the trial loop stops before its next trial: trials already reported
+// are complete and valid, the rest are never reported. Callers that need
+// to distinguish completed from skipped trials must track which indices
+// report delivered.
 func BatchRun(p *Program, args []uint64, base *Snapshot, trials []BatchTrial, opts Options, report func(i int, r *Result)) BatchStats {
 	if opts.Plan != nil || opts.FaultRNG != nil || opts.Profile || opts.TrackPropagation || opts.CheckpointInterval > 0 {
 		panic("interp: BatchRun options must not set Plan, FaultRNG, Profile, TrackPropagation or CheckpointInterval")
@@ -173,6 +194,9 @@ func BatchRun(p *Program, args []uint64, base *Snapshot, trials []BatchTrial, op
 	slack := p.maxSlotDyn
 	lastSnap := base
 	te.onBoundary = func() bool {
+		if batchCanceled(opts.Done) {
+			return false // suspend; the trial loop below also stops
+		}
 		var snap *Snapshot
 		// Drain until the heap MINIMUM exceeds dyn+slack. Keys are lower
 		// bounds that only tighten, so a merely re-keyed event must be
@@ -217,6 +241,9 @@ func BatchRun(p *Program, args []uint64, base *Snapshot, trials []BatchTrial, op
 	tx.blockCounts = make([]int64, p.CounterLen()) // runFast scratch; never read
 	tx.onBoundary = tx.injectBoundary
 	for i := range trials {
+		if batchCanceled(opts.Done) {
+			break // remaining trials stay unreported
+		}
 		f := forks[i]
 		if f == nil {
 			topts := opts

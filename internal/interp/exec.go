@@ -108,6 +108,15 @@ type Options struct {
 	// count changes. Snapshots recorded by a fused run carry fused pcs and
 	// resume on the fused engine automatically.
 	Fused bool
+	// Done, when non-nil, is a cooperative cancellation signal (a
+	// context.Context's Done channel). BatchRun polls it at checkpoint
+	// boundaries: once closed, the shared trunk suspends at its next
+	// boundary and no further trials are launched — trials already reported
+	// stay valid, the remaining ones are never reported. A nil channel (the
+	// context.Background case) is never polled and costs nothing. The
+	// single-run entry points ignore Done; campaign loops check between
+	// trials instead.
+	Done <-chan struct{}
 }
 
 const (

@@ -1,0 +1,116 @@
+package service
+
+// Client is the Go-side consumer of a peppaxd job stream, used by
+// `fi -remote` and the e2e tests. Submit posts a JobSpec, relays progress
+// events to an optional callback, and returns the final result document.
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// Client talks to one peppaxd server.
+type Client struct {
+	// Base is the server's base URL (http://host:port).
+	Base string
+	// HTTPClient overrides the transport (nil: http.DefaultClient).
+	HTTPClient *http.Client
+	// OnEvent, when non-nil, receives every non-result stream event as a
+	// raw JSON line.
+	OnEvent func(line []byte)
+}
+
+// RetryError is returned for a 429 rejection, carrying the server's
+// Retry-After hint in seconds.
+type RetryError struct {
+	After int
+	Msg   string
+}
+
+func (e *RetryError) Error() string {
+	return fmt.Sprintf("server busy (retry after %ds): %s", e.After, e.Msg)
+}
+
+// streamLine is one decoded NDJSON event.
+type streamLine struct {
+	Ev     string          `json:"ev"`
+	Error  string          `json:"error"`
+	Result json.RawMessage `json:"result"`
+}
+
+// Submit runs one job to completion and returns its result. Progress events
+// stream to OnEvent as they arrive; a server-side job failure returns its
+// error message.
+func (c *Client) Submit(ctx context.Context, spec *JobSpec) (*JobResult, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+"/jobs", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	hc := c.HTTPClient
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+
+	if resp.StatusCode == http.StatusTooManyRequests {
+		after, _ := strconv.Atoi(resp.Header.Get("Retry-After"))
+		if after <= 0 {
+			after = 1
+		}
+		msg, _ := bufio.NewReader(resp.Body).ReadString('\n')
+		return nil, &RetryError{After: after, Msg: string(bytes.TrimSpace([]byte(msg)))}
+	}
+	if resp.StatusCode != http.StatusOK {
+		sc := bufio.NewScanner(resp.Body)
+		msg := resp.Status
+		if sc.Scan() {
+			msg = sc.Text()
+		}
+		return nil, fmt.Errorf("%s: %s", resp.Status, msg)
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var ev streamLine
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return nil, fmt.Errorf("bad stream line %q: %w", line, err)
+		}
+		switch ev.Ev {
+		case "job.result":
+			var res JobResult
+			if err := json.Unmarshal(ev.Result, &res); err != nil {
+				return nil, fmt.Errorf("bad job result: %w", err)
+			}
+			return &res, nil
+		case "job.error":
+			return nil, fmt.Errorf("job failed: %s", ev.Error)
+		default:
+			if c.OnEvent != nil {
+				c.OnEvent(append([]byte(nil), line...))
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return nil, fmt.Errorf("stream ended without a result (job canceled or server shut down)")
+}

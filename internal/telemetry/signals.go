@@ -1,0 +1,49 @@
+package telemetry
+
+// Shutdown-signal plumbing shared by the CLIs and the service daemon. A
+// process that buffers telemetry (Recorder) or serves /metrics
+// (MetricsServer) must flush on SIGINT/SIGTERM or the trace tail — sorted
+// stream lines are only written by Recorder.Close — is silently dropped.
+
+import (
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+)
+
+// OnShutdownSignal installs a SIGINT/SIGTERM handler that runs cleanup once,
+// on the first signal received, in its own goroutine. It returns a stop
+// function that uninstalls the handler and releases the goroutine; stop is
+// idempotent and safe to call whether or not a signal fired. Cleanup is
+// responsible for exiting (or not): a CLI typically flushes its Recorder,
+// closes its MetricsServer and calls os.Exit(SignalExitCode(sig)), while a
+// server instead starts a graceful drain.
+func OnShutdownSignal(cleanup func(sig os.Signal)) (stop func()) {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() {
+		select {
+		case sig := <-ch:
+			cleanup(sig)
+		case <-done:
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			signal.Stop(ch)
+			close(done)
+		})
+	}
+}
+
+// SignalExitCode is the conventional exit status for a death-by-signal:
+// 128 plus the signal number (130 for SIGINT, 143 for SIGTERM).
+func SignalExitCode(sig os.Signal) int {
+	if s, ok := sig.(syscall.Signal); ok {
+		return 128 + int(s)
+	}
+	return 1
+}
