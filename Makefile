@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build lint test test-short race bench-smoke bench-workers test-telemetry test-observability test-checkpoint bench-fi bench-regression test-fusion bench-fitness test-adaptive test-compose bench-compose test-service bench-shard e2e-service report profile ci
+.PHONY: build lint test test-short race bench-smoke bench-workers test-telemetry test-observability test-checkpoint bench-fi bench-regression test-fusion bench-fitness test-adaptive test-compose bench-compose test-service test-fuzz bench-shard e2e-service report profile ci
 
 build:
 	$(GO) build ./...
@@ -146,6 +146,20 @@ test-service:
 	$(GO) test -count=1 -run 'Shard|CountsMerge|Service' \
 		./internal/campaign ./internal/service ./cmd/benchjson ./cmd/peppaxd
 
+# Rare-branch fuzzing + fault-model gate: the fuzz engine unit suite, the
+# fixed-seed fuzz-vs-naive coverage parity acceptance test (the guided
+# fuzzer must reach the 0.95×max coverage target in fewer evaluations than
+# the naive widening-range fuzzer on >= 5 benchmarks), the fault-model
+# registry/corruption tests, and the determinism matrix (every model
+# bit-identical at workers 1/4 × batch 1/64 × shards 1/2; the default
+# single-flip path pinned byte-identical to the pre-interface behaviour).
+test-fuzz:
+	$(GO) test -count=1 ./internal/fuzz
+	$(GO) test -count=1 -run 'Fuzz' ./internal/core
+	$(GO) test -count=1 ./internal/fault
+	$(GO) test -count=1 -run 'FaultModelDeterminismMatrix|DefaultModelMatchesHistoricalPath' \
+		./internal/campaign
+
 # Measure the deterministic shard critical path (dyncrit/op at 1 vs 2
 # shards) and the golden-cache setup elimination (cold vs warm setupdyn/op),
 # and render BENCH_shard.json. Both metrics are dynamic-instruction counts,
@@ -160,25 +174,29 @@ bench-shard:
 # over HTTP (sharded) and in-process, and require byte-identical fi output.
 # -checkpoint-interval -1 keeps both outputs summary-free (checkpoint/batch
 # summaries describe local execution state the remote renderer cannot see).
+# All artifacts (output pair, daemon log) land under $(E2E_DIR), inside the
+# gitignored bin/ tree, never at the repo root.
 E2E_ADDR ?= 127.0.0.1:9473
+E2E_DIR ?= bin/e2e
 e2e-service:
 	$(GO) build -o bin/peppaxd ./cmd/peppaxd
 	$(GO) build -o bin/fi ./cmd/fi
-	./bin/peppaxd -addr $(E2E_ADDR) > /dev/null 2> peppaxd-e2e.log & \
+	mkdir -p $(E2E_DIR)
+	./bin/peppaxd -addr $(E2E_ADDR) > /dev/null 2> $(E2E_DIR)/peppaxd-e2e.log & \
 	pid=$$!; \
 	for i in $$(seq 1 50); do \
 		curl -sf http://$(E2E_ADDR)/healthz > /dev/null 2>&1 && break; \
 		sleep 0.2; \
 	done; \
 	./bin/fi -bench needle -trials 300 -seed 7 -parallel 1 \
-		-checkpoint-interval -1 > fi-local.txt && \
+		-checkpoint-interval -1 > $(E2E_DIR)/fi-local.txt && \
 	./bin/fi -bench needle -trials 300 -seed 7 -parallel 1 \
-		-checkpoint-interval -1 -remote http://$(E2E_ADDR) -shards 2 > fi-remote.txt && \
-	cmp fi-local.txt fi-remote.txt && \
+		-checkpoint-interval -1 -remote http://$(E2E_ADDR) -shards 2 > $(E2E_DIR)/fi-remote.txt && \
+	cmp $(E2E_DIR)/fi-local.txt $(E2E_DIR)/fi-remote.txt && \
 	curl -sf http://$(E2E_ADDR)/metrics | grep -q '^peppax_service_' ; \
 	rc=$$?; kill -TERM $$pid 2> /dev/null; wait $$pid; \
 	drain=$$?; [ $$rc -eq 0 ] && [ $$drain -eq 143 ]; rc=$$?; \
-	grep -q 'drained, bye' peppaxd-e2e.log || rc=1; exit $$rc
+	grep -q 'drained, bye' $(E2E_DIR)/peppaxd-e2e.log || rc=1; exit $$rc
 	@echo "remote and in-process fi output byte-identical; graceful drain ok"
 
 # Regenerate the full experiment report (report_full.txt/report_full.json

@@ -33,6 +33,7 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/experiments"
+	"repro/internal/fault"
 	"repro/internal/parallel"
 	"repro/internal/telemetry"
 )
@@ -48,7 +49,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		expList     = fs.String("exp", "", "comma-separated experiment IDs (default: all)")
 		quick       = fs.Bool("quick", false, "use the reduced quick configuration")
 		seed        = fs.Uint64("seed", 0, "override the RNG seed (0 = config default)")
-		benches     = fs.String("benches", "", "comma-separated benchmark subset (default: all seven)")
+		benches     = fs.String("benches", "", "comma-separated benchmark subset (default: all ten)")
 		out         = fs.String("out", "", "also write the report to this file")
 		jsonOut     = fs.String("json", "", "also write typed results as JSON to this file")
 		list        = fs.Bool("list", false, "list experiment IDs and exit")
@@ -65,6 +66,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		composeMode = fs.Bool("compose", false, "compositional SDC estimation for the suite's searches and baselines: per-segment profiles measured once per benchmark, cached suite-wide, composed under each input's dynamic mix")
 		composeThr  = fs.Float64("compose-threshold", 0, "profile re-measurement drift trigger for -compose (0 = default 0.05, negative = never re-measure)")
 		composeTr   = fs.Int("compose-trials", 0, "trial budget of a full -compose profile pass (0 = default 1600)")
+		faultModel  = fs.String("fault-model", "", "fault model for search campaigns and baseline candidates: "+strings.Join(fault.ModelNames(), ", ")+" (default bitflip; the §3 studies keep single flips)")
+		strategy    = fs.String("strategy", "", "comma-separated strategy subset for the strategies experiment (e.g. genetic,fuzz; default: all)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -106,6 +109,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		cfg.Compose = true
 		cfg.ComposeThreshold = *composeThr
 		cfg.ComposeTrials = *composeTr
+	}
+	cfg.FaultModel = *faultModel
+	if *strategy != "" {
+		cfg.Strategies = splitList(*strategy)
 	}
 
 	var rec *telemetry.Recorder

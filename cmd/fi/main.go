@@ -65,7 +65,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		top         = fs.Int("top", 15, "how many most-SDC-prone instructions to list (per-instruction mode)")
 		seed        = fs.Uint64("seed", 1, "RNG seed")
 		workers     = fs.Int("parallel", 0, "fan trials across N workers (0 = serial; §5.2 parallelization)")
-		multibit    = fs.Bool("multibit", false, "use the double-bit-flip fault model")
+		multibit    = fs.Bool("multibit", false, "use the double-bit-flip fault model (same as -fault-model doubleflip)")
+		faultModel  = fs.String("fault-model", "", "fault model for campaign trials: "+strings.Join(fault.ModelNames(), ", ")+" (default bitflip)")
 		tracePath   = fs.String("trace", "", "write a deterministic JSONL telemetry trace to this file (byte-identical for any -parallel)")
 		traceWall   = fs.Bool("trace-wallclock", false, "timestamp the -trace file with wall-clock nanoseconds instead of the deterministic cost clock (marks the trace non-reproducible)")
 		metrics     = fs.Bool("metrics", false, "print an end-of-run telemetry summary (counters, gauges, worker-pool utilization)")
@@ -87,6 +88,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fail := func(err error) int {
 		fmt.Fprintln(stderr, "fi:", err)
 		return 1
+	}
+
+	// Resolve the fault model; -multibit is the historical spelling of
+	// -fault-model doubleflip. A nil model is the single-flip default and
+	// keeps every path byte-identical to earlier releases.
+	if *multibit {
+		if *faultModel != "" && *faultModel != fault.DoubleFlip.Name() {
+			return fail(fmt.Errorf("-multibit conflicts with -fault-model %s", *faultModel))
+		}
+		*faultModel = fault.DoubleFlip.Name()
+	}
+	model, err := fault.CampaignModel(*faultModel)
+	if err != nil {
+		return fail(err)
 	}
 
 	var rec *telemetry.Recorder
@@ -153,7 +168,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *remote != "" {
-		if *perInstr || *composeMode || *multibit {
+		if *perInstr || *composeMode {
 			return fail(fmt.Errorf("-remote supports whole-program flat and -adaptive campaigns only"))
 		}
 		return runRemote(stdout, stderr, b, in, &service.JobSpec{
@@ -162,6 +177,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			Input:              in,
 			Trials:             *trials,
 			Seed:               *seed,
+			FaultModel:         *faultModel,
 			Workers:            *workers,
 			Batch:              *batch,
 			Shards:             *shards,
@@ -171,6 +187,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}, *remote)
 	}
 
+	if *perInstr && model != nil {
+		return fail(fmt.Errorf("-perinstr supports the single-bit model only"))
+	}
 	rng := xrand.New(*seed)
 	g, err := campaign.NewGoldenCheckpointed(b.Prog, b.Encode(in), b.MaxDyn, *ckptIval)
 	if err != nil {
@@ -241,24 +260,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *composeMode {
-		if *multibit {
-			return fail(fmt.Errorf("-compose supports the single-bit model only"))
-		}
 		e := compose.NewEstimator(b.Prog, nil, compose.Options{
 			Trials:    *trials,
 			Threshold: *composeThr,
 			Workers:   *workers,
 			BatchSize: *batch,
 			Seed:      *seed,
+			Model:     model,
 			Trace:     tr,
 		})
 		est := e.EstimateGolden(g)
 		tr.Advance(est.MeasureDyn)
 		part := e.Partition()
-		// Direct reference campaign of the same size: the composed estimate
-		// should land inside this interval (the equivalence contract).
+		// Direct reference campaign of the same size and fault model: the
+		// composed estimate should land inside this interval (the
+		// equivalence contract).
 		direct := campaign.OverallParallel(b.Prog, g, *trials, campaign.ParallelOptions{
-			Workers: *workers, Seed: *seed, BatchSize: *batch,
+			Workers: *workers, Seed: *seed, BatchSize: *batch, Model: model,
 		})
 		tr.Advance(direct.DynInstrs)
 		dLo, dHi := direct.SDCInterval()
@@ -296,7 +314,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *adaptive || *ciTarget > 0 {
-		if *multibit {
+		if model != nil {
 			return fail(fmt.Errorf("-adaptive supports the single-bit model only"))
 		}
 		ar := campaign.OverallAdaptive(b.Prog, g, campaign.AdaptiveOptions{
@@ -324,37 +342,31 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	var c campaign.Counts
-	model := "single bit flips"
-	switch {
-	case *multibit:
-		model = "double bit flips"
-		for i := 0; i < *trials; i++ {
-			plan := fault.SampleDynamicMultiBit(rng, g.DynCount)
-			o, _, dyn := campaign.Classify(b.Prog, g, plan, rng, nil)
-			c.Add(o)
-			c.DynInstrs += dyn
-		}
-	case *workers >= 1 || *batch > 0 || *shards > 1:
+	desc := modelDesc(*faultModel)
+	if *workers >= 1 || *batch > 0 || *shards > 1 {
 		// Per-trial RNG streams derived from (seed, global trial index): the
 		// tally and the trace are identical for every worker count ≥ 1,
 		// every -batch size (batched trials keep their private streams), and
 		// every -shards count (shards own contiguous trial-index ranges).
 		c = campaign.OverallSharded(b.Prog, g, *trials, *shards, campaign.ParallelOptions{
-			Workers: *workers, Seed: *seed, BatchSize: *batch,
+			Workers: *workers, Seed: *seed, BatchSize: *batch, Model: model,
 		})
-	default:
-		c = campaign.Overall(b.Prog, g, *trials, rng)
+	} else {
+		// Serial shared-stream campaign. The double-flip model's plans are
+		// the historical SampleDynamicMultiBit draws, so -multibit output is
+		// byte-identical to the pre-model serial loop.
+		c = campaign.OverallModelCtx(nil, b.Prog, g, *trials, rng, nil, model)
 	}
 	tr.Advance(c.DynInstrs)
 	tr.Emit("fi.campaign", append([]telemetry.Field{
-		telemetry.F("model", model),
+		telemetry.F("model", desc),
 	}, c.Fields()...)...)
 	campaign.EmitCheckpointTelemetry(tr, "fi.checkpoints", g.CheckpointStats())
 	campaign.EmitBatchTelemetry(tr, "fi.batch", g.CheckpointStats(), *batch)
 	printCheckpointSummary(stdout, g)
 	printBatchSummary(stdout, g)
 	lo, hi := c.SDCInterval()
-	fmt.Fprintf(stdout, "%d fault-injection trials (%s in random dynamic instruction results):\n", c.Trials, model)
+	fmt.Fprintf(stdout, "%d fault-injection trials (%s in random dynamic instruction results):\n", c.Trials, desc)
 	fmt.Fprintf(stdout, "  SDC:    %4d  (%.2f%%, 95%% CI [%.2f%%, %.2f%%])\n", c.SDC, c.SDCProbability()*100, lo*100, hi*100)
 	fmt.Fprintf(stdout, "  crash:  %4d  (%.2f%%)\n", c.Crash, float64(c.Crash)/float64(c.Trials)*100)
 	fmt.Fprintf(stdout, "  hang:   %4d  (%.2f%%)\n", c.Hang, float64(c.Hang)/float64(c.Trials)*100)
@@ -386,7 +398,7 @@ func runRemote(stdout, stderr io.Writer, b *prog.Benchmark, in []float64, spec *
 			c.Crash, c.Hang, c.Benign)
 		return 0
 	}
-	fmt.Fprintf(stdout, "%d fault-injection trials (single bit flips in random dynamic instruction results):\n", c.Trials)
+	fmt.Fprintf(stdout, "%d fault-injection trials (%s in random dynamic instruction results):\n", c.Trials, modelDesc(spec.FaultModel))
 	fmt.Fprintf(stdout, "  SDC:    %4d  (%.2f%%, 95%% CI [%.2f%%, %.2f%%])\n", c.SDC, res.SDC*100, res.Lo*100, res.Hi*100)
 	fmt.Fprintf(stdout, "  crash:  %4d  (%.2f%%)\n", c.Crash, float64(c.Crash)/float64(c.Trials)*100)
 	fmt.Fprintf(stdout, "  hang:   %4d  (%.2f%%)\n", c.Hang, float64(c.Hang)/float64(c.Trials)*100)
@@ -414,6 +426,20 @@ func printBatchSummary(w io.Writer, g *campaign.Golden) {
 	}
 	fmt.Fprintf(w, "batches: %d trials in %d lockstep batches, %d shared trunk instructions executed once per batch\n\n",
 		st.BatchedTrials, st.Batches, st.TrunkDyn)
+}
+
+// modelDesc renders a fault-model name for campaign output lines.
+func modelDesc(name string) string {
+	switch fault.ModelKey(name) {
+	case fault.DoubleFlip.Name():
+		return "double bit flips"
+	case fault.BurstFlip.Name():
+		return "contiguous multi-bit burst flips"
+	case fault.ValueCorrupt.Name():
+		return "value-domain corruptions"
+	default:
+		return "single bit flips"
+	}
 }
 
 func pctS(p float64) string { return fmt.Sprintf("%.1f%%", p*100) }

@@ -10,7 +10,7 @@
 //	       [-seed 1] [-workers N] [-baseline] [-checkpoints 50,100,200]
 //	       [-max-sdc 0.2] [-trace out.jsonl] [-trace-wallclock] [-metrics]
 //	       [-metrics-addr 127.0.0.1:9464] [-heat-topk 10]
-//	       [-adaptive] [-ci-target 0.035]
+//	       [-adaptive] [-ci-target 0.035] [-fault-model burst]
 //	       [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //	peppax -file prog.ir -spec "n:int:4:64:8,seed:int:1:100:7"
 //
@@ -49,6 +49,7 @@ import (
 	"repro/internal/campaign"
 	"repro/internal/compose"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/parallel"
 	"repro/internal/prog"
 	"repro/internal/telemetry"
@@ -89,6 +90,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		composeMode = fs.Bool("compose", false, "compositional SDC estimation: per-segment profiles measured once, cached, and composed under each input's dynamic mix for the sensitivity derivation, checkpoints and -baseline candidates")
 		composeThr  = fs.Float64("compose-threshold", 0, "profile re-measurement drift trigger for -compose (0 = default 0.05, negative = never re-measure)")
 		composeTr   = fs.Int("compose-trials", 0, "trial budget of a full -compose profile pass (0 = default 1600)")
+		faultModel  = fs.String("fault-model", "", "fault model for the checkpoint and closing FI campaigns (and -baseline candidates): "+strings.Join(fault.ModelNames(), ", ")+" (default bitflip)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -97,6 +99,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fail := func(err error) int {
 		fmt.Fprintln(stderr, "peppax:", err)
 		return 1
+	}
+
+	model, err := fault.CampaignModel(*faultModel)
+	if err != nil {
+		return fail(err)
+	}
+	if model != nil && (*adaptive || *ciTarget > 0) {
+		return fail(fmt.Errorf("-adaptive campaigns support only the default fault model, got -fault-model %s", *faultModel))
 	}
 
 	if *cpuProfile != "" {
@@ -191,6 +201,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	opts.CheckpointInterval = *ckptIval
 	opts.BatchSize = *batch
 	opts.HeatTopK = *heatTopK
+	opts.Model = model
 	opts.Trace = rec.Stream("search/" + b.Name)
 	if *adaptive || *ciTarget > 0 {
 		opts.CITarget = *ciTarget
@@ -272,6 +283,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			ComposeThreshold: opts.ComposeThreshold,
 			ComposeTrials:    opts.ComposeTrials,
 			ComposeCache:     opts.ComposeCache,
+			Model:            model,
 			Trace:            rec.Stream("baseline/" + b.Name),
 		}, xrand.New(*seed+1))
 		fmt.Fprintf(stdout, "  evaluated %d inputs (%d rejected), best SDC %.2f%% with input %v\n",

@@ -4,7 +4,8 @@
 //
 //	peppaxd [-addr 127.0.0.1:9470] [-slots 2] [-queue 8] [-shards 1]
 //	        [-peers http://h1:9470,http://h2:9470] [-golden-cap 32]
-//	        [-profile-cap 256] [-max-job-tokens N] [-worker] [-trace out.jsonl]
+//	        [-profile-cap 256] [-max-job-tokens N] [-fault-model burst]
+//	        [-worker] [-trace out.jsonl]
 //
 // POST /jobs streams JSONL progress events and ends with one JSON result
 // document; GET /metrics serves Prometheus counters and gauges; POST /shard
@@ -26,6 +27,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/parallel"
 	"repro/internal/service"
 	"repro/internal/telemetry"
@@ -50,6 +52,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		goldenCap    = fs.Int("golden-cap", service.DefaultGoldenCap, "golden-run cache capacity (LRU entries)")
 		profileCap   = fs.Int("profile-cap", service.DefaultProfileCap, "compose profile cache capacity (LRU entries)")
 		maxJobTokens = fs.Int64("max-job-tokens", service.DefaultMaxJobTokens, "default per-job dynamic-instruction budget (negative = unlimited)")
+		faultModel   = fs.String("fault-model", "", "default fault model for jobs that leave fault_model unset: "+strings.Join(fault.ModelNames(), ", ")+" (default bitflip)")
 		worker       = fs.Bool("worker", false, "worker mode: serve only /shard, /metrics and /healthz")
 		tracePath    = fs.String("trace", "", "write the service telemetry trace to this file on shutdown")
 		drainWait    = fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for inflight jobs")
@@ -60,6 +63,9 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 	fail := func(err error) int {
 		fmt.Fprintln(stderr, "peppaxd:", err)
 		return 1
+	}
+	if _, err := fault.CampaignModel(*faultModel); err != nil {
+		return fail(err)
 	}
 
 	var sink io.Writer
@@ -90,6 +96,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		Shards:       *shards,
 		Peers:        peerList,
 		MaxJobTokens: *maxJobTokens,
+		FaultModel:   *faultModel,
 		WorkerOnly:   *worker,
 		Recorder:     rec,
 	})

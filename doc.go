@@ -12,10 +12,12 @@
 //     (native execution + LLFI's injection machinery);
 //   - internal/prog — the seven benchmark kernels of the paper's Table 1
 //     (Pathfinder, Needle, Particlefilter, CoMD, HPCCG, XSBench, FFT)
-//     re-implemented in the IR, each validated against a Go oracle;
-//   - internal/fault, internal/campaign — the single-bit-flip fault model
-//     and statistical FI campaigns with SDC/crash/hang/benign
-//     classification.
+//     plus three extension kernels (Stencil, SpMV, Nbody) re-implemented
+//     in the IR, each validated against a Go oracle;
+//   - internal/fault, internal/campaign — the pluggable fault-model
+//     registry (single-bit-flip default, double flips, bursts,
+//     value-domain corruption) and statistical FI campaigns with
+//     SDC/crash/hang/benign classification.
 //
 // On top of that substrate, the paper's contribution:
 //

@@ -424,12 +424,20 @@ func OverallProtected(p *interp.Program, g *Golden, trials int, rng *xrand.RNG, 
 // of the trials that completed (Counts.Trials says how many). A nil or
 // Background ctx costs one nil check per trial.
 func OverallCtx(ctx context.Context, p *interp.Program, g *Golden, trials int, rng *xrand.RNG, detector func(int) bool) Counts {
+	return OverallModelCtx(ctx, p, g, trials, rng, detector, nil)
+}
+
+// OverallModelCtx is OverallCtx with an explicit fault model. A nil model is
+// the single-bit-flip default and reproduces OverallCtx byte-for-byte; other
+// models draw each trial's plan (and its injection-time corruption) from the
+// same serial stream.
+func OverallModelCtx(ctx context.Context, p *interp.Program, g *Golden, trials int, rng *xrand.RNG, detector func(int) bool, m fault.Model) Counts {
 	var c Counts
 	for i := 0; i < trials; i++ {
 		if ctxCanceled(ctx) {
 			break
 		}
-		plan := fault.SampleDynamic(rng, g.DynCount)
+		plan := samplePlan(m, rng, g.DynCount)
 		o, _, dyn := Classify(p, g, plan, rng, detector)
 		c.Add(o)
 		c.DynInstrs += dyn

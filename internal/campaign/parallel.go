@@ -38,6 +38,21 @@ type ParallelOptions struct {
 	// truncates, never perturbs. Nil (or context.Background) adds one nil
 	// check per trial.
 	Ctx context.Context
+	// Model selects the fault model whole-program trials sample from. Nil is
+	// the single-bit-flip default, byte-identical to the historical
+	// hardcoded path. Per-instruction campaigns ignore it (they target
+	// specific static instructions with the paper's single-flip model).
+	Model fault.Model
+}
+
+// samplePlan draws one whole-program plan from a trial's private stream
+// under the selected model (nil: the single-bit-flip default, whose draws
+// are bit-identical to fault.SampleDynamic).
+func samplePlan(m fault.Model, rng *xrand.RNG, totalDyn int64) fault.Plan {
+	if m == nil {
+		return fault.SampleDynamic(rng, totalDyn)
+	}
+	return m.Sample(rng, totalDyn)
 }
 
 // trialRNG derives the deterministic per-trial stream.
@@ -68,7 +83,7 @@ func OverallParallel(p *interp.Program, g *Golden, trials int, opts ParallelOpti
 			return trialOutcome{}
 		}
 		rng := trialRNG(opts.Seed, i)
-		plan := fault.SampleDynamic(rng, g.DynCount)
+		plan := samplePlan(opts.Model, rng, g.DynCount)
 		o, _, dyn := Classify(p, g, plan, rng, opts.Detector)
 		return trialOutcome{o: o, dyn: dyn, ok: true}
 	})
@@ -143,7 +158,7 @@ func overallBatched(p *interp.Program, g *Golden, trials int, opts ParallelOptio
 	rngs := make([]*xrand.RNG, trials)
 	for i := range plans {
 		rngs[i] = trialRNG(opts.Seed, i)
-		plans[i] = fault.SampleDynamic(rngs[i], g.DynCount)
+		plans[i] = samplePlan(opts.Model, rngs[i], g.DynCount)
 	}
 	outcomes := make([]trialOutcome, trials)
 	runBatchJobs(p, g, plans, func(i int) *xrand.RNG { return rngs[i] }, opts.BatchSize, opts.Workers, opts.Detector, ctxDone(opts.Ctx), outcomes)

@@ -45,7 +45,7 @@ func OverallShard(p *interp.Program, g *Golden, lo, hi int, opts ParallelOptions
 	rngs := make([]*xrand.RNG, n)
 	for i := range plans {
 		rngs[i] = trialRNG(opts.Seed, lo+i)
-		plans[i] = fault.SampleDynamic(rngs[i], g.DynCount)
+		plans[i] = samplePlan(opts.Model, rngs[i], g.DynCount)
 	}
 	res := RunPlans(p, g, plans, func(i int) *xrand.RNG { return rngs[i] }, opts)
 	var c Counts

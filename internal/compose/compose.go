@@ -113,8 +113,13 @@ type Options struct {
 	// (Seed, segment index, epoch, trial index).
 	Seed uint64
 	// FaultModel names the fault model in cache keys
-	// ("" = DefaultFaultModel).
+	// ("" = DefaultFaultModel, or Model.Name() when Model is set).
 	FaultModel string
+	// Model selects the fault model measurement trials corrupt with. Nil is
+	// the single-bit-flip default, byte-identical to the historical eager
+	// per-plan bit draw. Non-nil models ride inside the sampled plans, so
+	// any TrialRunner honoring the RunPlans contract stays bit-identical.
+	Model fault.Model
 	// Trace, when non-nil, receives compose.profile events per measured
 	// segment and compose.* gauges per estimate. Event payloads are
 	// schedule-independent; the caller advances the stream clock.
@@ -142,6 +147,11 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Threshold == 0 {
 		o.Threshold = DefaultThreshold
+	}
+	if o.Model != nil {
+		// The model owns the key segment so profiles measured under
+		// different corruption patterns can never alias.
+		o.FaultModel = o.Model.Name()
 	}
 	if o.FaultModel == "" {
 		o.FaultModel = DefaultFaultModel
@@ -412,12 +422,19 @@ func (e *Estimator) measure(g *campaign.Golden, si int, seg *Segment, segDyn int
 		if i > 0 {
 			before = cum[i-1]
 		}
-		plans[t] = fault.Plan{
+		p := fault.Plan{
 			Mode:       fault.ModeStatic,
 			StaticID:   id,
 			Occurrence: r - before + 1,
-			Bit:        fault.RandomBit(rng, e.p.InstrType(id)),
 		}
+		if m := e.opts.Model; m != nil {
+			// The model corrupts at injection time from the same per-trial
+			// stream; Bit stays unused on the model path.
+			p.Model = m
+		} else {
+			p.Bit = fault.RandomBit(rng, e.p.InstrType(id))
+		}
+		plans[t] = p
 	}
 	// The measurement runs WITHOUT the estimator's Ctx: a canceled runner
 	// would return skipped trials, and caching the resulting partial profile

@@ -10,7 +10,7 @@
 //
 // Segments are functions when the module has enough of them to make a
 // useful partition, else contiguous basic-block groups within functions
-// (the repository's seven benchmarks are single-function kernels, so the
+// (the repository's ten benchmarks are single-function kernels, so the
 // block-group fallback is the path they exercise). Profiles carry Wilson
 // intervals; composed estimates carry honest composed intervals built with
 // the same interval-composition rule the adaptive stratified campaign uses.

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/compose"
+	"repro/internal/fault"
 	"repro/internal/interp"
 	"repro/internal/prog"
 	"repro/internal/telemetry"
@@ -86,6 +87,12 @@ type BaselineOptions struct {
 	// same program — e.g. a search that already profiled it (nil: a
 	// private cache).
 	ComposeCache *compose.Cache
+	// Model selects the fault model for each candidate's FI campaign
+	// (nil = the single-bit-flip default, byte-identical to the historical
+	// path). Flat and compose evaluations honor it; adaptive candidates
+	// (CITarget > 0) support only the default model and ignore this field —
+	// callers offering both knobs should reject the combination.
+	Model fault.Model
 	// MaxConsecutiveRejects bounds runs of invalid candidates (§3.1.2
 	// excludes error-raising inputs): rejected candidates advance neither
 	// DynSpent nor Inputs, so a benchmark whose random inputs are mostly
@@ -167,6 +174,7 @@ func RandomSearch(b *prog.Benchmark, opts BaselineOptions, rng *xrand.RNG) *Base
 			BatchSize: opts.BatchSize,
 			Seed:      rng.Uint64(),
 			Trace:     tr,
+			Model:     opts.Model,
 		})
 	}
 	var ckStats interp.CheckpointStats
@@ -227,6 +235,7 @@ func RandomSearch(b *prog.Benchmark, opts BaselineOptions, rng *xrand.RNG) *Base
 				Workers:   opts.Workers,
 				Seed:      rng.Uint64(),
 				BatchSize: opts.BatchSize,
+				Model:     opts.Model,
 			})
 			sdc = c.SDCProbability()
 		}

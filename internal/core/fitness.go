@@ -83,3 +83,27 @@ func (fe *FitnessEval) Eval(input []float64) (float64, int64) {
 	fe.pool.Put(ctx)
 	return f, dyn
 }
+
+// EvalProbe is Eval plus coverage feedback: it copies the candidate run's
+// block/edge hit counters into dst (grown as needed) and returns them with
+// the fitness and dynamic-instruction spend. Failed runs return nil counters
+// (and fitness 0), which is the rare-branch fuzzer's invalid-candidate
+// signal. Fast-path modes only — ProfileLegacy has no counter space. Safe
+// for concurrent use, though each caller should own its dst.
+func (fe *FitnessEval) EvalProbe(input []float64, dst []int64) (float64, []int64, int64) {
+	if fe.mode == interp.ProfileLegacy {
+		panic("core: EvalProbe requires a fast-path profile mode")
+	}
+	ctx := fe.pool.Get().(*fitnessCtx)
+	ctx.args = fe.b.EncodeInto(ctx.args[:0], input)
+	r := ctx.prof.Run(ctx.args, fe.b.MaxDyn)
+	f := r.Fitness(fe.counterScores)
+	dyn := r.DynCount
+	if r.Failed() || r.DetectedFlag {
+		fe.pool.Put(ctx)
+		return 0, nil, dyn
+	}
+	dst = r.Counters(dst)
+	fe.pool.Put(ctx)
+	return f, dst, dyn
+}

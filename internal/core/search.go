@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/compose"
+	"repro/internal/fault"
 	"repro/internal/ga"
 	"repro/internal/interp"
 	"repro/internal/parallel"
@@ -139,6 +140,13 @@ type Options struct {
 	// the cancellation point are unchanged, so an uncanceled run is
 	// bit-identical whether or not a context is supplied.
 	Ctx context.Context
+	// Model selects the fault model of the pipeline's whole-program FI
+	// campaigns (Figure 5 checkpoints and the closing measurement). Nil is
+	// the single-bit-flip default, byte-identical to the historical path.
+	// The sensitivity derivation and GA fitness stay single-flip — they are
+	// search heuristics, not the reported bound — and the adaptive closing
+	// campaign (CITarget > 0) supports only the default model.
+	Model fault.Model
 }
 
 // canceled reports whether the pipeline's context is canceled (nil-safe).
@@ -275,6 +283,9 @@ func Search(b *prog.Benchmark, opts Options, rng *xrand.RNG) (*Result, error) {
 	}
 	if opts.FinalTrials <= 0 {
 		opts.FinalTrials = 1000
+	}
+	if opts.CITarget > 0 && opts.Model != nil {
+		return nil, fmt.Errorf("core: the adaptive closing campaign supports only the default fault model, got %q", opts.Model.Name())
 	}
 	res := &Result{Benchmark: b.Name}
 	tr := opts.Trace
@@ -520,9 +531,10 @@ func overallCampaign(p *interp.Program, g *campaign.Golden, trials int, rng *xra
 			Seed:      rng.Uint64(),
 			BatchSize: opts.BatchSize,
 			Ctx:       opts.Ctx,
+			Model:     opts.Model,
 		})
 	}
-	return campaign.OverallCtx(opts.Ctx, p, g, trials, rng, nil)
+	return campaign.OverallModelCtx(opts.Ctx, p, g, trials, rng, nil, opts.Model)
 }
 
 // Fitness is PEPPA-X's per-candidate evaluation (§4.2.5): one profiled

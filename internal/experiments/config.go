@@ -13,6 +13,8 @@ package experiments
 import (
 	"fmt"
 
+	"repro/internal/fault"
+	"repro/internal/search"
 	"repro/internal/telemetry"
 )
 
@@ -58,7 +60,7 @@ type Config struct {
 	// Baseline5x scales the baseline budget for the Figure 7 comparison.
 	Baseline5x float64
 
-	// Benches restricts the benchmark set (nil = all seven).
+	// Benches restricts the benchmark set (nil = all ten).
 	Benches []string
 
 	// Workers is the worker count for every parallel stage: concurrent
@@ -123,6 +125,18 @@ type Config struct {
 	// ComposeTrials is the per-benchmark full measurement pass budget
 	// (<= 0: compose.DefaultTrials).
 	ComposeTrials int
+
+	// Strategies restricts the strategies experiment to a subset of
+	// search.All() by name (e.g. "genetic", "fuzz"); nil runs every
+	// strategy. Validate rejects unknown names.
+	Strategies []string
+
+	// FaultModel names the fault model for the suite's search campaigns and
+	// baseline candidates (fault.ModelNames; "" = the single-bit-flip
+	// default). The §3 studies keep the default model — they reproduce the
+	// paper's single-flip measurements — and adaptive campaigns (CITarget)
+	// support only the default, which Validate enforces.
+	FaultModel string
 }
 
 // DefaultConfig returns the full-scale configuration.
@@ -177,6 +191,22 @@ func (c Config) Validate() error {
 		if cp < 1 || cp > c.SearchGenerations {
 			return fmt.Errorf("experiments: checkpoint %d outside 1..%d", cp, c.SearchGenerations)
 		}
+	}
+	m, err := fault.CampaignModel(c.FaultModel)
+	if err != nil {
+		return fmt.Errorf("experiments: %w", err)
+	}
+	known := make(map[string]bool)
+	for _, st := range search.All() {
+		known[st.Name()] = true
+	}
+	for _, name := range c.Strategies {
+		if !known[name] {
+			return fmt.Errorf("experiments: unknown search strategy %q", name)
+		}
+	}
+	if m != nil && c.CITarget > 0 {
+		return fmt.Errorf("experiments: adaptive campaigns support only the default fault model, got %q", c.FaultModel)
 	}
 	return nil
 }

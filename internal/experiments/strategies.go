@@ -49,6 +49,7 @@ func Strategies(s *Suite) (*StrategiesResult, error) {
 			seeds = append(seeds, b.RandomInput(rng))
 		}
 		fe := core.NewFitnessEval(b, dist.Scores)
+		var probeBuf []int64
 		obj := search.Objective{
 			Dim:   len(b.Args),
 			Clamp: func(v []float64) { b.ClampInput(v) },
@@ -56,10 +57,19 @@ func Strategies(s *Suite) (*StrategiesResult, error) {
 				f, _ := fe.Eval(v)
 				return f
 			},
+			// Coverage feedback for the rare-branch fuzz strategy; the
+			// strategies run serially, so one counter buffer suffices.
+			Probe: func(v []float64) (float64, []int64) {
+				f, counters, _ := fe.EvalProbe(v, probeBuf)
+				if counters != nil {
+					probeBuf = counters
+				}
+				return f, counters
+			},
 			Seeds: seeds,
 		}
 
-		for _, strat := range search.All() {
+		for _, strat := range s.strategies() {
 			sr, err := strat.Run(obj, budget, s.rng("strategies/"+strat.Name(), name))
 			if err != nil {
 				return nil, err

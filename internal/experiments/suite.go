@@ -7,8 +7,10 @@ import (
 	"repro/internal/campaign"
 	"repro/internal/compose"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/parallel"
 	"repro/internal/prog"
+	"repro/internal/search"
 	"repro/internal/telemetry"
 	"repro/internal/xrand"
 )
@@ -75,6 +77,31 @@ func (s *Suite) composeCache(name string) *compose.Cache {
 	return c
 }
 
+// strategies resolves the configured strategy subset against search.All()
+// (nil/empty = every strategy). NewSuite validated the names.
+func (s *Suite) strategies() []search.Strategy {
+	all := search.All()
+	if len(s.Cfg.Strategies) == 0 {
+		return all
+	}
+	byName := make(map[string]search.Strategy, len(all))
+	for _, st := range all {
+		byName[st.Name()] = st
+	}
+	var out []search.Strategy
+	for _, name := range s.Cfg.Strategies {
+		out = append(out, byName[name])
+	}
+	return out
+}
+
+// model resolves the configured fault model (nil = single-flip default).
+// NewSuite validated the name, so resolution cannot fail here.
+func (s *Suite) model() fault.Model {
+	m, _ := fault.CampaignModel(s.Cfg.FaultModel)
+	return m
+}
+
 // rng derives a deterministic per-purpose stream.
 func (s *Suite) rng(purpose string, bench string) *xrand.RNG {
 	h := s.Cfg.Seed
@@ -106,6 +133,7 @@ func (s *Suite) Search(name string) (*core.Result, error) {
 		opts.ComposeThreshold = s.Cfg.ComposeThreshold
 		opts.ComposeTrials = s.Cfg.ComposeTrials
 		opts.ComposeCache = s.composeCache(name)
+		opts.Model = s.model()
 		r, err := core.Search(s.Bench(name), opts, s.rng("search", name))
 		if err != nil {
 			return nil, fmt.Errorf("experiments: search %s: %w", name, err)
@@ -164,6 +192,7 @@ func (s *Suite) Baseline(name string) (*core.BaselineResult, error) {
 			// cache is already warm with this benchmark's profiles and the
 			// reuse order is deterministic.
 			ComposeCache: s.composeCache(name),
+			Model:        s.model(),
 		}, s.rng("baseline", name)), nil
 	})
 }

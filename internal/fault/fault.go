@@ -49,6 +49,13 @@ type Plan struct {
 	// value means no second flip; positive values encode position+1; the
 	// secondBitPending sentinel defers the draw to injection time.
 	SecondBit int16
+
+	// Model, when non-nil, replaces the bit-position corruption above: the
+	// interpreter calls Model.Apply on the target value instead of resolving
+	// Bit/SecondBit. Plans sampled by the single- and double-flip models keep
+	// Model nil so their RNG streams and injected values stay bit-identical
+	// to the historical hardcoded paths.
+	Model Model
 }
 
 // SecondBitAt encodes a concrete second-flip position.
@@ -56,6 +63,12 @@ func SecondBitAt(bit uint8) int16 { return int16(bit) + 1 }
 
 // String renders the plan for logs.
 func (p Plan) String() string {
+	if p.Model != nil {
+		if p.Mode == ModeDynamic {
+			return fmt.Sprintf("%s fault at dynamic instr %d", p.Model.Name(), p.TargetDyn)
+		}
+		return fmt.Sprintf("%s fault at occurrence %d of static instr %d", p.Model.Name(), p.Occurrence, p.StaticID)
+	}
 	if p.Mode == ModeDynamic {
 		return fmt.Sprintf("flip bit %d at dynamic instr %d", p.Bit, p.TargetDyn)
 	}
@@ -64,8 +77,14 @@ func (p Plan) String() string {
 
 // Flip applies the single-bit flip to a canonical slot value of type ty and
 // returns the corrupted value, re-canonicalized. It panics if the bit is
-// outside the type's width, which indicates a sampling bug.
+// outside the type's width, which indicates a sampling bug, and panics with
+// a dedicated message when the bitPending sentinel leaks this far: a pending
+// plan must have its bit resolved (Plan.BitPending) at the injection site,
+// where the target instruction's type is known.
 func Flip(ty ir.Type, bits uint64, bit uint8) uint64 {
+	if bit == bitPending {
+		panic("fault: Flip called with the pending-bit sentinel; resolve the bit at the injection site before flipping")
+	}
 	if int(bit) >= ty.Bits() {
 		panic(fmt.Sprintf("fault: bit %d out of range for %v", bit, ty))
 	}
@@ -113,16 +132,20 @@ const secondBitPending = int16(-1)
 // SecondBitPending reports whether the second bit is deferred.
 func (p Plan) SecondBitPending() bool { return p.SecondBit == secondBitPending }
 
-// RandomSecondBit draws a bit distinct from first when possible.
-func RandomSecondBit(rng *xrand.RNG, ty ir.Type, first uint8) uint8 {
+// RandomSecondBit draws a bit distinct from first. ok is false when the type
+// is too narrow to host a distinct second flip (i1): re-flipping the only bit
+// would cancel the fault and silently tally the trial as a fault-free Benign
+// run, so callers must skip the second flip instead. No RNG draw is consumed
+// in that case, matching the historical stream.
+func RandomSecondBit(rng *xrand.RNG, ty ir.Type, first uint8) (second uint8, ok bool) {
 	n := ty.Bits()
 	if n <= 1 {
-		return first // single-bit types cannot host a distinct second flip
+		return 0, false
 	}
 	for {
 		b := uint8(rng.Intn(n))
 		if b != first {
-			return b
+			return b, true
 		}
 	}
 }

@@ -1,6 +1,7 @@
 package fault
 
 import (
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -145,15 +146,52 @@ func TestRandomSecondBitDistinct(t *testing.T) {
 	rng := xrand.New(2)
 	for i := 0; i < 500; i++ {
 		first := uint8(rng.Intn(64))
-		second := RandomSecondBit(rng, ir.I64, first)
+		second, ok := RandomSecondBit(rng, ir.I64, first)
+		if !ok {
+			t.Fatal("i64 must host a distinct second bit")
+		}
 		if second == first {
 			t.Fatal("second bit equals first for a wide type")
 		}
 	}
-	// I1 has no distinct second position.
-	if RandomSecondBit(rng, ir.I1, 0) != 0 {
-		t.Fatal("i1 second bit should fall back to the first")
+}
+
+// Regression: on 1-bit types a "second flip" could only re-flip the same
+// bit, cancelling the fault so the trial silently ran fault-free and was
+// tallied Benign. RandomSecondBit must now refuse (ok=false) and, per the
+// historical stream contract, consume no RNG draw while doing so.
+func TestRandomSecondBitOneBitType(t *testing.T) {
+	rng := xrand.New(7)
+	want := xrand.New(7)
+	if _, ok := RandomSecondBit(rng, ir.I1, 0); ok {
+		t.Fatal("i1 cannot host a distinct second flip; want ok=false")
 	}
+	if rng.Uint64() != want.Uint64() {
+		t.Fatal("RandomSecondBit consumed an RNG draw on a 1-bit type")
+	}
+	// The double-flip model's Apply must therefore leave exactly one flip on
+	// an i1 value — never a cancelled pair.
+	for i := 0; i < 100; i++ {
+		if got := DoubleFlip.Apply(ir.I1, 1, rng); got != 0 {
+			t.Fatalf("double flip on i1 must flip exactly once, got %d", got)
+		}
+	}
+}
+
+// White-box: a leaked bitPending sentinel must fail loudly with the
+// dedicated message, not the generic out-of-range panic.
+func TestFlipPanicsOnPendingSentinel(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("want panic when the pending sentinel reaches Flip")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "pending-bit sentinel") {
+			t.Fatalf("want the dedicated sentinel message, got %v", r)
+		}
+	}()
+	Flip(ir.I64, 0, bitPending)
 }
 
 func TestModeValues(t *testing.T) {

@@ -1,0 +1,166 @@
+package fault
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/xrand"
+)
+
+func TestModelRegistry(t *testing.T) {
+	names := ModelNames()
+	if len(names) != 4 {
+		t.Fatalf("want 4 registered models, got %v", names)
+	}
+	for _, name := range names {
+		m, ok := ModelByName(name)
+		if !ok || m.Name() != name {
+			t.Fatalf("registry round-trip failed for %q", name)
+		}
+	}
+	if _, ok := ModelByName("nope"); ok {
+		t.Fatal("unknown model resolved")
+	}
+	if DefaultModelName != SingleFlip.Name() {
+		t.Fatal("default model name must match the single-flip model")
+	}
+}
+
+func TestCampaignModel(t *testing.T) {
+	for _, name := range []string{"", DefaultModelName} {
+		m, err := CampaignModel(name)
+		if err != nil || m != nil {
+			t.Fatalf("CampaignModel(%q) = %v, %v; want nil default path", name, m, err)
+		}
+	}
+	m, err := CampaignModel("burst")
+	if err != nil || m == nil || m.Name() != "burst" {
+		t.Fatalf("CampaignModel(burst) = %v, %v", m, err)
+	}
+	if _, err := CampaignModel("bogus"); err == nil {
+		t.Fatal("unknown model must error")
+	}
+	if ModelKey("") != DefaultModelName || ModelKey("burst") != "burst" {
+		t.Fatal("ModelKey normalization wrong")
+	}
+}
+
+// The single- and double-flip models must sample plans bit-identical to the
+// historical helpers, from identical RNG states — the contract that keeps
+// default campaigns byte-identical to pre-interface output.
+func TestDefaultModelsSampleHistoricalPlans(t *testing.T) {
+	a, b := xrand.New(42), xrand.New(42)
+	for i := 0; i < 2000; i++ {
+		got := SingleFlip.Sample(a, 997)
+		want := SampleDynamic(b, 997)
+		if got != want {
+			t.Fatalf("single-flip plan diverged at %d: %+v vs %+v", i, got, want)
+		}
+		if got.Model != nil {
+			t.Fatal("single-flip plans must keep Model nil")
+		}
+	}
+	a, b = xrand.New(43), xrand.New(43)
+	for i := 0; i < 2000; i++ {
+		got := DoubleFlip.Sample(a, 997)
+		want := SampleDynamicMultiBit(b, 997)
+		if got != want {
+			t.Fatalf("double-flip plan diverged at %d: %+v vs %+v", i, got, want)
+		}
+		if got.Model != nil {
+			t.Fatal("double-flip plans must keep Model nil")
+		}
+	}
+}
+
+func TestBurstAndValuePlansCarryModel(t *testing.T) {
+	rng := xrand.New(1)
+	for _, m := range []Model{BurstFlip, ValueCorrupt} {
+		p := m.Sample(rng, 100)
+		if p.Model == nil || p.Model.Name() != m.Name() {
+			t.Fatalf("%s plan does not carry its model", m.Name())
+		}
+		if p.Mode != ModeDynamic || p.TargetDyn < 1 || p.TargetDyn > 100 {
+			t.Fatalf("%s plan target out of range: %+v", m.Name(), p)
+		}
+	}
+}
+
+// Every model's Apply must actually change the value — a no-op corruption
+// would silently tally the trial Benign.
+func TestApplyAlwaysCorrupts(t *testing.T) {
+	rng := xrand.New(5)
+	types := []ir.Type{ir.I1, ir.I32, ir.I64, ir.F64, ir.Ptr}
+	values := []uint64{0, 1, 0xFFFFFFFF, math.Float64bits(3.25), math.Float64bits(-0.5)}
+	for _, m := range Models() {
+		for _, ty := range types {
+			for _, raw := range values {
+				v := ir.CanonInt(ty, raw)
+				for i := 0; i < 50; i++ {
+					got := m.Apply(ty, v, rng)
+					if got == v {
+						t.Fatalf("%s.Apply(%v, %#x) did not change the value", m.Name(), ty, v)
+					}
+					if got != ir.CanonInt(ty, got) {
+						t.Fatalf("%s.Apply(%v, %#x) = %#x not canonical", m.Name(), ty, v, got)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestBurstStaysWithinWidthNeighborhood(t *testing.T) {
+	rng := xrand.New(6)
+	for i := 0; i < 2000; i++ {
+		v := BurstFlip.Apply(ir.I32, 0, rng)
+		if v>>32 != 0 {
+			t.Fatalf("i32 burst left high bits set: %#x", v)
+		}
+		// A burst is one contiguous run of set bits in the XOR mask (here the
+		// value itself, starting from zero).
+		mask := v
+		low := mask & (^mask + 1)
+		if mask == 0 || (mask/low)&((mask/low)+1) != 0 {
+			t.Fatalf("burst mask %#x not contiguous", mask)
+		}
+	}
+}
+
+func TestValueCorruptDomains(t *testing.T) {
+	rng := xrand.New(7)
+	v := math.Float64bits(1.5)
+	for i := 0; i < 500; i++ {
+		got := ValueCorrupt.Apply(ir.F64, v, rng)
+		diff := got ^ v
+		if diff&(1<<63) == 0 && diff>>52 == 0 {
+			t.Fatalf("f64 value corruption touched mantissa bits: %#x", diff)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		if got := ValueCorrupt.Apply(ir.I64, 12345, rng); got != 0 {
+			t.Fatalf("nonzero int must zero, got %d", got)
+		}
+		if got := ValueCorrupt.Apply(ir.I64, 0, rng); got != ^uint64(0) {
+			t.Fatalf("zero int must become all-ones, got %#x", got)
+		}
+		if got := ValueCorrupt.Apply(ir.I1, 0, rng); got != 1 {
+			t.Fatalf("zero i1 must become 1, got %d", got)
+		}
+	}
+}
+
+// Determinism: identical RNG states produce identical corruptions.
+func TestApplyDeterministic(t *testing.T) {
+	for _, m := range Models() {
+		a, b := xrand.New(11), xrand.New(11)
+		for i := 0; i < 500; i++ {
+			va := m.Apply(ir.F64, math.Float64bits(2.75), a)
+			vb := m.Apply(ir.F64, math.Float64bits(2.75), b)
+			if va != vb {
+				t.Fatalf("%s nondeterministic at %d", m.Name(), i)
+			}
+		}
+	}
+}

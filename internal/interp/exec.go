@@ -455,21 +455,35 @@ func (e *exec) result(id int32, ty ir.Type, v uint64) (uint64, bool) {
 			}
 		}
 		if hit {
-			bit := e.plan.Bit
-			if e.plan.BitPending() {
+			var bit uint8
+			if m := e.plan.Model; m != nil {
+				// Pluggable model path: the model owns the corruption. Bit
+				// stays zero for reporting; determinism still holds because
+				// Apply draws only from the per-trial stream.
 				if e.rng == nil {
-					panic("interp: fault plan with pending bit but no FaultRNG")
+					panic("interp: fault plan with a model but no FaultRNG")
 				}
-				bit = fault.RandomBit(e.rng, ty)
-			}
-			v = fault.Flip(ty, v, bit)
-			if e.plan.SecondBitPending() {
-				second := fault.RandomSecondBit(e.rng, ty, bit)
-				if second != bit {
-					v = fault.Flip(ty, v, second)
+				v = m.Apply(ty, v, e.rng)
+			} else {
+				bit = e.plan.Bit
+				if e.plan.BitPending() {
+					if e.rng == nil {
+						panic("interp: fault plan with pending bit but no FaultRNG")
+					}
+					bit = fault.RandomBit(e.rng, ty)
 				}
-			} else if sb := e.plan.SecondBit; sb > 0 {
-				v = fault.Flip(ty, v, uint8(sb-1))
+				v = fault.Flip(ty, v, bit)
+				if e.plan.SecondBitPending() {
+					if second, ok := fault.RandomSecondBit(e.rng, ty, bit); ok {
+						v = fault.Flip(ty, v, second)
+					}
+				} else if sb := e.plan.SecondBit; sb > 0 {
+					// A concrete second bit equal to the first would re-flip
+					// and cancel the fault; skip it like the pending path.
+					if second := uint8(sb - 1); second != bit {
+						v = fault.Flip(ty, v, second)
+					}
+				}
 			}
 			e.injected = true
 			e.injID = id

@@ -220,6 +220,27 @@ func (r *ProfileRun) InstrCounts(dst []int64) []int64 {
 	return dst
 }
 
+// Counters copies the run's block/edge hit counters into dst (grown as
+// needed) and returns it. Unlike the borrowed internal state, the copy stays
+// valid across the profiler's subsequent runs. Counter indices are stable
+// per program (Program.CounterLen()), so cross-run comparisons — e.g. the
+// edge-rarity map of the rare-branch fuzzer — are well-defined. Fast-path
+// modes only; the abort overlay (partial counts of the block in flight when
+// a run aborts) is not folded in, which is fine for coverage-style uses
+// because aborted runs are discarded as Failed.
+func (r *ProfileRun) Counters(dst []int64) []int64 {
+	if r.counters == nil {
+		panic("interp: ProfileRun.Counters requires a fast-path profile mode")
+	}
+	if cap(dst) < len(r.counters) {
+		dst = make([]int64, len(r.counters))
+	} else {
+		dst = dst[:len(r.counters)]
+	}
+	copy(dst, r.counters)
+	return dst
+}
+
 // CoveredInstrs counts static instructions executed at least once.
 func (r *ProfileRun) CoveredInstrs() int {
 	counts := r.legacy

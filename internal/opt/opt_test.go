@@ -121,7 +121,7 @@ func TestDCEKeepsSideEffects(t *testing.T) {
 }
 
 // The critical property: optimization must preserve program output on all
-// seven benchmarks across many inputs.
+// ten benchmarks across many inputs.
 func TestOptimizePreservesBenchmarkSemantics(t *testing.T) {
 	rng := xrand.New(3)
 	for _, name := range prog.Names() {

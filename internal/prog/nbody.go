@@ -1,0 +1,208 @@
+package prog
+
+import (
+	"repro/internal/interp"
+	"repro/internal/ir"
+)
+
+// Nbody (NAS-style): a 1-D oscillator chain integrated with explicit Euler —
+// every particle feels a spring pull toward the origin plus a softened
+// pairwise repulsion from every other particle (the all-pairs O(n²) force
+// loop of classic n-body kernels). Explicit Euler is energy-expanding for a
+// spring (the update matrix has spectral radius √(1+dt²)), so the kinetic
+// energy of large-timestep, fast-start workloads grows geometrically; the
+// per-step kinetic-energy reduction gates a staircase of thermostat passes
+// (velocity damping, burst tracking, rescaling) that only those runaway
+// regimes reach, so code coverage depends on the input regime — the property
+// the rare-branch-guided fuzzer exploits.
+//
+// Inputs: n (particles), steps, dt (timestep), vmax (initial speed scale),
+// seed. Output: kinetic energy per step (plus the fastest particle's squared
+// velocity on steps crossing the second threshold), then a final checksum.
+
+func init() { register("nbody", buildNbody) }
+
+// Kinetic-energy thresholds of the thermostat staircase. The reference input
+// and the small-fuzzing ranges keep KE ≈ n·vmax²/3 · (1+dt²)^steps well below
+// nbodyT1; crossing all three takes a jointly high dt × steps × vmax regime
+// that random input sampling rarely reaches.
+const (
+	nbodyT1 = 3
+	nbodyT2 = 15
+	nbodyT3 = 400
+)
+
+func nbodyArgs() []ArgSpec {
+	return []ArgSpec{
+		{Name: "n", Kind: ArgInt, Min: 4, Max: 16, SmallMin: 4, SmallMax: 8, Ref: 8},
+		{Name: "steps", Kind: ArgInt, Min: 1, Max: 12, SmallMin: 1, SmallMax: 3, Ref: 3},
+		{Name: "dt", Kind: ArgFloat, Min: 0.05, Max: 0.8, SmallMin: 0.05, SmallMax: 0.15, Ref: 0.1},
+		{Name: "vmax", Kind: ArgFloat, Min: 0.1, Max: 2, SmallMin: 0.1, SmallMax: 0.5, Ref: 0.4},
+		{Name: "seed", Kind: ArgInt, Min: 1, Max: 1 << 20, SmallMin: 1, SmallMax: 64, Ref: 7},
+	}
+}
+
+func buildNbody() (*ir.Module, []ArgSpec, string, string, int64) {
+	m := ir.NewModule("nbody")
+	f := m.NewFunc("main", ir.Void,
+		&ir.Param{Name: "n", Ty: ir.I64},
+		&ir.Param{Name: "steps", Ty: ir.I64},
+		&ir.Param{Name: "dt", Ty: ir.F64},
+		&ir.Param{Name: "vmax", Ty: ir.F64},
+		&ir.Param{Name: "seed", Ty: ir.I64},
+	)
+	b := ir.NewBuilder(f)
+	h := v{b}
+
+	n := b.Param(0)
+	steps := b.Param(1)
+	dt := b.Param(2)
+	vmax := b.Param(3)
+	seed := b.Param(4)
+
+	x := b.Alloca(n)
+	vel := b.Alloca(n)
+	frc := b.Alloca(n)
+	state := h.newVar(ir.I64, seed)
+
+	// Positions in [0,1), velocities in [-vmax, vmax), both from the seed.
+	h.loop("initx", ir.I64c(0), n, func(i ir.Value) {
+		b.Store(h.lcgF64(state), b.GEP(x, i))
+	})
+	h.loop("initv", ir.I64c(0), n, func(i ir.Value) {
+		r := h.lcgF64(state)
+		b.Store(b.FMul(b.FSub(b.FMul(ir.F64c(2), r), ir.F64c(1)), vmax), b.GEP(vel, i))
+	})
+
+	h.loop("step", ir.I64c(0), steps, func(s ir.Value) {
+		_ = s
+		// All-pairs force pass over the old positions: spring toward the
+		// origin plus a softened pairwise repulsion.
+		h.loop("force.i", ir.I64c(0), n, func(i ir.Value) {
+			xi := b.Load(ir.F64, b.GEP(x, i))
+			fi := h.newVar(ir.F64, b.FSub(ir.F64c(0), xi))
+			h.loop("force.j", ir.I64c(0), n, func(j ir.Value) {
+				h.ifThen("pair", b.ICmp(ir.OpICmpNE, j, i), func() {
+					d := b.FSub(xi, b.Load(ir.F64, b.GEP(x, j)))
+					num := b.FMul(ir.F64c(0.05), d)
+					den := b.FAdd(b.FMul(d, d), ir.F64c(0.1))
+					h.faddVar(fi, b.FDiv(num, den))
+				})
+			})
+			b.Store(h.get(fi), b.GEP(frc, i))
+		})
+		// Explicit Euler update (positions advance on the old velocities)
+		// with a kinetic-energy reduction.
+		ke := h.newVar(ir.F64, ir.F64c(0))
+		h.loop("update", ir.I64c(0), n, func(i ir.Value) {
+			xp := b.GEP(x, i)
+			vp := b.GEP(vel, i)
+			vi := b.Load(ir.F64, vp)
+			b.Store(b.FAdd(b.Load(ir.F64, xp), b.FMul(dt, vi)), xp)
+			vn := b.FAdd(vi, b.FMul(dt, b.Load(ir.F64, b.GEP(frc, i))))
+			b.Store(vn, vp)
+			h.faddVar(ke, b.FMul(vn, vn))
+		})
+		kv := h.get(ke)
+		h.printF64(kv)
+		// Thermostat staircase: hot systems are damped, bursting ones track
+		// their fastest particle, runaway ones are rescaled.
+		h.ifThen("hot", b.FCmp(ir.OpFCmpOGT, kv, ir.F64c(nbodyT1)), func() {
+			h.loop("damp", ir.I64c(0), n, func(i ir.Value) {
+				p := b.GEP(vel, i)
+				b.Store(b.FMul(b.Load(ir.F64, p), ir.F64c(0.98)), p)
+			})
+			h.ifThen("burst", b.FCmp(ir.OpFCmpOGT, kv, ir.F64c(nbodyT2)), func() {
+				mx := h.newVar(ir.F64, ir.F64c(0))
+				h.loop("burst.m", ir.I64c(0), n, func(i ir.Value) {
+					vi := b.Load(ir.F64, b.GEP(vel, i))
+					sq := b.FMul(vi, vi)
+					faster := b.FCmp(ir.OpFCmpOGT, sq, h.get(mx))
+					h.set(mx, b.Select(faster, sq, h.get(mx)))
+				})
+				h.printF64(h.get(mx))
+				h.ifThen("rescale", b.FCmp(ir.OpFCmpOGT, kv, ir.F64c(nbodyT3)), func() {
+					scale := b.FDiv(ir.F64c(nbodyT3), kv)
+					h.loop("rescale.s", ir.I64c(0), n, func(i ir.Value) {
+						p := b.GEP(vel, i)
+						b.Store(b.FMul(b.Load(ir.F64, p), scale), p)
+					})
+				})
+			})
+		})
+	})
+
+	// Final energy-style checksum (nonnegative by construction).
+	cs := h.newVar(ir.F64, ir.F64c(0))
+	h.loop("final", ir.I64c(0), n, func(i ir.Value) {
+		xi := b.Load(ir.F64, b.GEP(x, i))
+		vi := b.Load(ir.F64, b.GEP(vel, i))
+		h.faddVar(cs, b.FAdd(b.FMul(xi, xi), b.FMul(vi, vi)))
+	})
+	h.printF64(h.get(cs))
+	b.Ret(nil)
+
+	return m, nbodyArgs(), "NAS",
+		"1-D oscillator chain with all-pairs repulsion and KE-gated thermostat passes", 200000
+}
+
+// oracleNbody mirrors the IR program in Go with identical operation order.
+func oracleNbody(n, steps int64, dt, vmax float64, seed int64) []float64 {
+	lcg := newGoLCG(seed)
+	x := make([]float64, n)
+	vel := make([]float64, n)
+	frc := make([]float64, n)
+	for i := int64(0); i < n; i++ {
+		x[i] = lcg.f64()
+	}
+	for i := int64(0); i < n; i++ {
+		vel[i] = (2*lcg.f64() - 1) * vmax
+	}
+	var out []float64
+	for s := int64(0); s < steps; s++ {
+		for i := int64(0); i < n; i++ {
+			fi := 0 - x[i]
+			for j := int64(0); j < n; j++ {
+				if j != i {
+					d := x[i] - x[j]
+					fi += (0.05 * d) / (d*d + 0.1)
+				}
+			}
+			frc[i] = fi
+		}
+		var ke float64
+		for i := int64(0); i < n; i++ {
+			vi := vel[i]
+			x[i] += dt * vi
+			vn := vi + dt*frc[i]
+			vel[i] = vn
+			ke += vn * vn
+		}
+		out = append(out, interp.QuantizeOutput(ke))
+		if ke > nbodyT1 {
+			for i := int64(0); i < n; i++ {
+				vel[i] *= 0.98
+			}
+			if ke > nbodyT2 {
+				var mx float64
+				for i := int64(0); i < n; i++ {
+					if sq := vel[i] * vel[i]; sq > mx {
+						mx = sq
+					}
+				}
+				out = append(out, interp.QuantizeOutput(mx))
+				if ke > nbodyT3 {
+					scale := nbodyT3 / ke
+					for i := int64(0); i < n; i++ {
+						vel[i] *= scale
+					}
+				}
+			}
+		}
+	}
+	var cs float64
+	for i := int64(0); i < n; i++ {
+		cs += x[i]*x[i] + vel[i]*vel[i]
+	}
+	return append(out, interp.QuantizeOutput(cs))
+}

@@ -1,7 +1,12 @@
 // Package prog re-implements, in the repository's LLVM-like IR, the seven
 // HPC benchmark kernels the paper evaluates (Table 1): Pathfinder, Needle,
 // Particlefilter (Rodinia), CoMD, HPCCG (Mantevo), XSBench (CESAR) and FFT
-// (SPLASH-2). Each benchmark takes only numeric scalar inputs (§3.1.2 — the
+// (SPLASH-2), plus three extension kernels that grow the suite beyond the
+// paper's set: Stencil (Parboil), a 2-D Jacobi heat sweep; SpMV (SHOC), an
+// iterated banded sparse matrix-vector product; and Nbody (NAS-style), a 1-D
+// oscillator chain with an all-pairs force loop — each with reduction-gated
+// response passes whose coverage depends on the input regime.
+// Each benchmark takes only numeric scalar inputs (§3.1.2 — the
 // paper selects benchmarks this way for input generation), carries a default
 // reference input standing in for the benchmark suite's provided input, and
 // generates its internal data (grids, sequences, particles, lattices)
@@ -149,7 +154,7 @@ type builderFunc func() (*ir.Module, []ArgSpec, string, string, int64)
 
 var builders = map[string]builderFunc{}
 
-var benchOrder = []string{"pathfinder", "needle", "particlefilter", "comd", "hpccg", "xsbench", "fft"}
+var benchOrder = []string{"pathfinder", "needle", "particlefilter", "comd", "hpccg", "xsbench", "fft", "stencil", "spmv", "nbody"}
 
 func register(name string, fn builderFunc) { builders[name] = fn }
 

@@ -38,8 +38,8 @@ func asFloats(out []interp.OutVal) []float64 {
 
 func TestAllBenchmarksRegistered(t *testing.T) {
 	names := Names()
-	if len(names) != 7 {
-		t.Fatalf("want 7 benchmarks, have %d", len(names))
+	if len(names) != 10 {
+		t.Fatalf("want 10 benchmarks, have %d", len(names))
 	}
 	for _, b := range All() {
 		if b.Prog == nil || len(b.Args) == 0 || b.Suite == "" || b.Description == "" {

@@ -1,0 +1,193 @@
+package prog
+
+import (
+	"repro/internal/interp"
+	"repro/internal/ir"
+)
+
+// SpMV (SHOC): an iterated banded sparse matrix-vector product with a
+// per-iteration norm reduction — the row-parallel kernel at the heart of
+// iterative linear solvers. The matrix is a nonnegative band matrix derived
+// from the seed; each iteration computes y = gain * A x, reduces the 1-norm
+// of y, and feeds y back as the next x. The norm gates a staircase of
+// stabilization passes (damping, max-component tracking, renormalization)
+// that only geometrically growing iterates reach, so code coverage depends
+// on the input regime (gain × bandwidth × iteration count), the property the
+// rare-branch-guided fuzzer exploits.
+//
+// Inputs: n (rows), band (half-bandwidth), iters, gain, seed. Output: the
+// iterate norm per iteration (plus its max component on iterations crossing
+// the second threshold), then a final vector checksum.
+
+func init() { register("spmv", buildSpMV) }
+
+// Norm thresholds of the stabilization staircase. The reference input and
+// the small-fuzzing ranges keep the growth factor ~0.5·gain·(2·band+1) low
+// enough to stay below spmvT1; crossing all three takes a jointly high
+// gain × band × iters regime that random input sampling rarely reaches.
+const (
+	spmvT1 = 250
+	spmvT2 = 2.0e4
+	spmvT3 = 1.5e6
+)
+
+func spmvArgs() []ArgSpec {
+	return []ArgSpec{
+		{Name: "n", Kind: ArgInt, Min: 8, Max: 48, SmallMin: 8, SmallMax: 16, Ref: 24},
+		{Name: "band", Kind: ArgInt, Min: 1, Max: 6, SmallMin: 1, SmallMax: 2, Ref: 2},
+		{Name: "iters", Kind: ArgInt, Min: 1, Max: 10, SmallMin: 1, SmallMax: 2, Ref: 3},
+		{Name: "gain", Kind: ArgFloat, Min: 0.5, Max: 1.6, SmallMin: 0.6, SmallMax: 0.9, Ref: 0.7},
+		{Name: "seed", Kind: ArgInt, Min: 1, Max: 1 << 20, SmallMin: 1, SmallMax: 64, Ref: 17},
+	}
+}
+
+func buildSpMV() (*ir.Module, []ArgSpec, string, string, int64) {
+	m := ir.NewModule("spmv")
+	f := m.NewFunc("main", ir.Void,
+		&ir.Param{Name: "n", Ty: ir.I64},
+		&ir.Param{Name: "band", Ty: ir.I64},
+		&ir.Param{Name: "iters", Ty: ir.I64},
+		&ir.Param{Name: "gain", Ty: ir.F64},
+		&ir.Param{Name: "seed", Ty: ir.I64},
+	)
+	b := ir.NewBuilder(f)
+	h := v{b}
+
+	n := b.Param(0)
+	band := b.Param(1)
+	iters := b.Param(2)
+	gain := b.Param(3)
+	seed := b.Param(4)
+
+	width := b.Add(b.Mul(band, ir.I64c(2)), ir.I64c(1))
+	nnz := b.Mul(n, width)
+	a := b.Alloca(nnz)
+	x := b.Alloca(n)
+	y := b.Alloca(n)
+	state := h.newVar(ir.I64, seed)
+
+	// Seed-derived start vector and band entries, all in [0,1).
+	h.loop("initx", ir.I64c(0), n, func(i ir.Value) {
+		b.Store(h.lcgF64(state), b.GEP(x, i))
+	})
+	h.loop("inita", ir.I64c(0), nnz, func(e ir.Value) {
+		b.Store(h.lcgF64(state), b.GEP(a, e))
+	})
+
+	h.loop("iter", ir.I64c(0), iters, func(it ir.Value) {
+		_ = it
+		norm := h.newVar(ir.F64, ir.F64c(0))
+		h.loop("row", ir.I64c(0), n, func(i ir.Value) {
+			acc := h.newVar(ir.F64, ir.F64c(0))
+			h.loop("col", ir.I64c(0), width, func(k ir.Value) {
+				j := b.Add(b.Sub(i, band), k)
+				inLo := b.ICmp(ir.OpICmpSGE, j, ir.I64c(0))
+				inHi := b.ICmp(ir.OpICmpSLT, j, n)
+				h.ifThen("inband", b.And(inLo, inHi), func() {
+					av := b.Load(ir.F64, b.GEP(a, b.Add(b.Mul(i, width), k)))
+					xv := b.Load(ir.F64, b.GEP(x, j))
+					h.faddVar(acc, b.FMul(av, xv))
+				})
+			})
+			yi := b.FMul(gain, h.get(acc))
+			b.Store(yi, b.GEP(y, i))
+			h.faddVar(norm, yi)
+		})
+		nv := h.get(norm)
+		h.printF64(nv)
+		// Stabilization staircase: growing iterates are damped, fast-growing
+		// ones track their max component, runaway ones are renormalized.
+		h.ifThen("damp", b.FCmp(ir.OpFCmpOGT, nv, ir.F64c(spmvT1)), func() {
+			h.loop("damp.s", ir.I64c(0), n, func(i ir.Value) {
+				p := b.GEP(y, i)
+				b.Store(b.FMul(b.Load(ir.F64, p), ir.F64c(0.5)), p)
+			})
+			h.ifThen("maxc", b.FCmp(ir.OpFCmpOGT, nv, ir.F64c(spmvT2)), func() {
+				mx := h.newVar(ir.F64, ir.F64c(0))
+				h.loop("maxc.m", ir.I64c(0), n, func(i ir.Value) {
+					val := b.Load(ir.F64, b.GEP(y, i))
+					bigger := b.FCmp(ir.OpFCmpOGT, val, h.get(mx))
+					h.set(mx, b.Select(bigger, val, h.get(mx)))
+				})
+				h.printF64(h.get(mx))
+				h.ifThen("renorm", b.FCmp(ir.OpFCmpOGT, nv, ir.F64c(spmvT3)), func() {
+					scale := b.FDiv(ir.F64c(spmvT3), nv)
+					h.loop("renorm.s", ir.I64c(0), n, func(i ir.Value) {
+						p := b.GEP(y, i)
+						b.Store(b.FMul(b.Load(ir.F64, p), scale), p)
+					})
+				})
+			})
+		})
+		h.loop("feed", ir.I64c(0), n, func(i ir.Value) {
+			b.Store(b.Load(ir.F64, b.GEP(y, i)), b.GEP(x, i))
+		})
+	})
+
+	cs := h.newVar(ir.F64, ir.F64c(0))
+	h.loop("final", ir.I64c(0), n, func(i ir.Value) {
+		h.faddVar(cs, b.Load(ir.F64, b.GEP(x, i)))
+	})
+	h.printF64(h.get(cs))
+	b.Ret(nil)
+
+	return m, spmvArgs(), "SHOC",
+		"iterated banded sparse matrix-vector product with norm-gated stabilization passes", 500000
+}
+
+// oracleSpMV mirrors the IR program in Go with identical operation order.
+func oracleSpMV(n, band, iters int64, gain float64, seed int64) []float64 {
+	width := 2*band + 1
+	lcg := newGoLCG(seed)
+	x := make([]float64, n)
+	y := make([]float64, n)
+	a := make([]float64, n*width)
+	for i := int64(0); i < n; i++ {
+		x[i] = lcg.f64()
+	}
+	for e := int64(0); e < n*width; e++ {
+		a[e] = lcg.f64()
+	}
+	var out []float64
+	for it := int64(0); it < iters; it++ {
+		var norm float64
+		for i := int64(0); i < n; i++ {
+			var acc float64
+			for k := int64(0); k < width; k++ {
+				j := i - band + k
+				if j >= 0 && j < n {
+					acc += a[i*width+k] * x[j]
+				}
+			}
+			y[i] = gain * acc
+			norm += y[i]
+		}
+		out = append(out, interp.QuantizeOutput(norm))
+		if norm > spmvT1 {
+			for i := int64(0); i < n; i++ {
+				y[i] *= 0.5
+			}
+			if norm > spmvT2 {
+				var mx float64
+				for i := int64(0); i < n; i++ {
+					if y[i] > mx {
+						mx = y[i]
+					}
+				}
+				out = append(out, interp.QuantizeOutput(mx))
+				if norm > spmvT3 {
+					scale := spmvT3 / norm
+					for i := int64(0); i < n; i++ {
+						y[i] *= scale
+					}
+				}
+			}
+		}
+		copy(x, y)
+	}
+	var cs float64
+	for i := int64(0); i < n; i++ {
+		cs += x[i]
+	}
+	return append(out, interp.QuantizeOutput(cs))
+}

@@ -1,0 +1,196 @@
+package prog
+
+import (
+	"repro/internal/interp"
+	"repro/internal/ir"
+)
+
+// Stencil (Parboil): a 2-D five-point Jacobi heat-diffusion sweep with a
+// per-step reduction — the data-parallel kernel shape of iterative PDE
+// solvers, where every interior cell is updated independently from the
+// previous grid. A hot-spot source injects heat at the grid center each
+// step; the total-heat reduction then gates a staircase of thermal-response
+// passes (radiative loss, peak tracking, renormalization) whose thresholds
+// only high-energy workloads cross, so the kernel's code coverage depends on
+// the input regime (the property the rare-branch-guided fuzzer exploits).
+//
+// Inputs: n (grid edge), steps, alpha (diffusion coefficient, stable for
+// alpha <= 0.25), source (hot-spot injection per step), seed. Output: total
+// heat per step (plus the grid peak on steps crossing the second threshold),
+// then a final grid checksum.
+
+func init() { register("stencil", buildStencil) }
+
+// Total-heat thresholds of the staircase passes. The reference input and the
+// small-fuzzing ranges stay below stencilT1, so step-① coverage parity with
+// the reference is immediate; crossing all three takes a jointly hot
+// steps × source × n regime that random input sampling rarely reaches.
+const (
+	stencilT1 = 90
+	stencilT2 = 380
+	stencilT3 = 820
+)
+
+func stencilArgs() []ArgSpec {
+	return []ArgSpec{
+		{Name: "n", Kind: ArgInt, Min: 4, Max: 12, SmallMin: 4, SmallMax: 6, Ref: 8},
+		{Name: "steps", Kind: ArgInt, Min: 1, Max: 12, SmallMin: 1, SmallMax: 3, Ref: 3},
+		{Name: "alpha", Kind: ArgFloat, Min: 0.05, Max: 0.25, SmallMin: 0.05, SmallMax: 0.1, Ref: 0.1},
+		{Name: "source", Kind: ArgFloat, Min: 1, Max: 100, SmallMin: 1, SmallMax: 8, Ref: 10},
+		{Name: "seed", Kind: ArgInt, Min: 1, Max: 1 << 20, SmallMin: 1, SmallMax: 64, Ref: 11},
+	}
+}
+
+func buildStencil() (*ir.Module, []ArgSpec, string, string, int64) {
+	m := ir.NewModule("stencil")
+	f := m.NewFunc("main", ir.Void,
+		&ir.Param{Name: "n", Ty: ir.I64},
+		&ir.Param{Name: "steps", Ty: ir.I64},
+		&ir.Param{Name: "alpha", Ty: ir.F64},
+		&ir.Param{Name: "source", Ty: ir.F64},
+		&ir.Param{Name: "seed", Ty: ir.I64},
+	)
+	b := ir.NewBuilder(f)
+	h := v{b}
+
+	n := b.Param(0)
+	steps := b.Param(1)
+	alpha := b.Param(2)
+	source := b.Param(3)
+	seed := b.Param(4)
+
+	cells := b.Mul(n, n)
+	u := b.Alloca(cells)
+	un := b.Alloca(cells)
+	state := h.newVar(ir.I64, seed)
+
+	// Initial temperatures in [0,1) from the seed.
+	h.loop("init", ir.I64c(0), cells, func(i ir.Value) {
+		b.Store(h.lcgF64(state), b.GEP(u, i))
+	})
+
+	half := b.SDiv(n, ir.I64c(2))
+	center := b.Add(b.Mul(half, n), half)
+	h.loop("step", ir.I64c(0), steps, func(s ir.Value) {
+		_ = s
+		// Inject the hot-spot source at the grid center.
+		cp := b.GEP(u, center)
+		b.Store(b.FAdd(b.Load(ir.F64, cp), source), cp)
+		// Dirichlet boundary: copy the grid, then overwrite the interior.
+		h.loop("copy", ir.I64c(0), cells, func(i ir.Value) {
+			b.Store(b.Load(ir.F64, b.GEP(u, i)), b.GEP(un, i))
+		})
+		nm1 := b.Sub(n, ir.I64c(1))
+		h.loop("sweep.i", ir.I64c(1), nm1, func(i ir.Value) {
+			h.loop("sweep.j", ir.I64c(1), nm1, func(j ir.Value) {
+				c := b.Load(ir.F64, h.idx2(u, i, n, j))
+				up := b.Load(ir.F64, h.idx2(u, b.Sub(i, ir.I64c(1)), n, j))
+				dn := b.Load(ir.F64, h.idx2(u, b.Add(i, ir.I64c(1)), n, j))
+				lf := b.Load(ir.F64, h.idx2(u, i, n, b.Sub(j, ir.I64c(1))))
+				rt := b.Load(ir.F64, h.idx2(u, i, n, b.Add(j, ir.I64c(1))))
+				nb := b.FAdd(b.FAdd(b.FAdd(up, dn), lf), rt)
+				lap := b.FSub(nb, b.FMul(ir.F64c(4), c))
+				b.Store(b.FAdd(c, b.FMul(alpha, lap)), h.idx2(un, i, n, j))
+			})
+		})
+		// Write back and reduce total heat.
+		heat := h.newVar(ir.F64, ir.F64c(0))
+		h.loop("reduce", ir.I64c(0), cells, func(i ir.Value) {
+			val := b.Load(ir.F64, b.GEP(un, i))
+			b.Store(val, b.GEP(u, i))
+			h.faddVar(heat, val)
+		})
+		hv := h.get(heat)
+		h.printF64(hv)
+		// Thermal-response staircase: hot grids radiate, hotter grids track
+		// their peak, the hottest are renormalized back to the top threshold.
+		h.ifThen("radiate", b.FCmp(ir.OpFCmpOGT, hv, ir.F64c(stencilT1)), func() {
+			h.loop("radiate.d", ir.I64c(0), cells, func(i ir.Value) {
+				p := b.GEP(u, i)
+				b.Store(b.FMul(b.Load(ir.F64, p), ir.F64c(0.995)), p)
+			})
+			h.ifThen("peak", b.FCmp(ir.OpFCmpOGT, hv, ir.F64c(stencilT2)), func() {
+				peak := h.newVar(ir.F64, ir.F64c(0))
+				h.loop("peak.m", ir.I64c(0), cells, func(i ir.Value) {
+					val := b.Load(ir.F64, b.GEP(u, i))
+					hotter := b.FCmp(ir.OpFCmpOGT, val, h.get(peak))
+					h.set(peak, b.Select(hotter, val, h.get(peak)))
+				})
+				h.printF64(h.get(peak))
+				h.ifThen("renorm", b.FCmp(ir.OpFCmpOGT, hv, ir.F64c(stencilT3)), func() {
+					scale := b.FDiv(ir.F64c(stencilT3), hv)
+					h.loop("renorm.s", ir.I64c(0), cells, func(i ir.Value) {
+						p := b.GEP(u, i)
+						b.Store(b.FMul(b.Load(ir.F64, p), scale), p)
+					})
+				})
+			})
+		})
+	})
+
+	// Final grid checksum.
+	cs := h.newVar(ir.F64, ir.F64c(0))
+	h.loop("final", ir.I64c(0), cells, func(i ir.Value) {
+		h.faddVar(cs, b.Load(ir.F64, b.GEP(u, i)))
+	})
+	h.printF64(h.get(cs))
+	b.Ret(nil)
+
+	return m, stencilArgs(), "Parboil",
+		"2-D Jacobi heat-diffusion sweep with hot-spot source and reduction-gated response passes", 300000
+}
+
+// oracleStencil mirrors the IR program in Go with identical operation order.
+func oracleStencil(n, steps int64, alpha, source float64, seed int64) []float64 {
+	cells := n * n
+	lcg := newGoLCG(seed)
+	u := make([]float64, cells)
+	un := make([]float64, cells)
+	for i := int64(0); i < cells; i++ {
+		u[i] = lcg.f64()
+	}
+	center := (n/2)*n + n/2
+	var out []float64
+	for s := int64(0); s < steps; s++ {
+		u[center] += source
+		copy(un, u)
+		for i := int64(1); i < n-1; i++ {
+			for j := int64(1); j < n-1; j++ {
+				c := u[i*n+j]
+				nb := u[(i-1)*n+j] + u[(i+1)*n+j] + u[i*n+j-1] + u[i*n+j+1]
+				un[i*n+j] = c + alpha*(nb-4*c)
+			}
+		}
+		var heat float64
+		for i := int64(0); i < cells; i++ {
+			u[i] = un[i]
+			heat += u[i]
+		}
+		out = append(out, interp.QuantizeOutput(heat))
+		if heat > stencilT1 {
+			for i := int64(0); i < cells; i++ {
+				u[i] *= 0.995
+			}
+			if heat > stencilT2 {
+				var peak float64
+				for i := int64(0); i < cells; i++ {
+					if u[i] > peak {
+						peak = u[i]
+					}
+				}
+				out = append(out, interp.QuantizeOutput(peak))
+				if heat > stencilT3 {
+					scale := stencilT3 / heat
+					for i := int64(0); i < cells; i++ {
+						u[i] *= scale
+					}
+				}
+			}
+		}
+	}
+	var cs float64
+	for i := int64(0); i < cells; i++ {
+		cs += u[i]
+	}
+	return append(out, interp.QuantizeOutput(cs))
+}

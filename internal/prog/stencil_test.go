@@ -1,0 +1,118 @@
+package prog
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func TestStencilMatchesOracle(t *testing.T) {
+	b := Build("stencil")
+	rng := xrand.New(3)
+	inputs := [][]float64{b.RefInput()}
+	for i := 0; i < 20; i++ {
+		inputs = append(inputs, b.RandomInput(rng))
+	}
+	// Pin the staircase: a cold run below every threshold and a hot run
+	// (large grid, many steps, strong source) crossing all three.
+	inputs = append(inputs, []float64{4, 1, 0.05, 1, 1}, []float64{12, 12, 0.2, 100, 5})
+	for _, in := range inputs {
+		got := runFloats(t, b, in)
+		want := oracleStencil(int64(in[0]), int64(in[1]), in[2], in[3], int64(in[4]))
+		if !eqFloats(got, want) {
+			t.Fatalf("input %v: got %v want %v", in, got, want)
+		}
+	}
+}
+
+func TestSpMVMatchesOracle(t *testing.T) {
+	b := Build("spmv")
+	rng := xrand.New(4)
+	inputs := [][]float64{b.RefInput()}
+	for i := 0; i < 20; i++ {
+		inputs = append(inputs, b.RandomInput(rng))
+	}
+	inputs = append(inputs, []float64{8, 1, 1, 0.5, 1}, []float64{48, 6, 10, 1.6, 5})
+	for _, in := range inputs {
+		got := runFloats(t, b, in)
+		want := oracleSpMV(int64(in[0]), int64(in[1]), int64(in[2]), in[3], int64(in[4]))
+		if !eqFloats(got, want) {
+			t.Fatalf("input %v: got %v want %v", in, got, want)
+		}
+	}
+}
+
+func TestStencilHeatFinite(t *testing.T) {
+	b := Build("stencil")
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		in := b.RandomInput(rng)
+		out := runFloats(t, b, in)
+		// Nonnegative dynamics: every printed value (heat, peak, checksum)
+		// must be finite and nonnegative.
+		for _, v := range out {
+			if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, qcfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpMVNormsFinite(t *testing.T) {
+	b := Build("spmv")
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		in := b.RandomInput(rng)
+		out := runFloats(t, b, in)
+		for _, v := range out {
+			if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, qcfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNbodyMatchesOracle(t *testing.T) {
+	b := Build("nbody")
+	rng := xrand.New(5)
+	inputs := [][]float64{b.RefInput()}
+	for i := 0; i < 20; i++ {
+		inputs = append(inputs, b.RandomInput(rng))
+	}
+	inputs = append(inputs, []float64{4, 1, 0.05, 0.1, 1}, []float64{16, 12, 0.8, 2, 5})
+	for _, in := range inputs {
+		got := runFloats(t, b, in)
+		want := oracleNbody(int64(in[0]), int64(in[1]), in[2], in[3], int64(in[4]))
+		if !eqFloats(got, want) {
+			t.Fatalf("input %v: got %v want %v", in, got, want)
+		}
+	}
+}
+
+func TestNbodyEnergiesFinite(t *testing.T) {
+	b := Build("nbody")
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		in := b.RandomInput(rng)
+		out := runFloats(t, b, in)
+		for _, v := range out {
+			if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, qcfg()); err != nil {
+		t.Fatal(err)
+	}
+}

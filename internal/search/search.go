@@ -2,15 +2,17 @@
 // numeric input vectors. The paper notes (§4.1) that PEPPA-X "does not tie
 // to GA; other search-based optimization algorithms can be adopted" — this
 // package makes that concrete: the genetic engine, hill climbing with the
-// paper's ±10 % move operator, simulated annealing, and uniform random
-// sampling all implement one Strategy interface and can drive the
-// SDC-bound input search (see the strategies experiment).
+// paper's ±10 % move operator, simulated annealing, uniform random
+// sampling, and rare-branch-guided fuzzing (internal/fuzz) all implement
+// one Strategy interface and can drive the SDC-bound input search (see the
+// strategies experiment).
 package search
 
 import (
 	"fmt"
 	"math"
 
+	"repro/internal/fuzz"
 	"repro/internal/ga"
 	"repro/internal/xrand"
 )
@@ -23,6 +25,11 @@ type Objective struct {
 	Clamp func([]float64)
 	// Eval scores a candidate; higher is better, non-negative.
 	Eval func([]float64) float64
+	// Probe, when non-nil, scores a candidate like Eval and additionally
+	// returns the profiled run's block/edge hit counters (nil when the run
+	// failed). The rare-branch Fuzz strategy requires it; the other
+	// strategies ignore it.
+	Probe func([]float64) (float64, []int64)
 	// Seeds provide starting points (at least one required).
 	Seeds [][]float64
 }
@@ -268,6 +275,53 @@ func (g Genetic) Run(obj Objective, budget int, rng *xrand.RNG) (*Result, error)
 	return res, nil
 }
 
+// Fuzz is the rare-branch-guided strategy (internal/fuzz): corpus seeds are
+// selected by the rarest covered block/edge counter and mutated under
+// FairFuzz-style masks that freeze positions whose mutation loses that
+// edge. It needs coverage feedback per candidate, so the objective must
+// supply Probe.
+type Fuzz struct {
+	// MutantsPerSeed and CorpusCap tune the engine
+	// (0 = internal/fuzz defaults).
+	MutantsPerSeed int
+	CorpusCap      int
+}
+
+// Name implements Strategy.
+func (Fuzz) Name() string { return "fuzz" }
+
+// Run implements Strategy.
+func (f Fuzz) Run(obj Objective, budget int, rng *xrand.RNG) (*Result, error) {
+	if err := obj.validate(); err != nil {
+		return nil, err
+	}
+	if obj.Probe == nil {
+		return nil, fmt.Errorf("search: the fuzz strategy requires Objective.Probe")
+	}
+	fr, err := fuzz.Run(fuzz.Options{
+		Dim:   obj.Dim,
+		Clamp: obj.Clamp,
+		Seeds: obj.Seeds,
+		// The default ±10 % single-coordinate move keeps the neighbourhood
+		// identical to the other strategies' mutate.
+		Budget:         budget,
+		MutantsPerSeed: f.MutantsPerSeed,
+		CorpusCap:      f.CorpusCap,
+	}, func(v []float64) (float64, []int64, bool) {
+		s, counters := obj.Probe(v)
+		return s, counters, counters != nil
+	}, rng)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Best:        fr.Best,
+		BestScore:   fr.BestScore,
+		Evaluations: fr.Executions,
+		History:     fr.History,
+	}, nil
+}
+
 // All returns the standard strategy set with paper-default parameters.
 func All() []Strategy {
 	return []Strategy{
@@ -275,5 +329,6 @@ func All() []Strategy {
 		HillClimb{},
 		Anneal{},
 		Random{},
+		Fuzz{},
 	}
 }

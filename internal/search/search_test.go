@@ -30,6 +30,27 @@ func ridge() Objective {
 			}
 			return 1 / (1 + d2)
 		},
+		// Synthetic coverage feedback for the fuzz strategy: one
+		// always-covered counter plus per-coordinate threshold "edges", the
+		// inner ones rare because few candidates land near the optimum.
+		Probe: func(v []float64) (float64, []int64) {
+			counters := make([]int64, 1+2*len(v))
+			counters[0] = 1
+			for i := range v {
+				if v[i] > 2 {
+					counters[1+2*i] = 1
+				}
+				if v[i] > opt[i]-1 && v[i] < opt[i]+1 {
+					counters[2+2*i] = 1
+				}
+			}
+			var d2 float64
+			for i := range v {
+				d := v[i] - opt[i]
+				d2 += d * d
+			}
+			return 1 / (1 + d2), counters
+		},
 		Seeds: [][]float64{{1, 1}, {10, 10}, {2, 12}},
 	}
 }
@@ -75,7 +96,7 @@ func TestHistoryMonotone(t *testing.T) {
 func TestBudgetRespected(t *testing.T) {
 	// Non-GA strategies must stop exactly at the budget; the GA finishes
 	// its current generation (bounded overshoot of one population).
-	for _, s := range []Strategy{HillClimb{}, Anneal{}, Random{}} {
+	for _, s := range []Strategy{HillClimb{}, Anneal{}, Random{}, Fuzz{}} {
 		res, err := s.Run(ridge(), 57, xrand.New(3))
 		if err != nil {
 			t.Fatal(err)

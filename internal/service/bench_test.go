@@ -80,7 +80,7 @@ func BenchmarkServiceGolden(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				cache := newWorkCache(DefaultGoldenCap, DefaultProfileCap)
-				ge, cached, err := cache.golden(be, be.b.RefInput(), campaign.CheckpointAuto)
+				ge, cached, err := cache.golden(be, be.b.RefInput(), campaign.CheckpointAuto, "")
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -95,13 +95,13 @@ func BenchmarkServiceGolden(b *testing.B) {
 		b.Run("warm/"+prg, func(b *testing.B) {
 			be := New(Config{}).cache.bench(prg)
 			cache := newWorkCache(DefaultGoldenCap, DefaultProfileCap)
-			if _, _, err := cache.golden(be, be.b.RefInput(), campaign.CheckpointAuto); err != nil {
+			if _, _, err := cache.golden(be, be.b.RefInput(), campaign.CheckpointAuto, ""); err != nil {
 				b.Fatal(err)
 			}
 			var setup int64
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				ge, cached, err := cache.golden(be, be.b.RefInput(), campaign.CheckpointAuto)
+				ge, cached, err := cache.golden(be, be.b.RefInput(), campaign.CheckpointAuto, "")
 				if err != nil {
 					b.Fatal(err)
 				}

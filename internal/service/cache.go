@@ -20,17 +20,16 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/compose"
+	"repro/internal/fault"
 	"repro/internal/parallel"
 	"repro/internal/prog"
 )
 
-// goldenFaultModel and goldenEngine name the substrate in golden cache
-// keys, mirroring compose.DefaultFaultModel: future fault models or
-// engines cannot alias today's cached runs.
-const (
-	goldenFaultModel = "bitflip"
-	goldenEngine     = "fused"
-)
+// goldenEngine names the execution engine in golden cache keys; the fault
+// model axis comes from the job spec (fault.ModelKey, default "bitflip"),
+// mirroring compose.DefaultFaultModel: fault models or engines can never
+// alias each other's cached runs.
+const goldenEngine = "fused"
 
 // benchEntry is one built benchmark plus its program-identity hash.
 type benchEntry struct {
@@ -73,7 +72,10 @@ func (c *workCache) bench(name string) *benchEntry {
 
 // goldenKey builds the golden cache key. Inputs key by their exact float64
 // bit patterns, so two inputs compare equal iff their encoded runs would.
-func goldenKey(hash string, input []float64, interval int64) string {
+// model is the normalized fault-model name (fault.ModelKey): the golden run
+// itself is fault-free, but keying it per model keeps coordinator and peer
+// workers deriving identical keys from the job spec alone.
+func goldenKey(hash string, input []float64, interval int64, model string) string {
 	var sb strings.Builder
 	sb.WriteString(hash)
 	sb.WriteByte(0x1f)
@@ -86,7 +88,7 @@ func goldenKey(hash string, input []float64, interval int64) string {
 	sb.WriteByte(0x1f)
 	sb.WriteString(strconv.FormatInt(interval, 10))
 	sb.WriteByte(0x1f)
-	sb.WriteString(goldenFaultModel)
+	sb.WriteString(fault.ModelKey(model))
 	sb.WriteByte(0x1f)
 	sb.WriteString(goldenEngine)
 	return sb.String()
@@ -98,9 +100,9 @@ func goldenKey(hash string, input []float64, interval int64) string {
 // computes (and pays setupDyn), every other caller blocks on it and gets
 // cached=true. Invalid inputs cache their error, so a bad input costs its
 // failed golden run once, not once per job.
-func (c *workCache) golden(be *benchEntry, input []float64, interval int64) (e *goldenEntry, cached bool, err error) {
+func (c *workCache) golden(be *benchEntry, input []float64, interval int64, model string) (e *goldenEntry, cached bool, err error) {
 	computed := false
-	e, err = c.goldens.Get(goldenKey(be.hash, input, interval), func() (*goldenEntry, error) {
+	e, err = c.goldens.Get(goldenKey(be.hash, input, interval, model), func() (*goldenEntry, error) {
 		computed = true
 		g, err := campaign.NewGoldenCheckpointed(be.b.Prog, be.b.Encode(input), be.b.MaxDyn, interval)
 		if err != nil {

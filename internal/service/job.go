@@ -44,6 +44,13 @@ type JobSpec struct {
 	// Seed derives every trial's RNG stream; identical specs yield
 	// bit-identical results at any shard/worker/batch configuration.
 	Seed uint64 `json:"seed,omitempty"`
+	// FaultModel names the fault model campaign trials corrupt with
+	// (fault.ModelNames; "" = the single-bit-flip default). Campaign and
+	// sensitivity jobs sample from it; for search jobs it applies to the
+	// final whole-program campaign. Adaptive campaigns support only the
+	// default model (the stratified estimator's heat ranking is measured
+	// under single flips).
+	FaultModel string `json:"fault_model,omitempty"`
 	// Workers and Batch configure each shard's execution substrate
 	// (campaign.ParallelOptions semantics).
 	Workers int `json:"workers,omitempty"`
@@ -178,7 +185,7 @@ func (s *Server) runJob(ctx context.Context, spec *JobSpec, meter *tokenMeter, e
 			return nil, err
 		}
 	} else {
-		ge, cached, err := s.cache.golden(be, spec.Input, spec.CheckpointInterval)
+		ge, cached, err := s.cache.golden(be, spec.Input, spec.CheckpointInterval, spec.FaultModel)
 		s.publishCacheMetrics()
 		if err != nil {
 			return nil, err
@@ -229,7 +236,14 @@ func (s *Server) runJob(ctx context.Context, spec *JobSpec, meter *tokenMeter, e
 // executor. Either way results are bit-identical to the single-process run
 // of the same spec.
 func (s *Server) runCampaign(ctx context.Context, spec *JobSpec, be *benchEntry, g *campaign.Golden, meter *tokenMeter, res *JobResult, ew *eventWriter, tr *telemetry.Stream) error {
+	model, err := fault.CampaignModel(spec.FaultModel)
+	if err != nil {
+		return err
+	}
 	if spec.Adaptive || spec.CITarget > 0 {
+		if model != nil {
+			return fmt.Errorf("adaptive campaigns support only the default fault model, got %q", spec.FaultModel)
+		}
 		ar := campaign.OverallAdaptive(be.b.Prog, g, campaign.AdaptiveOptions{
 			Workers:   spec.Workers,
 			Seed:      spec.Seed,
@@ -253,7 +267,7 @@ func (s *Server) runCampaign(ctx context.Context, spec *JobSpec, be *benchEntry,
 		}
 		return nil
 	}
-	c, err := s.runFlatCampaign(ctx, spec, be, g, meter, ew)
+	c, err := s.runFlatCampaign(ctx, spec, be, g, model, meter, ew)
 	if err != nil {
 		return err
 	}
@@ -269,12 +283,17 @@ func (s *Server) runCampaign(ctx context.Context, spec *JobSpec, be *benchEntry,
 // per-segment profile cache — concurrent jobs on the same program measure
 // each profile once.
 func (s *Server) runSensitivity(ctx context.Context, spec *JobSpec, be *benchEntry, g *campaign.Golden, meter *tokenMeter, res *JobResult, tr *telemetry.Stream) error {
+	model, err := fault.CampaignModel(spec.FaultModel)
+	if err != nil {
+		return err
+	}
 	e := compose.NewEstimator(be.b.Prog, s.cache.profiles, compose.Options{
 		Trials:    spec.Trials,
 		Threshold: spec.ComposeThreshold,
 		Workers:   spec.Workers,
 		BatchSize: spec.Batch,
 		Seed:      spec.Seed,
+		Model:     model,
 		Trace:     tr,
 		Ctx:       ctx,
 		Runner:    s.meteredRunner(spec.Shards, meter),
@@ -316,11 +335,16 @@ func (s *Server) runSearch(ctx context.Context, spec *JobSpec, be *benchEntry, m
 	if spec.TrialsPerRep > 0 {
 		opts.TrialsPerRep = spec.TrialsPerRep
 	}
+	model, err := fault.CampaignModel(spec.FaultModel)
+	if err != nil {
+		return err
+	}
 	opts.Workers = spec.Workers
 	opts.BatchSize = spec.Batch
 	opts.CheckpointInterval = spec.CheckpointInterval
 	opts.CITarget = spec.CITarget
 	opts.Compose = spec.Compose
+	opts.Model = model
 	opts.ComposeCache = s.cache.profiles
 	opts.Ctx = ctx
 	opts.Trace = rec.Stream("job/" + spec.Bench)

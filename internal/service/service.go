@@ -18,6 +18,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/prog"
 	"repro/internal/telemetry"
 )
@@ -53,6 +54,9 @@ type Config struct {
 	// (<= 0: 2e9); JobSpec.MaxTokens overrides per job, negative spec value
 	// means unlimited.
 	MaxJobTokens int64
+	// FaultModel is the default fault model for jobs that leave
+	// JobSpec.FaultModel empty ("" = the single-bit-flip default).
+	FaultModel string
 	// WorkerOnly disables POST /jobs, leaving only /shard, /metrics and
 	// /healthz — the shape a `peppaxd -worker` peer runs.
 	WorkerOnly bool
@@ -313,6 +317,15 @@ func (s *Server) normalize(spec *JobSpec) error {
 	}
 	if spec.Shards <= 0 {
 		spec.Shards = s.cfg.Shards
+	}
+	if spec.FaultModel == "" {
+		spec.FaultModel = s.cfg.FaultModel
+	}
+	if _, err := fault.CampaignModel(spec.FaultModel); err != nil {
+		return err
+	}
+	if (spec.Adaptive || spec.CITarget > 0) && fault.ModelKey(spec.FaultModel) != fault.DefaultModelName {
+		return fmt.Errorf("adaptive campaigns support only the default fault model, got %q", spec.FaultModel)
 	}
 	return nil
 }

@@ -17,6 +17,7 @@ import (
 	"net/http"
 
 	"repro/internal/campaign"
+	"repro/internal/fault"
 	"repro/internal/parallel"
 )
 
@@ -33,6 +34,11 @@ type ShardRequest struct {
 	Hi                 int    `json:"hi"`
 	Workers            int    `json:"workers,omitempty"`
 	Batch              int    `json:"batch,omitempty"`
+	// FaultModel names the fault model every trial samples from
+	// (fault.ModelNames; "" = the single-bit-flip default). Coordinator and
+	// worker must agree or the merged tally loses bit-identity, so it rides
+	// in the request like the seed does.
+	FaultModel string `json:"fault_model,omitempty"`
 	// GoldenDyn is the coordinator's golden dynamic-instruction count. The
 	// worker rebuilds the golden from (bench, input) and must land on the
 	// same count — a mismatch means divergent programs and poisons
@@ -51,7 +57,7 @@ type ShardResponse struct {
 // in-process execution (with a job event) so a dead peer degrades throughput,
 // not correctness. Tallies merge in shard order, making the merge — like
 // everything else in the trial pipeline — a deterministic fold.
-func (s *Server) runFlatCampaign(ctx context.Context, spec *JobSpec, be *benchEntry, g *campaign.Golden, meter *tokenMeter, ew *eventWriter) (campaign.Counts, error) {
+func (s *Server) runFlatCampaign(ctx context.Context, spec *JobSpec, be *benchEntry, g *campaign.Golden, model fault.Model, meter *tokenMeter, ew *eventWriter) (campaign.Counts, error) {
 	trials := spec.Trials
 	shards := spec.Shards
 	if shards < 1 {
@@ -65,6 +71,7 @@ func (s *Server) runFlatCampaign(ctx context.Context, spec *JobSpec, be *benchEn
 		Seed:      spec.Seed,
 		BatchSize: spec.Batch,
 		Ctx:       ctx,
+		Model:     model,
 	}
 
 	if shards == 1 && len(s.cfg.Peers) == 0 {
@@ -126,6 +133,7 @@ func (s *Server) dispatchShard(ctx context.Context, peer string, spec *JobSpec, 
 		Hi:                 hi,
 		Workers:            spec.Workers,
 		Batch:              spec.Batch,
+		FaultModel:         spec.FaultModel,
 		GoldenDyn:          g.DynCount,
 	})
 	if err != nil {
@@ -178,8 +186,13 @@ func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("bad shard range [%d, %d)", sr.Lo, sr.Hi), http.StatusBadRequest)
 		return
 	}
+	model, err := fault.CampaignModel(sr.FaultModel)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
 	be := s.cache.bench(sr.Bench)
-	ge, _, err := s.cache.golden(be, sr.Input, sr.CheckpointInterval)
+	ge, _, err := s.cache.golden(be, sr.Input, sr.CheckpointInterval, sr.FaultModel)
 	s.publishCacheMetrics()
 	if err != nil {
 		http.Error(w, "golden run failed: "+err.Error(), http.StatusUnprocessableEntity)
@@ -190,6 +203,7 @@ func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
 		Seed:      sr.Seed,
 		BatchSize: sr.Batch,
 		Ctx:       r.Context(),
+		Model:     model,
 	})
 	s.rec.Count("service.shard.trials", int64(c.Trials))
 	s.rec.Count("service.shard.dyn", c.DynInstrs)
